@@ -1,0 +1,359 @@
+package tmerge
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§V), each running the corresponding experiment
+// on one video per dataset and reporting the headline quantity as a
+// custom metric, plus the ablation benchmarks DESIGN.md §5 calls out and
+// micro-benchmarks of the hot paths. Regenerate full-size tables with
+// cmd/benchrunner.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/bench"
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+// benchSuite returns the shared one-video-per-dataset suite.
+func benchSuite() *bench.Suite {
+	suiteOnce.Do(func() {
+		suite = bench.NewSuite(42)
+		suite.VideosPerDataset = 1
+		suite.Trials = 1
+	})
+	return suite
+}
+
+func BenchmarkFig3RecK(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Fig3(io.Discard)
+		b.ReportMetric(out["mot17"][3].REC, "REC@K=0.05")
+	}
+}
+
+func BenchmarkFig4BaselineScaling(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows := s.Fig4(io.Discard)
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Runtime.Seconds(), "modeled-s@max-len")
+		b.ReportMetric(float64(last.Pairs), "pairs@max-len")
+	}
+}
+
+func BenchmarkTable2Methods(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Table2(io.Discard)
+		if fps, ok := out["TMerge"][0.80]; ok {
+			b.ReportMetric(fps, "TMerge-FPS@0.80")
+		}
+		if fps, ok := out["PS"][0.80]; ok {
+			b.ReportMetric(fps, "PS-FPS@0.80")
+		}
+	}
+}
+
+func BenchmarkFig5RecFPS(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Fig5(io.Discard)
+		for _, c := range out["mot17"] {
+			if c.Name == "TMerge" {
+				b.ReportMetric(c.Points[len(c.Points)-1].REC, "TMerge-REC@max-tau")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6Batched(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Fig6(io.Discard)
+		for _, c := range out["mot17"][100] {
+			if c.Name == "TMerge-B" {
+				b.ReportMetric(c.Points[len(c.Points)-1].FPS, "TMergeB100-FPS@max-tau")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7TauSweep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, blRuntime := s.Fig7(io.Discard)
+		b.ReportMetric(rows[len(rows)-1].REC, "REC@max-tau")
+		b.ReportMetric(blRuntime.Seconds(), "BLB-modeled-s")
+	}
+}
+
+func BenchmarkFig8Ablation(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		curves := s.Fig8(io.Discard)
+		for _, c := range curves {
+			if c.Name == "TMerge w/o BetaInit" {
+				b.ReportMetric(c.Points[0].REC, "noBetaInit-REC@min-tau")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9WindowSweep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Fig9(io.Discard)
+		b.ReportMetric(out["TMerge"][1].REC, "TMerge-REC@L=2000")
+	}
+}
+
+func BenchmarkFig10ThrSweep(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		curves := s.Fig10(io.Discard)
+		b.ReportMetric(curves[2].Points[len(curves[2].Points)-1].REC, "thr200-REC@max-tau")
+	}
+}
+
+func BenchmarkFig11Trackers(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		rows := s.Fig11(io.Discard)
+		for _, r := range rows {
+			if r.Tracker == "Tracktor" && r.ResidualRate > 0 {
+				b.ReportMetric(r.Rate/r.ResidualRate, "Tracktor-rate-reduction")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12MOTMetrics(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		r := s.Fig12(io.Discard)
+		b.ReportMetric(r.After.IDF1-r.Before.IDF1, "IDF1-gain")
+	}
+}
+
+func BenchmarkFig13Queries(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		r := s.Fig13(io.Discard)
+		b.ReportMetric(r.CountAfter-r.CountBefore, "Count-recall-gain")
+		b.ReportMetric(r.CoOccurAfter-r.CoOccurBefore, "CoOccur-recall-gain")
+	}
+}
+
+func BenchmarkPearsonCorrelation(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		out := s.Pearson(io.Discard)
+		b.ReportMetric(out[0].Spatial, "mot17-spatial-corr")
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// benchPairSet builds the mot17 whole-video pair universe once.
+var (
+	pairSetOnce sync.Once
+	benchPS     *video.PairSet
+	benchTruth  map[video.PairKey]bool
+	benchModel  *reid.Model
+)
+
+func benchFixture(b *testing.B) (*video.PairSet, map[video.PairKey]bool, *reid.Model) {
+	b.Helper()
+	pairSetOnce.Do(func() {
+		s := benchSuite()
+		ds := s.Dataset("mot17")
+		ts := s.Tracks("mot17", track.Tracktor(), 0)
+		w := video.Window{Start: 0, End: video.FrameIndex(ds.Videos[0].NumFrames - 1)}
+		benchPS = video.BuildPairSet(w, ts.Sorted(), nil)
+		benchTruth = motmetrics.PolyonymousPairs(benchPS)
+		benchModel = s.Model()
+	})
+	return benchPS, benchTruth, benchModel
+}
+
+// BenchmarkAblationFeatureCache measures the paper's feature-reuse
+// optimisation: TMerge with the cache off re-extracts embeddings every
+// iteration.
+func BenchmarkAblationFeatureCache(b *testing.B) {
+	ps, _, model := benchFixture(b)
+	for _, on := range []bool{true, false} {
+		name := "cache-on"
+		if !on {
+			name = "cache-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+				oracle.SetCacheEnabled(on)
+				cfg := core.DefaultTMergeConfig(5)
+				cfg.TauMax = 5000
+				core.NewTMerge(cfg).Select(ps, oracle, 0.05)
+				b.ReportMetric(float64(oracle.Stats().Extractions), "extractions")
+				b.ReportMetric(oracle.Device().Clock().Elapsed().Seconds(), "modeled-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps the accelerator batch size beyond the
+// paper's 10/100.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	ps, truth, model := benchFixture(b)
+	for _, batch := range []int{1, 10, 100, 1000} {
+		name := map[int]string{1: "B=1", 10: "B=10", 100: "B=100", 1000: "B=1000"}[batch]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := reid.NewOracle(model, device.NewAccelerator(device.DefaultAccelerator, 0))
+				cfg := core.DefaultTMergeConfig(5)
+				cfg.TauMax = 10000
+				cfg.Batch = batch
+				sel := core.NewTMerge(cfg).Select(ps, oracle, 0.05)
+				b.ReportMetric(video.Recall(sel, truth), "REC")
+				b.ReportMetric(oracle.Device().Clock().Elapsed().Seconds(), "modeled-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPosterior compares the paper's Bernoulli/Beta posterior
+// against the direct Gaussian posterior extension.
+func BenchmarkAblationPosterior(b *testing.B) {
+	ps, truth, model := benchFixture(b)
+	for _, gaussian := range []bool{false, true} {
+		name := "beta-bernoulli"
+		if gaussian {
+			name = "gaussian"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+				cfg := core.DefaultTMergeConfig(5)
+				cfg.TauMax = 5000
+				cfg.GaussianPosterior = gaussian
+				sel := core.NewTMerge(cfg).Select(ps, oracle, 0.05)
+				b.ReportMetric(video.Recall(sel, truth), "REC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationULBRadius compares the variance-aware default radius
+// against the paper's literal Hoeffding radius.
+func BenchmarkAblationULBRadius(b *testing.B) {
+	ps, truth, model := benchFixture(b)
+	for _, hoeffding := range []bool{false, true} {
+		name := "variance-aware"
+		if hoeffding {
+			name = "hoeffding"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+				cfg := core.DefaultTMergeConfig(5)
+				cfg.TauMax = 20000
+				cfg.ULBHoeffding = hoeffding
+				tm := core.NewTMerge(cfg)
+				sel := tm.Select(ps, oracle, 0.05)
+				b.ReportMetric(video.Recall(sel, truth), "REC")
+				b.ReportMetric(float64(tm.Diagnostics().PrunedOut), "pruned-out")
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkReIDEmbed(b *testing.B) {
+	model := reid.NewModel(7, dataset.AppearanceDim)
+	r := xrand.New(1)
+	obs := make([]float64, dataset.AppearanceDim)
+	for i := range obs {
+		obs[i] = r.Gaussian(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Embed(obs)
+	}
+}
+
+func BenchmarkOracleCachedDistance(b *testing.B) {
+	_, _, model := benchFixture(b)
+	oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+	r := xrand.New(1)
+	mk := func(id video.BBoxID) video.BBox {
+		obs := make([]float64, dataset.AppearanceDim)
+		for i := range obs {
+			obs[i] = r.Gaussian(0, 1)
+		}
+		return video.BBox{ID: id, Obs: obs}
+	}
+	b1, b2 := mk(1), mk(2)
+	oracle.Distance(b1, b2) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle.Distance(b1, b2)
+	}
+}
+
+func BenchmarkHungarian64(b *testing.B) {
+	r := xrand.New(3)
+	const n = 64
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		track.Hungarian(cost)
+	}
+}
+
+func BenchmarkTrackerMOT17(b *testing.B) {
+	s := benchSuite()
+	v := s.Dataset("mot17").Videos[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		track.Tracktor().Track(v.Detections)
+	}
+}
+
+func BenchmarkTMergeSelect(b *testing.B) {
+	ps, _, model := benchFixture(b)
+	for i := 0; i < b.N; i++ {
+		oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+		cfg := core.DefaultTMergeConfig(uint64(i))
+		cfg.TauMax = 2000
+		core.NewTMerge(cfg).Select(ps, oracle, 0.05)
+	}
+}
+
+func BenchmarkBaselineSelect(b *testing.B) {
+	ps, _, model := benchFixture(b)
+	for i := 0; i < b.N; i++ {
+		oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+		core.NewBaseline().Select(ps, oracle, 0.05)
+	}
+}

@@ -1,0 +1,82 @@
+// Command benchrunner regenerates the paper's tables and figures on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	benchrunner -exp all
+//	benchrunner -exp fig5,table2 -videos 3 -seed 42
+//
+// Each experiment prints a plain-text table; EXPERIMENTS.md records the
+// expected shapes next to the paper's reported values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations) or 'all'")
+		seed    = flag.Uint64("seed", 42, "master seed for datasets and algorithms")
+		videos  = flag.Int("videos", 3, "videos per dataset (0 = full profile size)")
+		trials  = flag.Int("trials", 3, "independent trials to average stochastic algorithms over")
+		workers = flag.Int("workers", 3, "parallel workers across trials")
+	)
+	flag.Parse()
+
+	s := bench.NewSuite(*seed)
+	s.VideosPerDataset = *videos
+	s.Trials = *trials
+	s.Workers = *workers
+	w := os.Stdout
+
+	runners := map[string]func(){
+		"fig3":      func() { s.Fig3(w) },
+		"fig4":      func() { s.Fig4(w) },
+		"fig5":      func() { s.Fig5(w) },
+		"fig6":      func() { s.Fig6(w) },
+		"fig7":      func() { s.Fig7(w) },
+		"fig8":      func() { s.Fig8(w) },
+		"fig9":      func() { s.Fig9(w) },
+		"fig10":     func() { s.Fig10(w) },
+		"fig11":     func() { s.Fig11(w) },
+		"fig12":     func() { s.Fig12(w) },
+		"fig13":     func() { s.Fig13(w) },
+		"table2":    func() { s.Table2(w) },
+		"ablations": func() { s.Ablations(w) },
+		"pearson":   func() { s.Pearson(w) },
+	}
+
+	var names []string
+	if *exp == "all" {
+		for name := range runners {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		runners[name]()
+		fmt.Fprintf(w, "[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

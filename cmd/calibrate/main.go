@@ -1,0 +1,128 @@
+// Command calibrate implements the paper's deployment-calibration
+// workflow: given a labelled sample of representative video (here: a
+// synthetic scene with exact ground truth), it recommends the candidate
+// proportion K for a target recall (§III), the (L, thr_S) hyper-parameters
+// by grid search (§V-F), and an iteration budget τmax sized to the
+// observed pair universes.
+//
+// Usage:
+//
+//	calibrate -dataset pathtrack -target 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "pathtrack", "labelled sample profile: mot17, kitti, pathtrack, highway")
+		seed    = flag.Uint64("seed", 42, "master seed")
+		nVideos = flag.Int("videos", 2, "number of labelled videos in the sample")
+		target  = flag.Float64("target", 0.95, "target recall for K calibration")
+	)
+	flag.Parse()
+
+	profile, ok := dataset.Profiles(*seed)[*dsName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "calibrate: unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+	if *nVideos > 0 && profile.NumVideos > *nVideos {
+		profile.NumVideos = *nVideos
+	}
+	ds, err := profile.Generate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	model := reid.NewModel(*seed^0x5EED, dataset.AppearanceDim)
+	oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+	tr := track.Tracktor()
+
+	// Build the labelled windows under the profile's own windowing.
+	var windows []core.LabelledWindow
+	var pairSizes []int
+	var tracked []*video.TrackSet
+	for _, v := range ds.Videos {
+		ts := tr.Track(v.Detections)
+		tracked = append(tracked, ts)
+		var prev []*video.Track
+		push := func(ps *video.PairSet) {
+			windows = append(windows, core.LabelledWindow{
+				Pairs: ps,
+				Truth: motmetrics.PolyonymousPairs(ps),
+			})
+			pairSizes = append(pairSizes, ps.Len())
+		}
+		if ds.WindowLen <= 0 {
+			w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+			push(video.BuildPairSet(w, ts.Sorted(), nil))
+			continue
+		}
+		for _, w := range video.Partition(v.NumFrames, ds.WindowLen) {
+			cur := video.WindowTracks(ts, w)
+			push(video.BuildPairSet(w, cur, prev))
+			prev = cur
+		}
+	}
+
+	// 1. K for the target recall (§III).
+	cal, err := core.CalibrateK(windows, oracle, *target, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sample: %d videos, %d windows, pair universes %v\n",
+		len(ds.Videos), len(windows), pairSizes)
+	fmt.Printf("\nK calibration (target REC >= %.2f):\n", *target)
+	for _, p := range cal.Curve {
+		marker := " "
+		if p.K == cal.K {
+			marker = "<- recommended"
+		}
+		fmt.Printf("  K=%.3f  REC=%.3f %s\n", p.K, p.REC, marker)
+	}
+
+	// 2. (L, thr_S) grid search (§V-F) on the first labelled video.
+	if ds.WindowLen > 0 && len(tracked) > 0 {
+		grid, err := core.GridSearch(tracked[0], ds.Videos[0].NumFrames, oracle, core.GridSearchConfig{
+			Ls:    []int{ds.WindowLen, ds.WindowLen * 2},
+			ThrSs: []float64{100, 200, 300},
+			K:     cal.K,
+			Base:  core.DefaultTMergeConfig(*seed),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(L, thr_S) grid search:\n")
+		for _, p := range grid.Grid {
+			marker := " "
+			if p == grid.Best {
+				marker = "<- recommended"
+			}
+			fmt.Printf("  L=%-5d thr_S=%-4g REC=%.3f %s\n", p.L, p.ThrS, p.REC, marker)
+		}
+	}
+
+	// 3. τmax sized to the observed universes.
+	maxTau := 0
+	for _, lw := range windows {
+		if tau := core.SuggestTauMax(lw.Pairs); tau > maxTau {
+			maxTau = tau
+		}
+	}
+	fmt.Printf("\nsuggested tau_max: %d (16 samples per pair at the largest window)\n", maxTau)
+}

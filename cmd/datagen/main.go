@@ -1,0 +1,56 @@
+// Command datagen generates a synthetic dataset from one of the three
+// profiles and writes it to disk as gzip-compressed JSON, so experiments
+// can be re-run against a frozen corpus.
+//
+// Usage:
+//
+//	datagen -dataset pathtrack -seed 42 -videos 5 -out pathtrack.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tmerge/tmerge/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "mot17", "dataset profile: mot17, kitti, pathtrack, highway")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		nVideos = flag.Int("videos", 0, "number of videos (0 = profile default)")
+		out     = flag.String("out", "", "output path (default <dataset>.json.gz)")
+	)
+	flag.Parse()
+
+	profile, ok := dataset.Profiles(*seed)[*dsName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+	if *nVideos > 0 {
+		profile.NumVideos = *nVideos
+	}
+	path := *out
+	if path == "" {
+		path = *dsName + ".json.gz"
+	}
+
+	ds, err := profile.Generate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := dataset.Save(ds, path); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	boxes := 0
+	for _, v := range ds.Videos {
+		for _, dets := range v.Detections {
+			boxes += len(dets)
+		}
+	}
+	fmt.Printf("wrote %s: %d videos, %d detections\n", path, len(ds.Videos), boxes)
+}

@@ -1,0 +1,49 @@
+package tmerge_test
+
+// Testable examples for godoc. Everything in the library is seeded, so
+// the outputs are exactly reproducible.
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge"
+)
+
+// ExamplePartition shows the half-overlapping window scheme of §II: each
+// frame belongs to exactly one window's first half, so every track joins
+// exactly one Tc.
+func ExamplePartition() {
+	for _, w := range tmerge.Partition(4000, 2000) {
+		fmt.Printf("window %d: frames [%d, %d], Tc covers [%d, %d]\n",
+			w.Index, w.Start, w.End, w.Start, w.FirstHalfEnd())
+	}
+	// Output:
+	// window 0: frames [0, 1999], Tc covers [0, 999]
+	// window 1: frames [1000, 2999], Tc covers [1000, 1999]
+	// window 2: frames [2000, 3999], Tc covers [2000, 2999]
+	// window 3: frames [3000, 3999], Tc covers [3000, 3999]
+}
+
+// ExampleMerger shows transitive identity merging: confirming α~β and β~γ
+// collapses all three fragments into the smallest ID.
+func ExampleMerger() {
+	m := tmerge.NewMerger()
+	m.Merge(tmerge.MakePairKey(7, 3))
+	m.Merge(tmerge.MakePairKey(7, 9))
+	for _, id := range []tmerge.TrackID{3, 7, 9} {
+		fmt.Printf("track %d -> identity %d\n", id, m.Canonical(id))
+	}
+	// Output:
+	// track 3 -> identity 3
+	// track 7 -> identity 3
+	// track 9 -> identity 3
+}
+
+// ExampleMakePairKey shows the canonical unordered pair key.
+func ExampleMakePairKey() {
+	fmt.Println(tmerge.MakePairKey(9, 2))
+	fmt.Println(tmerge.MakePairKey(2, 9))
+	// Output:
+	// (2,9)
+	// (2,9)
+}

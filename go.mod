@@ -1,0 +1,3 @@
+module github.com/tmerge/tmerge
+
+go 1.22

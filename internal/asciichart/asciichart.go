@@ -1,0 +1,166 @@
+// Package asciichart renders small scatter/line charts as text, used by
+// the benchmark runner to visualise the paper's REC-FPS and REC-K curves
+// directly in the terminal next to the numeric tables.
+package asciichart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	marker byte
+}
+
+// Chart accumulates series and renders them on a shared grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	LogX   bool
+
+	series []Series
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; X and Y must have equal, nonzero length.
+func (c *Chart) Add(name string, x, y []float64) error {
+	if len(x) != len(y) || len(x) == 0 {
+		return fmt.Errorf("asciichart: series %q needs equal nonzero x/y lengths (%d, %d)", name, len(x), len(y))
+	}
+	s := Series{Name: name, X: append([]float64(nil), x...), Y: append([]float64(nil), y...)}
+	s.marker = markers[len(c.series)%len(markers)]
+	c.series = append(c.series, s)
+	return nil
+}
+
+// Fprint renders the chart to w. Series points are plotted on a grid with
+// linear (or log-x) scaling; each series connects consecutive points with
+// its marker along the x-sorted order.
+func (c *Chart) Fprint(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.series) == 0 {
+		fmt.Fprintf(w, "\n%s\n(no series)\n", c.Title)
+		return
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x := c.tx(s.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int(math.Round((c.tx(x) - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = m
+		}
+	}
+	for _, s := range c.series {
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		for _, i := range idx {
+			plot(s.X[i], s.Y[i], s.marker)
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "\n%s\n", c.Title)
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", ymin)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	lo, hi := c.invx(xmin), c.invx(xmax)
+	fmt.Fprintf(w, "        %-.4g%s%.4g", lo, strings.Repeat(" ", max(1, width-18)), hi)
+	var notes []string
+	if c.XLabel != "" {
+		notes = append(notes, c.XLabel)
+	}
+	if c.LogX {
+		notes = append(notes, "log scale")
+	}
+	if len(notes) > 0 {
+		fmt.Fprintf(w, "  (%s)", strings.Join(notes, ", "))
+	}
+	fmt.Fprintln(w)
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.Name))
+	}
+	fmt.Fprintf(w, "        legend: %s\n", strings.Join(legend, "   "))
+}
+
+func (c *Chart) tx(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.Log10(1e-12)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c *Chart) invx(x float64) float64 {
+	if c.LogX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package asciichart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddValidation(t *testing.T) {
+	var c Chart
+	if err := c.Add("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.Add("empty", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := c.Add("ok", []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestFprintBasics(t *testing.T) {
+	c := Chart{Title: "demo", XLabel: "fps", Width: 40, Height: 10}
+	if err := c.Add("a", []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("b", []float64{1, 2, 3}, []float64{9, 4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "legend:", "* a", "o b", "(fps)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Extremes plotted: max y row contains a marker at the right edge.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestFprintEmpty(t *testing.T) {
+	c := Chart{Title: "none"}
+	var buf bytes.Buffer
+	c.Fprint(&buf)
+	if !strings.Contains(buf.String(), "no series") {
+		t.Error("empty chart output wrong")
+	}
+}
+
+func TestFprintLogX(t *testing.T) {
+	c := Chart{Title: "log", LogX: true, Width: 40, Height: 8}
+	if err := c.Add("s", []float64{1, 10, 100, 1000}, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale label missing")
+	}
+	// With log-x, the four decade-spaced points should land on roughly
+	// evenly spaced columns — the plot row must contain 4 markers.
+	if strings.Count(out, "s") == 0 {
+		t.Error("legend missing")
+	}
+}
+
+func TestFprintDegenerateRanges(t *testing.T) {
+	// Constant x and y must not divide by zero.
+	c := Chart{Width: 20, Height: 5}
+	if err := c.Add("const", []float64{5, 5}, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.Fprint(&buf) // must not panic
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var c Chart
+	for i := 0; i < 10; i++ {
+		if err := c.Add("s", []float64{1}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.series[0].marker != c.series[8].marker {
+		t.Error("markers should cycle after 8 series")
+	}
+	if c.series[0].marker == c.series[1].marker {
+		t.Error("consecutive series share a marker")
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// AblationRow is one configuration's outcome in an ablation table.
+type AblationRow struct {
+	Variant     string
+	REC         float64
+	Distances   int64
+	Extractions int64
+	ModeledSec  float64
+}
+
+// Ablations runs the design-choice ablations DESIGN.md §5 calls out on
+// the MOT-17 pair universes: feature cache on/off, posterior construction
+// (fractional vs literal Bernoulli vs Gaussian), ULB radius variant, and
+// accelerator batch-size sweep. Results are averaged over the dataset's
+// videos and the suite's trial count.
+func (s *Suite) Ablations(w io.Writer) map[string][]AblationRow {
+	ds := s.Dataset("mot17")
+	tr := defaultTracker()
+	type universe struct {
+		ps    *video.PairSet
+		truth map[video.PairKey]bool
+	}
+	var us []universe
+	for i, v := range ds.Videos {
+		ts := s.Tracks("mot17", tr, i)
+		for _, ps := range s.pairSets(ts, v.NumFrames, ds.WindowLen) {
+			us = append(us, universe{ps: ps, truth: motmetrics.PolyonymousPairs(ps)})
+		}
+	}
+	trials := s.Trials
+	if trials < 1 {
+		trials = 3
+	}
+
+	// run evaluates one configuration across universes and trials.
+	run := func(mk func(trial int) core.Algorithm, kind DeviceKind, cacheOn bool) AblationRow {
+		var row AblationRow
+		n := 0
+		for trial := 0; trial < trials; trial++ {
+			algo := mk(trial)
+			for _, u := range us {
+				oracle := reid.NewOracle(s.model, s.newDevice(kind))
+				oracle.SetCacheEnabled(cacheOn)
+				sel := algo.Select(u.ps, oracle, DefaultK)
+				row.REC += video.Recall(sel, u.truth)
+				st := oracle.Stats()
+				row.Distances += st.Distances
+				row.Extractions += st.Extractions
+				row.ModeledSec += oracle.Device().Clock().Elapsed().Seconds()
+				n++
+			}
+		}
+		row.REC /= float64(n)
+		row.Distances /= int64(trials)
+		row.Extractions /= int64(trials)
+		row.ModeledSec /= float64(trials)
+		return row
+	}
+	tmerge := func(mutate func(*core.TMergeConfig)) func(trial int) core.Algorithm {
+		return func(trial int) core.Algorithm {
+			cfg := core.DefaultTMergeConfig(s.Seed + 31 + uint64(trial)*977)
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			return core.NewTMerge(cfg)
+		}
+	}
+
+	out := make(map[string][]AblationRow)
+	add := func(group, variant string, row AblationRow) {
+		row.Variant = variant
+		out[group] = append(out[group], row)
+	}
+
+	// 1. Feature cache (the paper's reuse optimisation).
+	add("feature-cache", "cache on", run(tmerge(nil), CPU, true))
+	add("feature-cache", "cache off", run(tmerge(nil), CPU, false))
+
+	// 2. Posterior construction.
+	add("posterior", "fractional (default)", run(tmerge(nil), CPU, true))
+	add("posterior", "literal Bernoulli", run(tmerge(func(c *core.TMergeConfig) {
+		c.LiteralBernoulli = true
+		c.LiteralRanking = true
+	}), CPU, true))
+	add("posterior", "Gaussian", run(tmerge(func(c *core.TMergeConfig) {
+		c.GaussianPosterior = true
+	}), CPU, true))
+
+	// 3. ULB radius.
+	add("ulb-radius", "variance-aware (default)", run(tmerge(nil), CPU, true))
+	add("ulb-radius", "literal Hoeffding", run(tmerge(func(c *core.TMergeConfig) {
+		c.ULBHoeffding = true
+	}), CPU, true))
+	add("ulb-radius", "ULB off", run(tmerge(func(c *core.TMergeConfig) {
+		c.UseULB = false
+	}), CPU, true))
+
+	// 4. Batch size beyond the paper's 10/100.
+	for _, B := range []int{1, 10, 100, 1000} {
+		B := B
+		add("batch-size", fmt.Sprintf("B=%d", B), run(tmerge(func(c *core.TMergeConfig) {
+			c.Batch = B
+		}), Accel, true))
+	}
+
+	for _, group := range []string{"feature-cache", "posterior", "ulb-radius", "batch-size"} {
+		t := &Table{
+			Title:  "Ablation: " + group,
+			Header: []string{"variant", "REC", "distances", "extractions", "modeled (s)"},
+		}
+		for _, r := range out[group] {
+			t.AddRow(r.Variant, f3(r.REC), fmt.Sprint(r.Distances), fmt.Sprint(r.Extractions), f2(r.ModeledSec))
+		}
+		t.Fprint(w)
+	}
+	return out
+}

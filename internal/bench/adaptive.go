@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// adaptiveTau wraps TMerge with a per-window budget scaled to the pair
+// universe (core.SuggestTauMax), holding the sampling density constant
+// when an experiment varies the window length and with it |Pc|.
+type adaptiveTau struct {
+	cfg core.TMergeConfig
+}
+
+// Name implements core.Algorithm.
+func (a *adaptiveTau) Name() string { return "TMerge" }
+
+// Select implements core.Algorithm.
+func (a *adaptiveTau) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []video.PairKey {
+	cfg := a.cfg
+	cfg.TauMax = core.SuggestTauMax(ps)
+	if cfg.TauMax < 1 {
+		cfg.TauMax = 1
+	}
+	return core.NewTMerge(cfg).Select(ps, oracle, K)
+}

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+)
+
+func testSuite() *Suite {
+	s := NewSuite(42)
+	s.VideosPerDataset = 1
+	s.Trials = 1 // shape tests don't need the paper's trial averaging
+	return s
+}
+
+func TestFPSAtREC(t *testing.T) {
+	c := Curve{Points: []Point{
+		{FPS: 100, REC: 0.5},
+		{FPS: 50, REC: 0.8},
+		{FPS: 10, REC: 0.95},
+	}}
+	if fps, ok := c.FPSAtREC(0.8); !ok || fps != 50 {
+		t.Errorf("exact = %v %v", fps, ok)
+	}
+	// Interpolation midway between 0.8 and 0.95.
+	if fps, ok := c.FPSAtREC(0.875); !ok || fps != 30 {
+		t.Errorf("interpolated = %v %v", fps, ok)
+	}
+	if _, ok := c.FPSAtREC(0.99); ok {
+		t.Error("unreachable REC must report !ok")
+	}
+	// Below the lowest point: clamps to the first reaching point.
+	if fps, ok := c.FPSAtREC(0.1); !ok || fps != 100 {
+		t.Errorf("low target = %v %v", fps, ok)
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long", "2")
+	tab.AddNote("a note %d", 7)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"=== demo ===", "alpha", "beta-long", "note: a note 7", "name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteDatasetCachingAndTruncation(t *testing.T) {
+	s := testSuite()
+	a := s.Dataset("kitti")
+	b := s.Dataset("kitti")
+	if a != b {
+		t.Error("datasets must be cached")
+	}
+	if len(a.Videos) != 1 {
+		t.Errorf("truncation failed: %d videos", len(a.Videos))
+	}
+}
+
+func TestSuiteUnknownDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	testSuite().Dataset("nope")
+}
+
+func TestSuiteTracksCached(t *testing.T) {
+	s := testSuite()
+	tr := defaultTracker()
+	a := s.Tracks("kitti", tr, 0)
+	b := s.Tracks("kitti", tr, 0)
+	if a != b {
+		t.Error("tracker outputs must be cached")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	s := testSuite()
+	r := s.Run("kitti", defaultTracker(), newTestTMerge(s, 2000), CPU, DefaultK)
+	if r.REC < 0 || r.REC > 1 {
+		t.Errorf("REC = %v", r.REC)
+	}
+	if r.FPS <= 0 || r.Frames <= 0 || r.Virtual <= 0 {
+		t.Errorf("run result = %+v", r)
+	}
+	if r.Stats.Distances == 0 {
+		t.Error("no oracle work recorded")
+	}
+}
+
+func TestFig11ShapesOnKitti(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	rows := s.Fig11(&buf)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rate <= 0 {
+			t.Errorf("%s rate = %v", r.Tracker, r.Rate)
+		}
+		if r.ResidualRate > r.Rate {
+			t.Errorf("%s: TMerge increased the rate (%v -> %v)", r.Tracker, r.Rate, r.ResidualRate)
+		}
+	}
+	// Fragmentation ordering (Figure 11's qualitative claim): SORT (first
+	// row) fragments at least as much as Tracktor (last row).
+	if !(rows[0].Rate >= rows[len(rows)-1].Rate) {
+		t.Errorf("SORT rate %v below Tracktor rate %v", rows[0].Rate, rows[len(rows)-1].Rate)
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	r := s.Fig13(&buf)
+	if r.CountAfter < r.CountBefore {
+		t.Errorf("Count recall fell: %v -> %v", r.CountBefore, r.CountAfter)
+	}
+	if r.CoOccurAfter < r.CoOccurBefore {
+		t.Errorf("CoOccur recall fell: %v -> %v", r.CoOccurBefore, r.CoOccurAfter)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	r := s.Fig12(&buf)
+	if r.After.IDF1 < r.Before.IDF1 {
+		t.Errorf("IDF1 fell: %v -> %v", r.Before.IDF1, r.After.IDF1)
+	}
+	if r.Before.IDF1 <= 0 || r.After.IDF1 > 1 {
+		t.Errorf("IDF1 out of range: %+v", r)
+	}
+}
+
+func TestFig9WindowSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	out := s.Fig9(&buf)
+	for _, name := range []string{"BL", "TMerge"} {
+		pts := out[name]
+		if len(pts) != 4 {
+			t.Fatalf("%s has %d points", name, len(pts))
+		}
+		// The paper's claim: L >= 2*Lmax is insensitive; L=1000 < 2*Lmax
+		// must not beat the L=2000 setting meaningfully.
+		if pts[0].REC > pts[1].REC+0.05 {
+			t.Errorf("%s: REC at L=1000 (%v) above L=2000 (%v)", name, pts[0].REC, pts[1].REC)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	out := s.Ablations(&buf)
+	for _, group := range []string{"feature-cache", "posterior", "ulb-radius", "batch-size"} {
+		rows, ok := out[group]
+		if !ok || len(rows) < 2 {
+			t.Fatalf("group %s missing or too small", group)
+		}
+		for _, r := range rows {
+			if r.REC < 0 || r.REC > 1 || r.Distances <= 0 {
+				t.Errorf("%s/%s: implausible row %+v", group, r.Variant, r)
+			}
+		}
+	}
+	// The cache must reduce extractions.
+	fc := out["feature-cache"]
+	if fc[0].Extractions >= fc[1].Extractions {
+		t.Errorf("cache on (%d extractions) not below cache off (%d)",
+			fc[0].Extractions, fc[1].Extractions)
+	}
+	// Larger batches must amortise launch cost on the accelerator.
+	bs := out["batch-size"]
+	if bs[0].ModeledSec <= bs[len(bs)-1].ModeledSec {
+		t.Errorf("B=1 (%.2fs) not slower than B=1000 (%.2fs)",
+			bs[0].ModeledSec, bs[len(bs)-1].ModeledSec)
+	}
+}
+
+func TestRunTrialsParallelMatchesSerial(t *testing.T) {
+	s := testSuite()
+	s.Trials = 3
+	mk := func(trial int) core.Algorithm {
+		cfg := core.DefaultTMergeConfig(uint64(trial) * 31)
+		cfg.TauMax = 1000
+		return core.NewTMerge(cfg)
+	}
+	s.Workers = 1
+	serial := s.RunTrials("kitti", defaultTracker(), mk, CPU, DefaultK)
+	s.Workers = 3
+	parallel := s.RunTrials("kitti", defaultTracker(), mk, CPU, DefaultK)
+	if serial.REC != parallel.REC {
+		t.Errorf("parallel REC %v != serial %v", parallel.REC, serial.REC)
+	}
+	if serial.FPS != parallel.FPS {
+		t.Errorf("parallel FPS %v != serial %v", parallel.FPS, serial.FPS)
+	}
+}
+
+func TestAdaptiveTauScalesWithUniverse(t *testing.T) {
+	s := testSuite()
+	a := &adaptiveTau{cfg: core.DefaultTMergeConfig(1)}
+	if a.Name() != "TMerge" {
+		t.Errorf("name = %s", a.Name())
+	}
+	// On a small universe the budget caps at the exhaustive cost and the
+	// selection contract holds.
+	ds := s.Dataset("kitti")
+	ts := s.Tracks("kitti", defaultTracker(), 0)
+	ps := s.pairSets(ts, ds.Videos[0].NumFrames, ds.WindowLen)[0]
+	oracle := newOracleForTest(s)
+	sel := a.Select(ps, oracle, DefaultK)
+	if len(sel) != ps.TopCount(DefaultK) {
+		t.Errorf("selection size = %d", len(sel))
+	}
+	if oracle.Stats().Distances == 0 {
+		t.Error("no work done")
+	}
+}
+
+func TestPrintChartsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	printRecFPSChart(&buf, "demo", []Curve{
+		{Name: "a", Points: []Point{{FPS: 10, REC: 0.5}, {FPS: 100, REC: 0.9}}},
+		{Name: "empty"},
+	})
+	if !strings.Contains(buf.String(), "legend") {
+		t.Error("chart output missing legend")
+	}
+	buf.Reset()
+	printRecKChart(&buf, "reck", map[string][]Point{
+		"mot17": {{Param: 0.01, REC: 0.5}, {Param: 0.05, REC: 0.9}},
+	})
+	if !strings.Contains(buf.String(), "mot17") {
+		t.Error("REC-K chart missing series")
+	}
+}

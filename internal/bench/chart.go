@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"io"
+
+	"github.com/tmerge/tmerge/internal/asciichart"
+)
+
+// printRecFPSChart renders a set of REC-FPS curves as a text scatter plot
+// (FPS on a log x-axis, REC on y), mirroring the paper's figure style.
+func printRecFPSChart(w io.Writer, title string, curves []Curve) {
+	c := asciichart.Chart{
+		Title:  title,
+		XLabel: "FPS",
+		YLabel: "REC",
+		LogX:   true,
+		Width:  64,
+		Height: 14,
+	}
+	for _, cv := range curves {
+		var xs, ys []float64
+		for _, p := range cv.Points {
+			if p.FPS > 0 {
+				xs = append(xs, p.FPS)
+				ys = append(ys, p.REC)
+			}
+		}
+		if len(xs) > 0 {
+			// Error is impossible here: lengths are equal and nonzero.
+			_ = c.Add(cv.Name, xs, ys)
+		}
+	}
+	c.Fprint(w)
+}
+
+// printRecKChart renders REC-K curves (K on x, REC on y).
+func printRecKChart(w io.Writer, title string, series map[string][]Point) {
+	c := asciichart.Chart{
+		Title:  title,
+		XLabel: "K",
+		YLabel: "REC",
+		Width:  64,
+		Height: 12,
+	}
+	for _, name := range Datasets {
+		pts, ok := series[name]
+		if !ok {
+			continue
+		}
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Param)
+			ys = append(ys, p.REC)
+		}
+		if len(xs) > 0 {
+			_ = c.Add(name, xs, ys)
+		}
+	}
+	c.Fprint(w)
+}

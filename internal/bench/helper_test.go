@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/reid"
+)
+
+// newTestTMerge builds a TMerge instance with a reduced budget for tests.
+func newTestTMerge(s *Suite, tau int) *core.TMerge {
+	cfg := core.DefaultTMergeConfig(s.Seed + 1)
+	cfg.TauMax = tau
+	return core.NewTMerge(cfg)
+}
+
+// newOracleForTest builds a fresh CPU oracle against the suite's model.
+func newOracleForTest(s *Suite) *reid.Oracle {
+	return reid.NewOracle(s.Model(), device.NewCPU(device.DefaultCPU))
+}

@@ -1,0 +1,254 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation (§V) it provides a runner that regenerates the
+// corresponding rows or curve series on the synthetic datasets, printing a
+// plain-text table and returning the structured values so tests can assert
+// the expected shapes (who wins, by what factor, where crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// DefaultK is the candidate-set proportion used throughout the evaluation
+// (§V-A: "we set K = 5%").
+const DefaultK = 0.05
+
+// Suite owns the shared state of an experiment run: the datasets
+// (generated lazily and cached), the tracker outputs (cached per dataset
+// and tracker), and the ReID model.
+type Suite struct {
+	// Seed drives dataset generation and all algorithm randomness.
+	Seed uint64
+	// VideosPerDataset truncates each dataset to at most this many videos
+	// (0 keeps the profile's full size). Sweeps use it to bound runtime.
+	VideosPerDataset int
+	// Trials is how many independent seeds each stochastic algorithm is
+	// averaged over, mirroring the paper's "average of 10 independent
+	// trials" (§V-B). Deterministic algorithms (BL) always run once.
+	// Values < 1 default to 3.
+	Trials int
+	// Workers parallelises RunTrials across trials. Each trial builds its
+	// own algorithm instance, oracle, and device, so trials are fully
+	// independent; results are reduced in trial order, keeping aggregates
+	// deterministic. Values < 1 run serially.
+	Workers int
+
+	model    *reid.Model
+	datasets map[string]*dataset.Dataset
+	tracked  map[string]*video.TrackSet
+}
+
+// NewSuite returns a Suite with the given seed.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{
+		Seed:     seed,
+		model:    reid.NewModel(seed^0x5EED, dataset.AppearanceDim),
+		datasets: make(map[string]*dataset.Dataset),
+		tracked:  make(map[string]*video.TrackSet),
+	}
+}
+
+// Model returns the suite's ReID model.
+func (s *Suite) Model() *reid.Model { return s.model }
+
+// Dataset returns (generating and caching on first use) the named dataset:
+// "mot17", "kitti", or "pathtrack".
+func (s *Suite) Dataset(name string) *dataset.Dataset {
+	if ds, ok := s.datasets[name]; ok {
+		return ds
+	}
+	p, ok := dataset.Profiles(s.Seed)[name]
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown dataset %q", name))
+	}
+	if s.VideosPerDataset > 0 && p.NumVideos > s.VideosPerDataset {
+		p.NumVideos = s.VideosPerDataset
+	}
+	ds, err := p.Generate()
+	if err != nil {
+		panic(err)
+	}
+	s.datasets[name] = ds
+	return ds
+}
+
+// Tracks returns (computing and caching) the tracker's output on video i
+// of the named dataset.
+func (s *Suite) Tracks(dsName string, tr track.Tracker, i int) *video.TrackSet {
+	key := fmt.Sprintf("%s/%s/%d", dsName, tr.Name(), i)
+	if ts, ok := s.tracked[key]; ok {
+		return ts
+	}
+	ds := s.Dataset(dsName)
+	ts := tr.Track(ds.Videos[i].Detections)
+	s.tracked[key] = ts
+	return ts
+}
+
+// RunResult aggregates one (dataset, tracker, algorithm, device) run over
+// all the dataset's videos.
+type RunResult struct {
+	Algorithm string
+	REC       float64       // mean per-video recall
+	FPS       float64       // total frames / total virtual time
+	Virtual   time.Duration // total modeled device time
+	Frames    int
+	Stats     reid.Stats
+}
+
+// DeviceKind selects the execution substrate for a run.
+type DeviceKind int
+
+// Device kinds.
+const (
+	CPU DeviceKind = iota
+	Accel
+)
+
+func (s *Suite) newDevice(kind DeviceKind) device.Device {
+	if kind == Accel {
+		return device.NewAccelerator(device.DefaultAccelerator, 0)
+	}
+	return device.NewCPU(device.DefaultCPU)
+}
+
+// Run executes algo over every video of the dataset with the given tracker
+// and device, using the dataset's own window length, and aggregates.
+func (s *Suite) Run(dsName string, tr track.Tracker, algo core.Algorithm, kind DeviceKind, K float64) RunResult {
+	return s.runOnce(dsName, tr, algo, kind, K)
+}
+
+// RunTrials averages Run over independent algorithm instances built by mk
+// with distinct trial indices (stochastic algorithms derive their seeds
+// from the index). REC and FPS are averaged; work counters accumulate the
+// first trial's values (the trials are statistically identical).
+func (s *Suite) RunTrials(dsName string, tr track.Tracker, mk func(trial int) core.Algorithm, kind DeviceKind, K float64) RunResult {
+	trials := s.Trials
+	if trials < 1 {
+		trials = 3
+	}
+	// Warm the dataset and tracker caches before any parallel section:
+	// Suite's caches are not safe for concurrent mutation.
+	ds := s.Dataset(dsName)
+	for i := range ds.Videos {
+		s.Tracks(dsName, tr, i)
+	}
+
+	results := make([]RunResult, trials)
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers == 1 {
+		for trial := 0; trial < trials; trial++ {
+			results[trial] = s.runOnce(dsName, tr, mk(trial), kind, K)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for trial := 0; trial < trials; trial++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(trial int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[trial] = s.runOnce(dsName, tr, mk(trial), kind, K)
+			}(trial)
+		}
+		wg.Wait()
+	}
+
+	out := results[0]
+	var fpsSum, recSum float64
+	for _, r := range results {
+		fpsSum += r.FPS
+		recSum += r.REC
+	}
+	out.FPS = fpsSum / float64(trials)
+	out.REC = recSum / float64(trials)
+	return out
+}
+
+func (s *Suite) runOnce(dsName string, tr track.Tracker, algo core.Algorithm, kind DeviceKind, K float64) RunResult {
+	ds := s.Dataset(dsName)
+	out := RunResult{Algorithm: algo.Name()}
+	var recSum float64
+	for i, v := range ds.Videos {
+		ts := s.Tracks(dsName, tr, i)
+		oracle := reid.NewOracle(s.model, s.newDevice(kind))
+		res := core.RunPipeline(ts, v.NumFrames, oracle, core.PipelineConfig{
+			WindowLen: ds.WindowLen,
+			K:         K,
+			Algorithm: algo,
+		})
+		recSum += res.REC
+		out.Virtual += res.Virtual
+		out.Frames += res.FramesProcessed
+		out.Stats.Distances += res.Stats.Distances
+		out.Stats.Extractions += res.Stats.Extractions
+		out.Stats.CacheHits += res.Stats.CacheHits
+	}
+	if n := len(ds.Videos); n > 0 {
+		out.REC = recSum / float64(n)
+	}
+	if out.Virtual > 0 {
+		out.FPS = float64(out.Frames) / out.Virtual.Seconds()
+	}
+	return out
+}
+
+// Point is one (FPS, REC) sample of a sweep curve.
+type Point struct {
+	Param float64 // the swept parameter value (η or τmax)
+	FPS   float64
+	REC   float64
+}
+
+// Curve is a named series of sweep points.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// FPSAtREC interpolates the FPS a curve achieves at the target recall.
+// Points are assumed to trade FPS for REC monotonically in the sweep
+// parameter; the function sorts by REC and linearly interpolates, and
+// returns (0, false) when the target is never reached.
+func (c Curve) FPSAtREC(target float64) (float64, bool) {
+	pts := append([]Point(nil), c.Points...)
+	// Insertion sort by REC ascending (curves are short).
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].REC < pts[j-1].REC; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	var below, above *Point
+	for i := range pts {
+		p := &pts[i]
+		if p.REC >= target {
+			above = p
+			break
+		}
+		below = p
+	}
+	if above == nil {
+		return 0, false
+	}
+	if below == nil || above.REC == below.REC {
+		return above.FPS, true
+	}
+	frac := (target - below.REC) / (above.REC - below.REC)
+	return below.FPS + frac*(above.FPS-below.FPS), true
+}

@@ -1,0 +1,32 @@
+//go:build ignore
+
+package main
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func main() {
+	p := dataset.KITTILike(42)
+	p.NumVideos = 4
+	ds, _ := p.Generate()
+	for _, v := range ds.Videos {
+		gtboxes := v.GT.TotalBoxes()
+		det := 0
+		for _, d := range v.Detections {
+			det += len(d)
+		}
+		for _, trk := range []track.Tracker{track.SORT(), track.Tracktor()} {
+			ts := trk.Track(v.Detections)
+			w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+			ps := video.BuildPairSet(w, ts.Sorted(), nil)
+			truth := motmetrics.PolyonymousPairs(ps)
+			fmt.Printf("%s %-8s gt=%d(box %d det %d) trk=%d poly=%d\n", v.Name, trk.Name(), v.GT.Len(), gtboxes, det, ts.Len(), len(truth))
+		}
+	}
+}

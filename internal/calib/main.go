@@ -1,0 +1,71 @@
+//go:build ignore
+
+package main
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func main() {
+	model := reid.NewModel(42^0x5EED, dataset.AppearanceDim)
+	p := dataset.MOT17Like(42)
+	p.NumVideos = 3
+	ds, _ := p.Generate()
+	for _, trk := range []track.Tracker{track.SORT(), track.DeepSORT(), track.Tracktor()} {
+		for _, v := range ds.Videos {
+			ts := trk.Track(v.Detections)
+			w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+			ps := video.BuildPairSet(w, ts.Sorted(), nil)
+			truth := motmetrics.PolyonymousPairs(ps)
+			fmt.Printf("%-9s %s gt=%d trk=%d pairs=%d poly=%d rate=%.2f%%\n",
+				trk.Name(), v.Name, v.GT.Len(), ts.Len(), ps.Len(), len(truth), 100*motmetrics.PolyonymousRate(ps))
+		}
+	}
+	// Algorithm comparison aggregated over all videos, Tracktor.
+	type wt struct {
+		ps    *video.PairSet
+		truth map[video.PairKey]bool
+	}
+	var wts []wt
+	for _, v := range ds.Videos {
+		ts := track.Tracktor().Track(v.Detections)
+		w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+		ps := video.BuildPairSet(w, ts.Sorted(), nil)
+		wts = append(wts, wt{ps, motmetrics.PolyonymousPairs(ps)})
+	}
+	run := func(name string, mk func() core.Algorithm) {
+		var recSum, virt float64
+		var dist int64
+		for _, x := range wts {
+			oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+			sel := mk().Select(x.ps, oracle, 0.05)
+			recSum += video.Recall(sel, x.truth)
+			dist += oracle.Stats().Distances
+			virt += oracle.Device().Clock().Elapsed().Seconds()
+		}
+		fmt.Printf("  %-14s REC=%.3f dist=%9d virt=%8.1fs\n", name,
+			recSum/float64(len(wts)), dist, virt)
+	}
+	run("BL", func() core.Algorithm { return core.NewBaseline() })
+	for _, eta := range []float64{0.0001, 0.0005, 0.002, 0.01, 0.05, 0.2} {
+		eta := eta
+		run(fmt.Sprintf("PS eta=%g", eta), func() core.Algorithm { return core.NewPS(eta, 11) })
+	}
+	for _, tau := range []int{1000, 2000, 5000, 10000, 20000, 40000} {
+		tau := tau
+		run(fmt.Sprintf("LCB tau=%d", tau), func() core.Algorithm { return core.NewLCB(tau, 13) })
+		run(fmt.Sprintf("TM  tau=%d", tau), func() core.Algorithm {
+			cfg := core.DefaultTMergeConfig(17)
+			cfg.TauMax = tau
+			return core.NewTMerge(cfg)
+		})
+	}
+}

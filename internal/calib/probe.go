@@ -1,0 +1,68 @@
+//go:build ignore
+
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func main() {
+	model := reid.NewModel(42^0x5EED, dataset.AppearanceDim)
+	p := dataset.MOT17Like(42)
+	p.NumVideos = 3
+	ds, _ := p.Generate()
+	rng := xrand.New(99)
+	var polyMeans, crossMeans []float64
+	var polySingles, crossSingles []float64
+	oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+	for _, v := range ds.Videos {
+		ts := track.Tracktor().Track(v.Detections)
+		w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+		ps := video.BuildPairSet(w, ts.Sorted(), nil)
+		truth := motmetrics.PolyonymousPairs(ps)
+		means := oracle.TrackPairMeans(ps.Pairs)
+		for i, pr := range ps.Pairs {
+			// collect 3 single samples per pair
+			var singles []float64
+			for k := 0; k < 3; k++ {
+				n := rng.Intn(pr.NumBBoxPairs())
+				a, b := pr.BBoxPairAt(n)
+				singles = append(singles, oracle.Distance(a, b))
+			}
+			if truth[pr.Key] {
+				polyMeans = append(polyMeans, means[i])
+				polySingles = append(polySingles, singles...)
+			} else {
+				crossMeans = append(crossMeans, means[i])
+				crossSingles = append(crossSingles, singles...)
+			}
+		}
+	}
+	q := func(xs []float64, f float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[int(f*float64(len(s)-1))]
+	}
+	fmt.Printf("poly means  n=%d  q10=%.3f med=%.3f q90=%.3f\n", len(polyMeans), q(polyMeans, .1), q(polyMeans, .5), q(polyMeans, .9))
+	fmt.Printf("cross means n=%d  q01=%.3f q05=%.3f med=%.3f\n", len(crossMeans), q(crossMeans, .01), q(crossMeans, .05), q(crossMeans, .5))
+	fmt.Printf("poly singles  q10=%.3f med=%.3f q90=%.3f\n", q(polySingles, .1), q(polySingles, .5), q(polySingles, .9))
+	fmt.Printf("cross singles q01=%.3f q05=%.3f q10=%.3f med=%.3f\n", q(crossSingles, .01), q(crossSingles, .05), q(crossSingles, .1), q(crossSingles, .5))
+	// fraction of cross singles below median poly mean
+	pm := q(polyMeans, .5)
+	low := 0
+	for _, x := range crossSingles {
+		if x < pm {
+			low++
+		}
+	}
+	fmt.Printf("P(cross single < median poly mean %.3f) = %.4f\n", pm, float64(low)/float64(len(crossSingles)))
+}

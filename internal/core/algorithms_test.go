@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func TestBaselineFindsAllPolyonymousPairs(t *testing.T) {
+	fx := newFixture(1, 4, 12, 8) // 20 tracks, C(20,2)=190 pairs, 4 true
+	oracle := newFixtureOracle(7)
+	sel := NewBaseline().Select(fx.ps, oracle, 0.05) // top 10 of 190
+	if got := recallOf(sel, fx.truth); got != 1 {
+		t.Errorf("baseline recall = %v, want 1", got)
+	}
+	// Baseline computes every BBox pair distance: 190 pairs * 64.
+	if got := oracle.Stats().Distances; got != 190*64 {
+		t.Errorf("distances = %d, want %d", got, 190*64)
+	}
+}
+
+func TestBaselineOrdersPolyonymousFirst(t *testing.T) {
+	fx := newFixture(2, 3, 10, 6)
+	oracle := newFixtureOracle(7)
+	ranking := NewBaseline().Select(fx.ps, oracle, 1.0)
+	if len(ranking) != fx.ps.Len() {
+		t.Fatalf("full ranking has %d pairs, want %d", len(ranking), fx.ps.Len())
+	}
+	// The 3 true pairs must occupy the top 3 positions.
+	for i := 0; i < 3; i++ {
+		if !fx.truth[ranking[i]] {
+			t.Errorf("position %d is not a true pair: %v", i, ranking[i])
+		}
+	}
+}
+
+func TestBaselineBatchedSameSelection(t *testing.T) {
+	fx := newFixture(3, 3, 8, 6)
+	a := NewBaseline().Select(fx.ps, newFixtureOracle(7), 0.1)
+	b := NewBaselineB(16).Select(fx.ps, newFixtureOracle(7), 0.1)
+	if len(a) != len(b) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("selection differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBaselineName(t *testing.T) {
+	if NewBaseline().Name() != "BL" || NewBaselineB(10).Name() != "BL-B" {
+		t.Error("baseline names wrong")
+	}
+}
+
+func TestPSFullProportionMatchesBaseline(t *testing.T) {
+	fx := newFixture(4, 3, 8, 6)
+	bl := NewBaseline().Select(fx.ps, newFixtureOracle(7), 0.2)
+	ps := NewPS(1.0, 99).Select(fx.ps, newFixtureOracle(7), 0.2)
+	if len(bl) != len(ps) {
+		t.Fatalf("sizes differ")
+	}
+	for i := range bl {
+		if bl[i] != ps[i] {
+			t.Errorf("PS(eta=1) differs from BL at %d", i)
+		}
+	}
+}
+
+func TestPSSmallEtaStillRecalls(t *testing.T) {
+	fx := newFixture(5, 4, 16, 10)
+	oracle := newFixtureOracle(7)
+	sel := NewPS(0.2, 1).Select(fx.ps, oracle, 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.75 {
+		t.Errorf("PS(0.2) recall = %v", got)
+	}
+	// It must have evaluated ~20% of the distances.
+	total := 0
+	for _, p := range fx.ps.Pairs {
+		total += p.NumBBoxPairs()
+	}
+	if got := oracle.Stats().Distances; got > int64(total)/4 {
+		t.Errorf("PS evaluated %d distances of %d total", got, total)
+	}
+}
+
+func TestPSDeterminism(t *testing.T) {
+	fx := newFixture(6, 2, 6, 5)
+	a := NewPS(0.3, 42).Select(fx.ps, newFixtureOracle(7), 0.2)
+	b := NewPS(0.3, 42).Select(fx.ps, newFixtureOracle(7), 0.2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PS must be deterministic for the same seed")
+		}
+	}
+}
+
+func TestPSInvalidEtaPanics(t *testing.T) {
+	fx := newFixture(6, 1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPS(0, 1).Select(fx.ps, newFixtureOracle(7), 0.1)
+}
+
+func TestPSNames(t *testing.T) {
+	if NewPS(0.1, 1).Name() != "PS" || NewPSB(0.1, 10, 1).Name() != "PS-B" {
+		t.Error("PS names wrong")
+	}
+}
+
+func TestLCBFindsPolyonymousPairs(t *testing.T) {
+	fx := newFixture(7, 4, 12, 8)
+	oracle := newFixtureOracle(7)
+	// Budget: enough to sample every pair a few times.
+	sel := NewLCB(fx.ps.Len()*6, 5).Select(fx.ps, oracle, 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.75 {
+		t.Errorf("LCB recall = %v", got)
+	}
+	if got := oracle.Stats().Distances; got != int64(fx.ps.Len()*6) {
+		t.Errorf("LCB used %d distances, want %d", got, fx.ps.Len()*6)
+	}
+}
+
+func TestLCBBudgetExceedsUniverse(t *testing.T) {
+	fx := newFixture(8, 1, 2, 3) // tiny universe
+	total := 0
+	for _, p := range fx.ps.Pairs {
+		total += p.NumBBoxPairs()
+	}
+	oracle := newFixtureOracle(7)
+	sel := NewLCB(total*10, 5).Select(fx.ps, oracle, 1.0)
+	if len(sel) != fx.ps.Len() {
+		t.Errorf("selection size = %d", len(sel))
+	}
+	if got := oracle.Stats().Distances; got != int64(total) {
+		t.Errorf("LCB must stop at exhaustion: %d distances of %d", got, total)
+	}
+}
+
+func TestLCBDeterminism(t *testing.T) {
+	fx := newFixture(9, 2, 6, 5)
+	a := NewLCB(200, 42).Select(fx.ps, newFixtureOracle(7), 0.2)
+	b := NewLCB(200, 42).Select(fx.ps, newFixtureOracle(7), 0.2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LCB must be deterministic")
+		}
+	}
+}
+
+func TestLCBNames(t *testing.T) {
+	if NewLCB(1, 1).Name() != "LCB" || NewLCBB(1, 1).Name() != "LCB-B" {
+		t.Error("LCB names wrong")
+	}
+}
+
+func TestEmptyPairSet(t *testing.T) {
+	w := video.Window{Start: 0, End: 10}
+	ps := video.BuildPairSet(w, nil, nil)
+	oracle := newFixtureOracle(7)
+	for _, algo := range []Algorithm{
+		NewBaseline(), NewPS(0.5, 1), NewLCB(100, 1),
+		NewTMerge(DefaultTMergeConfig(1)),
+	} {
+		if got := algo.Select(ps, oracle, 0.05); len(got) != 0 {
+			t.Errorf("%s returned %d pairs on empty universe", algo.Name(), len(got))
+		}
+	}
+}
+
+func TestSelectionSizeRespectsK(t *testing.T) {
+	fx := newFixture(10, 3, 9, 5) // 15 tracks -> 105 pairs
+	oracle := newFixtureOracle(7)
+	for _, algo := range []Algorithm{
+		NewBaseline(), NewPS(0.5, 1), NewLCB(500, 1),
+		NewTMerge(DefaultTMergeConfig(1)),
+	} {
+		for _, K := range []float64{0.01, 0.05, 0.3, 1.0} {
+			got := algo.Select(fx.ps, oracle, K)
+			if len(got) != fx.ps.TopCount(K) {
+				t.Errorf("%s K=%v: size %d, want %d", algo.Name(), K, len(got), fx.ps.TopCount(K))
+			}
+		}
+	}
+}
+
+func TestLCBBCannotAmortiseLaunches(t *testing.T) {
+	// LCB-B's defining property (Table II / Figure 6): each iteration
+	// depends on the previous one, so it pays one device submission per
+	// iteration — unlike TMerge-B, which batches a whole round.
+	fx := newFixture(80, 2, 8, 6)
+	const tau = 300
+
+	lcbOracle := reid.NewOracle(reid.NewModel(7, testDim), device.NewAccelerator(device.DefaultAccelerator, 0))
+	NewLCBB(tau, 5).Select(fx.ps, lcbOracle, 0.1)
+	lcbSubs := lcbOracle.Device().Submissions()
+
+	cfg := DefaultTMergeConfig(5)
+	cfg.TauMax = tau
+	cfg.Batch = 50
+	tmOracle := reid.NewOracle(reid.NewModel(7, testDim), device.NewAccelerator(device.DefaultAccelerator, 0))
+	NewTMerge(cfg).Select(fx.ps, tmOracle, 0.1)
+	tmSubs := tmOracle.Device().Submissions()
+
+	if lcbSubs < tau {
+		t.Errorf("LCB-B made %d submissions for %d iterations", lcbSubs, tau)
+	}
+	if tmSubs > int64(tau/50)+3 {
+		t.Errorf("TMerge-B made %d submissions, want ~%d", tmSubs, tau/50)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Baseline is Algorithm 1 of the paper: compute the distance of every
+// BBox pair of every track pair, score each track pair by the mean
+// distance (Definition 3.1), and return the top-⌈K·|Pc|⌉ lowest-scoring
+// pairs. Exact but prohibitively expensive — the motivation for TMerge.
+//
+// With Batch > 1 the algorithm is BL-B (§IV-F): the BBox pairs of Batch
+// track pairs are evaluated as one device submission, amortising the
+// accelerator's launch cost.
+type Baseline struct {
+	// Batch is the number of track pairs evaluated per device submission;
+	// values <= 1 evaluate one track pair per submission.
+	Batch int
+}
+
+// NewBaseline returns the sequential baseline (BL).
+func NewBaseline() *Baseline { return &Baseline{Batch: 1} }
+
+// NewBaselineB returns the batched baseline (BL-B) with the given batch
+// size 𝓑 (track pairs per submission).
+func NewBaselineB(batch int) *Baseline { return &Baseline{Batch: batch} }
+
+// Name implements Algorithm.
+func (b *Baseline) Name() string {
+	if b.Batch > 1 {
+		return "BL-B"
+	}
+	return "BL"
+}
+
+// Select implements Algorithm.
+func (b *Baseline) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []video.PairKey {
+	scored := make([]scoredPair, 0, ps.Len())
+	for _, span := range chunkPairs(ps.Len(), b.Batch) {
+		means := oracle.TrackPairMeans(ps.Pairs[span[0]:span[1]])
+		for i, idx := 0, span[0]; idx < span[1]; i, idx = i+1, idx+1 {
+			scored = append(scored, scoredPair{key: ps.Pairs[idx].Key, score: means[i]})
+		}
+	}
+	return rankAndTruncate(scored, ps, K)
+}

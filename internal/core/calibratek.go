@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// LabelledWindow pairs one window's candidate universe with its
+// ground-truth polyonymous pairs — the "sample of representative videos"
+// §III proposes for calibrating K in unknown environments.
+type LabelledWindow struct {
+	Pairs *video.PairSet
+	Truth map[video.PairKey]bool
+}
+
+// KCalibration is the outcome of CalibrateK.
+type KCalibration struct {
+	// K is the smallest candidate proportion whose mean recall over the
+	// labelled windows reaches the target.
+	K float64
+	// REC is the mean recall achieved at K.
+	REC float64
+	// Curve holds (K, REC) for every evaluated grid point, the data
+	// behind the paper's Figure 3.
+	Curve []struct{ K, REC float64 }
+}
+
+// CalibrateK finds the smallest K on a grid such that the exhaustive
+// ranking achieves at least targetREC on the labelled sample, implementing
+// the calibration procedure §III sketches ("a sample of representative
+// videos can be adopted to calibrate the value of K"). One exact ranking
+// per window is computed with the baseline; every K is then a prefix
+// recall of that ranking. Windows with an empty truth set carry no signal
+// and are skipped. If no grid point reaches the target, the largest grid
+// point is returned.
+func CalibrateK(windows []LabelledWindow, oracle *reid.Oracle, targetREC float64, grid []float64) (KCalibration, error) {
+	if targetREC <= 0 || targetREC > 1 {
+		return KCalibration{}, fmt.Errorf("core: target recall must be in (0, 1], got %g", targetREC)
+	}
+	if len(grid) == 0 {
+		grid = []float64{0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.2}
+	}
+	grid = append([]float64(nil), grid...)
+	sort.Float64s(grid)
+
+	type ranked struct {
+		ranking []video.PairKey
+		ps      *video.PairSet
+		truth   map[video.PairKey]bool
+	}
+	var rs []ranked
+	bl := NewBaseline()
+	for _, lw := range windows {
+		if len(lw.Truth) == 0 || lw.Pairs.Len() == 0 {
+			continue
+		}
+		rs = append(rs, ranked{
+			ranking: bl.Select(lw.Pairs, oracle, 1.0),
+			ps:      lw.Pairs,
+			truth:   lw.Truth,
+		})
+	}
+	if len(rs) == 0 {
+		return KCalibration{}, fmt.Errorf("core: no labelled windows with polyonymous pairs")
+	}
+
+	out := KCalibration{K: grid[len(grid)-1]}
+	found := false
+	for _, k := range grid {
+		var sum float64
+		for _, r := range rs {
+			n := r.ps.TopCount(k)
+			if n > len(r.ranking) {
+				n = len(r.ranking)
+			}
+			sum += video.Recall(r.ranking[:n], r.truth)
+		}
+		rec := sum / float64(len(rs))
+		out.Curve = append(out.Curve, struct{ K, REC float64 }{k, rec})
+		if !found && rec >= targetREC {
+			out.K = k
+			out.REC = rec
+			found = true
+		}
+	}
+	if !found {
+		last := out.Curve[len(out.Curve)-1]
+		out.K, out.REC = last.K, last.REC
+	}
+	return out, nil
+}
+
+// SuggestTauMax estimates an iteration budget for TMerge from the pair
+// universe size: the bandit needs a few samples per pair to dismiss the
+// non-polyonymous bulk plus a concentration reserve for the contenders.
+// The heuristic τ = max(2000, 16·|Pc|) reproduces the paper's default
+// (τ=10,000 at ~400-600 pairs per window).
+func SuggestTauMax(ps *video.PairSet) int {
+	tau := 16 * ps.Len()
+	if tau < 2000 {
+		tau = 2000
+	}
+	// Never exceed the exhaustive cost.
+	total := 0
+	for _, p := range ps.Pairs {
+		total += p.NumBBoxPairs()
+		if total > math.MaxInt32 {
+			break
+		}
+	}
+	if total > 0 && tau > total {
+		tau = total
+	}
+	return tau
+}

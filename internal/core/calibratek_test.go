@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCalibrateKFindsSmallK(t *testing.T) {
+	// Well-separated fixture: a small K suffices for full recall.
+	fx := newFixture(40, 4, 16, 8)
+	windows := []LabelledWindow{{Pairs: fx.ps, Truth: fx.truth}}
+	oracle := newFixtureOracle(7)
+	cal, err := CalibrateK(windows, oracle, 0.95, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.REC < 0.95 {
+		t.Errorf("calibrated REC = %v", cal.REC)
+	}
+	if cal.K > 0.05 {
+		t.Errorf("calibrated K = %v, expected small on a separable fixture", cal.K)
+	}
+	if len(cal.Curve) == 0 {
+		t.Error("no curve points")
+	}
+	// Curve recall is non-decreasing in K.
+	for i := 1; i < len(cal.Curve); i++ {
+		if cal.Curve[i].REC < cal.Curve[i-1].REC {
+			t.Errorf("REC-K curve decreased at %v", cal.Curve[i].K)
+		}
+	}
+}
+
+func TestCalibrateKUnreachableTargetReturnsLargest(t *testing.T) {
+	fx := newFixture(41, 2, 8, 6)
+	windows := []LabelledWindow{{Pairs: fx.ps, Truth: fx.truth}}
+	oracle := newFixtureOracle(7)
+	grid := []float64{0.001} // top-1 of 45 pairs cannot cover 2 truths
+	cal, err := CalibrateK(windows, oracle, 1.0, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.K != 0.001 {
+		t.Errorf("K = %v, want the largest grid point", cal.K)
+	}
+	if cal.REC >= 1.0 {
+		t.Errorf("REC = %v should miss the target", cal.REC)
+	}
+}
+
+func TestCalibrateKValidation(t *testing.T) {
+	oracle := newFixtureOracle(7)
+	if _, err := CalibrateK(nil, oracle, 0, nil); err == nil {
+		t.Error("expected error for target 0")
+	}
+	if _, err := CalibrateK(nil, oracle, 0.9, nil); err == nil {
+		t.Error("expected error for no labelled windows")
+	}
+	// Windows with empty truth are skipped; all-empty is an error.
+	fx := newFixture(42, 1, 4, 5)
+	if _, err := CalibrateK([]LabelledWindow{{Pairs: fx.ps, Truth: nil}}, oracle, 0.9, nil); err == nil {
+		t.Error("expected error when all windows lack truth")
+	}
+}
+
+func TestSuggestTauMax(t *testing.T) {
+	fx := newFixture(43, 3, 12, 8) // 18 tracks -> 153 pairs
+	tau := SuggestTauMax(fx.ps)
+	if tau < 2000 {
+		t.Errorf("tau = %d below floor", tau)
+	}
+	big := newFixture(44, 10, 30, 8) // 50 tracks -> 1225 pairs
+	if got := SuggestTauMax(big.ps); got != 16*big.ps.Len() {
+		t.Errorf("tau = %d, want %d", got, 16*big.ps.Len())
+	}
+	// Tiny universes cap at the exhaustive cost.
+	tiny := newFixture(45, 1, 0, 2) // 2 tracks, 1 pair, 4 bbox pairs
+	if got := SuggestTauMax(tiny.ps); got != 4 {
+		t.Errorf("tiny tau = %d, want 4", got)
+	}
+}

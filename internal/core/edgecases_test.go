@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// Failure-injection and edge-case coverage for the selection algorithms
+// and the pipeline: degenerate tracks, empty inputs, and adversarial pair
+// universes must not crash or violate the selection contract.
+
+func TestPipelineEmptyTrackerOutput(t *testing.T) {
+	ts := video.NewTrackSet(nil)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, 1000, oracle, PipelineConfig{
+		WindowLen: 200,
+		K:         0.05,
+		Algorithm: NewTMerge(DefaultTMergeConfig(1)),
+	})
+	if res.Merged.Len() != 0 {
+		t.Errorf("merged %d tracks from nothing", res.Merged.Len())
+	}
+	if res.REC != 1 {
+		t.Errorf("REC on empty input = %v", res.REC)
+	}
+	for _, w := range res.Windows {
+		if w.Pairs != 0 || len(w.Selected) != 0 {
+			t.Errorf("window %d non-empty: %+v", w.Window.Index, w)
+		}
+	}
+}
+
+func TestAlgorithmsOnSingleBoxTracks(t *testing.T) {
+	// Tracks with exactly one box: every pair has a single BBox pair.
+	r := xrand.New(3)
+	var tracks []*video.Track
+	for i := 1; i <= 6; i++ {
+		obs := make([]float64, testDim)
+		for j := range obs {
+			obs[j] = r.Gaussian(0, 1)
+		}
+		tracks = append(tracks, &video.Track{
+			ID: video.TrackID(i),
+			Boxes: []video.BBox{{
+				ID:       video.BBoxID(i),
+				Frame:    video.FrameIndex(i * 10),
+				Rect:     geom.Rect{X: float64(i), W: 5, H: 5},
+				Obs:      obs,
+				GTObject: video.ObjectID(i),
+			}},
+		})
+	}
+	ps := video.BuildPairSet(video.Window{Start: 0, End: 100}, tracks, nil)
+	oracle := newFixtureOracle(7)
+	for _, algo := range []Algorithm{
+		NewBaseline(), NewPS(0.5, 1), NewLCB(100, 1),
+		NewTMerge(DefaultTMergeConfig(1)),
+	} {
+		sel := algo.Select(ps, oracle, 0.2)
+		if len(sel) != ps.TopCount(0.2) {
+			t.Errorf("%s: selection size %d", algo.Name(), len(sel))
+		}
+	}
+}
+
+func TestTMergeSinglePair(t *testing.T) {
+	fx := newFixture(70, 1, 0, 4) // exactly one pair
+	if fx.ps.Len() != 1 {
+		t.Fatalf("fixture has %d pairs", fx.ps.Len())
+	}
+	sel := NewTMerge(DefaultTMergeConfig(1)).Select(fx.ps, newFixtureOracle(7), 1.0)
+	if len(sel) != 1 {
+		t.Errorf("selection = %v", sel)
+	}
+}
+
+func TestMergerApplyEmptySet(t *testing.T) {
+	m := NewMerger()
+	m.Merge(video.MakePairKey(1, 2)) // IDs not present in the set
+	got := m.Apply(video.NewTrackSet(nil))
+	if got.Len() != 0 {
+		t.Errorf("apply on empty set produced %d tracks", got.Len())
+	}
+}
+
+func TestMergerApplyUnknownIDs(t *testing.T) {
+	// Merging IDs that are absent from the track set must not invent
+	// tracks or disturb the present ones.
+	ts := video.NewTrackSet([]*video.Track{simpleTrack(5, 0, 1)})
+	m := NewMerger()
+	m.Merge(video.MakePairKey(1, 2))
+	got := m.Apply(ts)
+	if got.Len() != 1 || got.Get(5) == nil {
+		t.Errorf("apply disturbed unrelated tracks: %d", got.Len())
+	}
+}
+
+// Selection contract property: for arbitrary seeds and K, TMerge returns
+// exactly TopCount(K) distinct keys, all drawn from the universe.
+func TestTMergeSelectionContract(t *testing.T) {
+	fx := newFixture(71, 3, 9, 6)
+	f := func(seed uint64, kRaw uint8) bool {
+		K := float64(kRaw%101) / 100
+		cfg := DefaultTMergeConfig(seed)
+		cfg.TauMax = 500
+		sel := NewTMerge(cfg).Select(fx.ps, newFixtureOracle(7), K)
+		if len(sel) != fx.ps.TopCount(K) {
+			return false
+		}
+		seen := map[video.PairKey]bool{}
+		for _, k := range sel {
+			if seen[k] || fx.ps.Get(k) == nil {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BL prefix-recall property: recall is non-decreasing in K for the exact
+// ranking (the monotonicity behind Figure 3).
+func TestBaselineRecallMonotoneInK(t *testing.T) {
+	fx := newFixture(72, 4, 12, 6)
+	ranking := NewBaseline().Select(fx.ps, newFixtureOracle(7), 1.0)
+	prev := -1.0
+	for _, K := range []float64{0.01, 0.05, 0.1, 0.3, 0.6, 1.0} {
+		n := fx.ps.TopCount(K)
+		rec := recallOf(ranking[:n], fx.truth)
+		if rec < prev {
+			t.Errorf("recall decreased at K=%v: %v -> %v", K, prev, rec)
+		}
+		prev = rec
+	}
+	if prev != 1 {
+		t.Errorf("full-universe recall = %v", prev)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+const testDim = 16
+
+// fixture is a controlled pair universe: nGroups "objects", each split
+// into two fragment tracks (so every group contributes one polyonymous
+// pair), plus nSingles unfragmented tracks.
+type fixture struct {
+	ps    *video.PairSet
+	truth map[video.PairKey]bool
+}
+
+// newFixture builds the universe. boxesPerTrack controls |B_t|.
+func newFixture(seed uint64, nGroups, nSingles, boxesPerTrack int) *fixture {
+	r := xrand.New(seed)
+	var tracks []*video.Track
+	truth := map[video.PairKey]bool{}
+	nextTrack := video.TrackID(1)
+	nextBox := video.BBoxID(1)
+	nextObj := video.ObjectID(1)
+
+	mkLatent := func() vecmath.Vec {
+		v := vecmath.NewVec(testDim)
+		for i := range v {
+			v[i] = r.Gaussian(0, 1)
+		}
+		return vecmath.Normalize(v)
+	}
+	mkTrack := func(obj video.ObjectID, latent vecmath.Vec, startFrame int) *video.Track {
+		t := &video.Track{ID: nextTrack}
+		nextTrack++
+		for i := 0; i < boxesPerTrack; i++ {
+			obs := latent.Clone()
+			for j := range obs {
+				obs[j] += r.Gaussian(0, 0.07)
+			}
+			t.Boxes = append(t.Boxes, video.BBox{
+				ID:       nextBox,
+				Frame:    video.FrameIndex(startFrame + i),
+				Rect:     geom.Rect{X: float64(startFrame+i) * 2, Y: float64(obj) * 20, W: 20, H: 20},
+				Obs:      obs,
+				GTObject: obj,
+			})
+			nextBox++
+		}
+		return t
+	}
+
+	for g := 0; g < nGroups; g++ {
+		latent := mkLatent()
+		obj := nextObj
+		nextObj++
+		a := mkTrack(obj, latent, g*10)
+		// The second fragment starts shortly after the first ends, close
+		// in space (small DisS) — like a real occlusion fragment.
+		b := mkTrack(obj, latent, g*10+boxesPerTrack+3)
+		tracks = append(tracks, a, b)
+		truth[video.MakePairKey(a.ID, b.ID)] = true
+	}
+	for s := 0; s < nSingles; s++ {
+		latent := mkLatent()
+		obj := nextObj
+		nextObj++
+		tracks = append(tracks, mkTrack(obj, latent, 500+s*7))
+	}
+
+	w := video.Window{Start: 0, End: 100000}
+	return &fixture{
+		ps:    video.BuildPairSet(w, tracks, nil),
+		truth: truth,
+	}
+}
+
+func newFixtureOracle(seed uint64) *reid.Oracle {
+	return reid.NewOracle(reid.NewModel(seed, testDim), device.NewCPU(device.DefaultCPU))
+}
+
+func recallOf(selected []video.PairKey, truth map[video.PairKey]bool) float64 {
+	return video.Recall(selected, truth)
+}

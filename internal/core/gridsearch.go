@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// GridSearchConfig parameterises the hyper-parameter search of §V-F:
+// "the optimal values of both L and thr_S can be obtained by grid search
+// on a period of labelled frame sequences".
+type GridSearchConfig struct {
+	// Ls are the window lengths to try (even, positive).
+	Ls []int
+	// ThrSs are the BetaInit thresholds to try.
+	ThrSs []float64
+	// K is the candidate proportion used during the search.
+	K float64
+	// Base is the TMerge configuration the grid points are applied to.
+	Base TMergeConfig
+}
+
+// GridPoint is one evaluated (L, thrS) combination.
+type GridPoint struct {
+	L    int
+	ThrS float64
+	REC  float64
+}
+
+// GridSearchResult reports the best point and the full grid.
+type GridSearchResult struct {
+	Best GridPoint
+	Grid []GridPoint
+}
+
+// GridSearch evaluates every (L, thrS) combination on the labelled
+// sequence: the tracker output is re-windowed at each L, TMerge runs with
+// each thrS, and the combination with the highest mean recall wins (ties
+// prefer smaller L, then smaller thrS, for cheaper ingestion). tracks must
+// carry GT object labels so truth can be derived.
+func GridSearch(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg GridSearchConfig) (GridSearchResult, error) {
+	if len(cfg.Ls) == 0 || len(cfg.ThrSs) == 0 {
+		return GridSearchResult{}, fmt.Errorf("core: grid search needs at least one L and one thrS")
+	}
+	if cfg.K <= 0 || cfg.K > 1 {
+		return GridSearchResult{}, fmt.Errorf("core: grid search K must be in (0, 1], got %g", cfg.K)
+	}
+	var res GridSearchResult
+	first := true
+	for _, L := range cfg.Ls {
+		if L <= 0 || L%2 != 0 {
+			return GridSearchResult{}, fmt.Errorf("core: grid L must be positive and even, got %d", L)
+		}
+		// Pair universes per window are identical across thrS values;
+		// build them once per L.
+		type win struct {
+			ps    *video.PairSet
+			truth map[video.PairKey]bool
+		}
+		var wins []win
+		var prev []*video.Track
+		for _, w := range video.Partition(numFrames, L) {
+			cur := video.WindowTracks(tracks, w)
+			ps := video.BuildPairSet(w, cur, prev)
+			prev = cur
+			truth := motmetrics.PolyonymousPairs(ps)
+			if len(truth) > 0 {
+				wins = append(wins, win{ps: ps, truth: truth})
+			}
+		}
+		for _, thr := range cfg.ThrSs {
+			tmCfg := cfg.Base
+			tmCfg.ThrS = thr
+			tmCfg.UseBetaInit = thr > 0
+			var sum float64
+			for _, w := range wins {
+				c := tmCfg
+				if c.TauMax <= 0 {
+					c.TauMax = SuggestTauMax(w.ps)
+				}
+				sel := NewTMerge(c).Select(w.ps, oracle, cfg.K)
+				sum += video.Recall(sel, w.truth)
+			}
+			rec := 1.0
+			if len(wins) > 0 {
+				rec = sum / float64(len(wins))
+			}
+			pt := GridPoint{L: L, ThrS: thr, REC: rec}
+			res.Grid = append(res.Grid, pt)
+			if first || pt.REC > res.Best.REC {
+				res.Best = pt
+				first = false
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+)
+
+func gridScene(t *testing.T) (*synth.Video, int) {
+	t.Helper()
+	cfg := synth.Config{
+		Seed: 55, Name: "grid", NumFrames: 1600, Width: 900, Height: 700,
+		ArrivalRate: 0.03, MaxObjects: 7, MinSpan: 60, MaxSpan: 400,
+		SpeedMin: 0.4, SpeedMax: 1.6, SizeMin: 60, SizeMax: 120,
+		AppearanceDim: testDim, AppearanceNoise: 0.06,
+		PosAppearanceWeight: 0.45, AppearanceDrift: 0.003,
+		OutlierProb: 0.18, OutlierNoise: 0.15,
+		OcclusionCoverage: 0.45, MissProb: 0.02,
+		GlareRate: 0.012, GlareDuration: 45, GlareSize: 260,
+	}
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, cfg.NumFrames
+}
+
+func TestGridSearchFindsAPoint(t *testing.T) {
+	v, n := gridScene(t)
+	tracks := track.Tracktor().Track(v.Detections)
+	oracle := newFixtureOracle(7)
+	res, err := GridSearch(tracks, n, oracle, GridSearchConfig{
+		Ls:    []int{800, 1600},
+		ThrSs: []float64{100, 200},
+		K:     0.05,
+		Base:  DefaultTMergeConfig(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 4 {
+		t.Fatalf("grid has %d points", len(res.Grid))
+	}
+	if res.Best.REC <= 0 {
+		t.Errorf("best REC = %v", res.Best.REC)
+	}
+	// Best is the max over the grid.
+	for _, p := range res.Grid {
+		if p.REC > res.Best.REC {
+			t.Errorf("grid point %+v beats best %+v", p, res.Best)
+		}
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	v, n := gridScene(t)
+	tracks := track.Tracktor().Track(v.Detections)
+	oracle := newFixtureOracle(7)
+	cases := []GridSearchConfig{
+		{Ls: nil, ThrSs: []float64{100}, K: 0.05, Base: DefaultTMergeConfig(1)},
+		{Ls: []int{800}, ThrSs: nil, K: 0.05, Base: DefaultTMergeConfig(1)},
+		{Ls: []int{800}, ThrSs: []float64{100}, K: 0, Base: DefaultTMergeConfig(1)},
+		{Ls: []int{801}, ThrSs: []float64{100}, K: 0.05, Base: DefaultTMergeConfig(1)},
+	}
+	for i, cfg := range cases {
+		if _, err := GridSearch(tracks, n, oracle, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

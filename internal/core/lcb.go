@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/stats"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// LCB adapts the classical UCB bandit to the minimisation setting (§V-B):
+// each iteration computes the Lower Confidence Bound mean − sqrt(2·lnτ/n)
+// of every track pair, samples one BBox pair from the pair with the
+// smallest bound, and updates. Deterministic and strong on CPU, but each
+// iteration depends on the previous one, so the batched variant LCB-B can
+// only move the per-iteration work to the accelerator — it cannot amortise
+// launch costs across iterations, which is why it barely profits from
+// larger batch sizes in Table II and Figure 6.
+type LCB struct {
+	// TauMax is the total number of BBox pair evaluations.
+	TauMax int
+	// Batched marks the LCB-B variant: identical logic, but intended to
+	// run against an accelerator device (each iteration is still one
+	// submission).
+	Batched bool
+	// Seed drives the BBox pair sampling.
+	Seed uint64
+}
+
+// NewLCB returns the sequential LCB algorithm.
+func NewLCB(tauMax int, seed uint64) *LCB { return &LCB{TauMax: tauMax, Seed: seed} }
+
+// NewLCBB returns LCB-B. The batch size parameter of the other -B variants
+// is deliberately absent: the algorithm cannot use it (see type comment).
+func NewLCBB(tauMax int, seed uint64) *LCB {
+	return &LCB{TauMax: tauMax, Batched: true, Seed: seed}
+}
+
+// Name implements Algorithm.
+func (a *LCB) Name() string {
+	if a.Batched {
+		return "LCB-B"
+	}
+	return "LCB"
+}
+
+// Select implements Algorithm.
+func (a *LCB) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []video.PairKey {
+	n := ps.Len()
+	if n == 0 {
+		return nil
+	}
+	type arm struct {
+		sampler *indexSampler
+		count   int
+		sum     float64
+	}
+	arms := make([]arm, n)
+	for i, p := range ps.Pairs {
+		rng := xrand.DeriveN(a.Seed, "lcb:"+p.Key.String(), i)
+		arms[i] = arm{sampler: newIndexSampler(p.NumBBoxPairs(), rng)}
+	}
+
+	for tau := 1; tau <= a.TauMax; tau++ {
+		best, bestLCB := -1, math.Inf(1)
+		for i := range arms {
+			if arms[i].sampler.Exhausted() {
+				continue
+			}
+			var lcb float64
+			if arms[i].count == 0 {
+				lcb = math.Inf(-1)
+			} else {
+				mean := arms[i].sum / float64(arms[i].count)
+				lcb = mean - stats.HoeffdingRadius(tau, arms[i].count)
+			}
+			if lcb < bestLCB {
+				bestLCB = lcb
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every pair fully evaluated
+		}
+		p := ps.Pairs[best]
+		ba, bb := p.BBoxPairAt(arms[best].sampler.Next())
+		d := oracle.Distance(ba, bb)
+		arms[best].count++
+		arms[best].sum += d
+	}
+
+	scored := make([]scoredPair, n)
+	for i, p := range ps.Pairs {
+		score := 1.0 // unsampled pairs rank last
+		if arms[i].count > 0 {
+			score = arms[i].sum / float64(arms[i].count)
+		}
+		scored[i] = scoredPair{key: p.Key, score: score}
+	}
+	return rankAndTruncate(scored, ps, K)
+}

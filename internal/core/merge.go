@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Merger accumulates confirmed polyonymous pairs across windows and
+// rewrites track identities, implementing the "merge" half of
+// identify-and-merge. It is a union-find over track IDs: merging is
+// transitive (if α~β and β~γ then α, β, γ all collapse to one identity),
+// matching the semantics of a GT track fragmented into more than two
+// pieces inside a window (§II).
+type Merger struct {
+	parent map[video.TrackID]video.TrackID
+	rank   map[video.TrackID]int
+}
+
+// NewMerger returns an empty merger.
+func NewMerger() *Merger {
+	return &Merger{
+		parent: make(map[video.TrackID]video.TrackID),
+		rank:   make(map[video.TrackID]int),
+	}
+}
+
+// Merge records that the two tracks of the pair are the same object.
+func (m *Merger) Merge(key video.PairKey) { m.union(key.A, key.B) }
+
+// MergeAll records every pair in keys.
+func (m *Merger) MergeAll(keys []video.PairKey) {
+	for _, k := range keys {
+		m.Merge(k)
+	}
+}
+
+// Canonical returns the canonical identity of id: the smallest track ID in
+// its merged group (stable across union orders), or id itself when it was
+// never merged.
+func (m *Merger) Canonical(id video.TrackID) video.TrackID {
+	root := m.find(id)
+	// The root is maintained as the smallest member (see union).
+	return root
+}
+
+// Groups returns the merged groups with at least two members, each sorted
+// ascending, in deterministic order.
+func (m *Merger) Groups() [][]video.TrackID {
+	byRoot := make(map[video.TrackID][]video.TrackID)
+	for id := range m.parent {
+		root := m.find(id)
+		byRoot[root] = append(byRoot[root], id)
+	}
+	var groups [][]video.TrackID
+	for _, g := range byRoot {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Apply rewrites ts into a new TrackSet in which every merged group
+// becomes a single track under its canonical ID, with boxes ordered by
+// frame. When two fragments claim the same frame (tracks that overlap in
+// time), the box of the lower-ID fragment wins — a deterministic tiebreak
+// for the rare double-detection case.
+func (m *Merger) Apply(ts *video.TrackSet) *video.TrackSet {
+	grouped := make(map[video.TrackID][]*video.Track)
+	var order []video.TrackID
+	for _, t := range ts.Sorted() {
+		c := m.Canonical(t.ID)
+		if _, seen := grouped[c]; !seen {
+			order = append(order, c)
+		}
+		grouped[c] = append(grouped[c], t)
+	}
+	var out []*video.Track
+	for _, c := range order {
+		members := grouped[c]
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		seen := make(map[video.FrameIndex]bool)
+		var boxes []video.BBox
+		for _, t := range members {
+			for _, b := range t.Boxes {
+				if seen[b.Frame] {
+					continue
+				}
+				seen[b.Frame] = true
+				boxes = append(boxes, b)
+			}
+		}
+		sort.Slice(boxes, func(i, j int) bool { return boxes[i].Frame < boxes[j].Frame })
+		out = append(out, &video.Track{ID: c, Boxes: boxes})
+	}
+	return video.NewTrackSet(out)
+}
+
+func (m *Merger) find(id video.TrackID) video.TrackID {
+	p, ok := m.parent[id]
+	if !ok {
+		return id
+	}
+	if p == id {
+		return id
+	}
+	root := m.find(p)
+	m.parent[id] = root
+	return root
+}
+
+func (m *Merger) union(a, b video.TrackID) {
+	ra, rb := m.find(a), m.find(b)
+	m.ensure(ra)
+	m.ensure(rb)
+	if ra == rb {
+		return
+	}
+	// Keep the smaller ID as the root so Canonical is stable regardless
+	// of merge order.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	m.parent[rb] = ra
+	if m.rank[ra] <= m.rank[rb] {
+		m.rank[ra] = m.rank[rb] + 1
+	}
+}
+
+func (m *Merger) ensure(id video.TrackID) {
+	if _, ok := m.parent[id]; !ok {
+		m.parent[id] = id
+	}
+}

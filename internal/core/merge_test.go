@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func simpleTrack(id video.TrackID, frames ...video.FrameIndex) *video.Track {
+	t := &video.Track{ID: id}
+	for i, f := range frames {
+		t.Boxes = append(t.Boxes, video.BBox{
+			ID:    video.BBoxID(int(id)*1000 + i),
+			Frame: f,
+			Rect:  geom.Rect{X: float64(f), W: 5, H: 5},
+		})
+	}
+	return t
+}
+
+func TestMergerCanonicalSmallest(t *testing.T) {
+	m := NewMerger()
+	m.Merge(video.MakePairKey(5, 9))
+	m.Merge(video.MakePairKey(9, 2))
+	for _, id := range []video.TrackID{2, 5, 9} {
+		if got := m.Canonical(id); got != 2 {
+			t.Errorf("Canonical(%d) = %d, want 2", id, got)
+		}
+	}
+	if got := m.Canonical(100); got != 100 {
+		t.Errorf("unmerged Canonical = %d", got)
+	}
+}
+
+func TestMergerTransitivity(t *testing.T) {
+	m := NewMerger()
+	m.MergeAll([]video.PairKey{
+		video.MakePairKey(1, 2),
+		video.MakePairKey(3, 4),
+		video.MakePairKey(2, 3), // joins both groups
+	})
+	groups := m.Groups()
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	if len(groups[0]) != 4 {
+		t.Errorf("group = %v", groups[0])
+	}
+}
+
+func TestMergerGroupsDeterministic(t *testing.T) {
+	build := func(order []video.PairKey) [][]video.TrackID {
+		m := NewMerger()
+		m.MergeAll(order)
+		return m.Groups()
+	}
+	a := build([]video.PairKey{video.MakePairKey(1, 2), video.MakePairKey(7, 9)})
+	b := build([]video.PairKey{video.MakePairKey(9, 7), video.MakePairKey(2, 1)})
+	if len(a) != len(b) {
+		t.Fatal("group counts differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("group sizes differ")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Errorf("groups differ: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMergerApply(t *testing.T) {
+	t1 := simpleTrack(1, 0, 1, 2)
+	t2 := simpleTrack(2, 10, 11)
+	t3 := simpleTrack(3, 5, 6)
+	ts := video.NewTrackSet([]*video.Track{t1, t2, t3})
+	m := NewMerger()
+	m.Merge(video.MakePairKey(1, 2))
+	merged := m.Apply(ts)
+	if merged.Len() != 2 {
+		t.Fatalf("merged set has %d tracks, want 2", merged.Len())
+	}
+	u := merged.Get(1)
+	if u == nil {
+		t.Fatal("canonical track 1 missing")
+	}
+	if u.Len() != 5 {
+		t.Errorf("merged track has %d boxes, want 5", u.Len())
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("merged track invalid: %v", err)
+	}
+	if merged.Get(3) == nil {
+		t.Error("untouched track 3 missing")
+	}
+	if merged.Get(2) != nil {
+		t.Error("absorbed track 2 must disappear")
+	}
+}
+
+func TestMergerApplyOverlappingFrames(t *testing.T) {
+	// Fragments that claim the same frame: lower ID wins, output stays
+	// strictly increasing.
+	t1 := simpleTrack(1, 0, 1, 2)
+	t2 := simpleTrack(2, 2, 3)
+	ts := video.NewTrackSet([]*video.Track{t1, t2})
+	m := NewMerger()
+	m.Merge(video.MakePairKey(1, 2))
+	merged := m.Apply(ts)
+	u := merged.Get(1)
+	if u.Len() != 4 {
+		t.Fatalf("merged track has %d boxes, want 4", u.Len())
+	}
+	if err := u.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Frame 2 kept from track 1 (ID 1002 pattern).
+	for _, b := range u.Boxes {
+		if b.Frame == 2 && b.ID != 1002 {
+			t.Errorf("frame-2 box came from the wrong fragment: %d", b.ID)
+		}
+	}
+}
+
+func TestMergerApplyIdentityWhenEmpty(t *testing.T) {
+	ts := video.NewTrackSet([]*video.Track{simpleTrack(1, 0), simpleTrack(2, 5)})
+	merged := NewMerger().Apply(ts)
+	if merged.Len() != 2 {
+		t.Errorf("identity apply changed track count: %d", merged.Len())
+	}
+}
+
+// Property: union-find invariants — Canonical is idempotent, and two IDs
+// merged (directly or transitively) share a canonical ID.
+func TestMergerProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		m := NewMerger()
+		n := 2 + int(seed%20)
+		type edge struct{ a, b video.TrackID }
+		var edges []edge
+		for i := 0; i < n; i++ {
+			a := video.TrackID(r.Intn(30))
+			b := video.TrackID(r.Intn(30))
+			if a == b {
+				continue
+			}
+			m.Merge(video.MakePairKey(a, b))
+			edges = append(edges, edge{a, b})
+		}
+		for _, e := range edges {
+			ca, cb := m.Canonical(e.a), m.Canonical(e.b)
+			if ca != cb {
+				return false
+			}
+			if m.Canonical(ca) != ca {
+				return false
+			}
+			// Canonical is the minimum of its group, so never larger.
+			if ca > e.a || ca > e.b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

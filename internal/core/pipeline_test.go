@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func pipelineScene(t *testing.T) (*synth.Video, *video.TrackSet) {
+	t.Helper()
+	cfg := synth.Config{
+		Seed: 77, Name: "pipe", NumFrames: 600, Width: 900, Height: 700,
+		ArrivalRate: 0.04, MaxObjects: 8, MinSpan: 60, MaxSpan: 250,
+		SpeedMin: 0.5, SpeedMax: 2, SizeMin: 60, SizeMax: 100,
+		AppearanceDim: testDim, AppearanceNoise: 0.07, PosAppearanceWeight: 0.3,
+		OcclusionCoverage: 0.45, MissProb: 0.02,
+		GlareRate: 0.012, GlareDuration: 40, GlareSize: 250,
+	}
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, track.Tracktor().Track(v.Detections)
+}
+
+func TestRunPipelineSingleWindow(t *testing.T) {
+	v, ts := pipelineScene(t)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, v.NumFrames, oracle, PipelineConfig{
+		WindowLen: 0,
+		K:         0.05,
+		Algorithm: NewTMerge(DefaultTMergeConfig(3)),
+	})
+	if len(res.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(res.Windows))
+	}
+	if res.FramesProcessed != v.NumFrames {
+		t.Errorf("frames = %d", res.FramesProcessed)
+	}
+	if res.Virtual <= 0 {
+		t.Error("virtual time must be positive")
+	}
+	if res.FPS() <= 0 {
+		t.Error("FPS must be positive")
+	}
+	if res.Stats.Distances == 0 || res.Stats.Extractions == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Merged == nil || res.Merged.Len() == 0 {
+		t.Fatal("no merged track set")
+	}
+	// Merging only reduces (or keeps) the track count.
+	if res.Merged.Len() > ts.Len() {
+		t.Errorf("merged %d > original %d", res.Merged.Len(), ts.Len())
+	}
+	// Every window recall within [0, 1].
+	for _, w := range res.Windows {
+		if w.Recall < 0 || w.Recall > 1 {
+			t.Errorf("recall = %v", w.Recall)
+		}
+	}
+}
+
+func TestRunPipelineWindowed(t *testing.T) {
+	v, ts := pipelineScene(t)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, v.NumFrames, oracle, PipelineConfig{
+		WindowLen: 200,
+		K:         0.05,
+		Algorithm: NewBaseline(),
+	})
+	if len(res.Windows) != len(video.Partition(v.NumFrames, 200)) {
+		t.Errorf("window count = %d", len(res.Windows))
+	}
+	// Window reports carry the pair universe sizes.
+	totalPairs := 0
+	for _, w := range res.Windows {
+		totalPairs += w.Pairs
+	}
+	if totalPairs == 0 {
+		t.Error("no pairs enumerated")
+	}
+}
+
+func TestRunPipelineVerifiedMergeNeverHurtsIdentity(t *testing.T) {
+	v, ts := pipelineScene(t)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, v.NumFrames, oracle, PipelineConfig{
+		WindowLen: 0,
+		K:         0.05,
+		Algorithm: NewTMerge(DefaultTMergeConfig(3)),
+		Verify:    true,
+	})
+	before := motmetrics.Identity(v.GT, ts)
+	after := motmetrics.Identity(v.GT, res.Merged)
+	if after.IDF1 < before.IDF1-1e-9 {
+		t.Errorf("verified merge reduced IDF1: %v -> %v", before.IDF1, after.IDF1)
+	}
+}
+
+func TestRunPipelineUnverifiedMergesEverythingSelected(t *testing.T) {
+	v, ts := pipelineScene(t)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, v.NumFrames, oracle, PipelineConfig{
+		WindowLen: 0,
+		K:         0.05,
+		Algorithm: NewTMerge(DefaultTMergeConfig(3)),
+		Verify:    false,
+	})
+	// Unverified merging collapses at least as many tracks as there were
+	// selected pairs' distinct groups; the merged count must drop by at
+	// least the verified amount.
+	sel := 0
+	for _, w := range res.Windows {
+		sel += len(w.Selected)
+	}
+	if sel == 0 {
+		t.Fatal("nothing selected")
+	}
+	if res.Merged.Len() >= ts.Len() {
+		t.Errorf("unverified merge did not reduce track count: %d -> %d", ts.Len(), res.Merged.Len())
+	}
+}
+
+func TestPipelineRECMatchesWindowAverage(t *testing.T) {
+	v, ts := pipelineScene(t)
+	oracle := newFixtureOracle(7)
+	res := RunPipeline(ts, v.NumFrames, oracle, PipelineConfig{
+		WindowLen: 200,
+		K:         0.1,
+		Algorithm: NewBaseline(),
+	})
+	var sum float64
+	n := 0
+	for _, w := range res.Windows {
+		if w.Truth > 0 {
+			sum += w.Recall
+			n++
+		}
+	}
+	want := 1.0
+	if n > 0 {
+		want = sum / float64(n)
+	}
+	if res.REC != want {
+		t.Errorf("REC = %v, want %v", res.REC, want)
+	}
+}

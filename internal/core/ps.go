@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// PS is the uniform stratified proportional-sampling baseline of §V-B:
+// from every track pair (stratum) it samples a fixed proportion η of the
+// BBox pairs without replacement, estimates the track-pair score by the
+// sample mean, and ranks. Spending is spread evenly across all pairs,
+// which is exactly the inefficiency TMerge's bandit formulation removes.
+//
+// With Batch > 1 the algorithm is PS-B: the sampled BBox pairs of Batch
+// track pairs form one device submission.
+type PS struct {
+	// Eta is the sampled proportion η ∈ (0, 1] of BBox pairs per stratum.
+	Eta float64
+	// Batch is the number of track pairs per device submission (<= 1 for
+	// sequential PS).
+	Batch int
+	// Seed drives the sampling.
+	Seed uint64
+}
+
+// NewPS returns sequential proportional sampling.
+func NewPS(eta float64, seed uint64) *PS { return &PS{Eta: eta, Batch: 1, Seed: seed} }
+
+// NewPSB returns batched proportional sampling (PS-B).
+func NewPSB(eta float64, batch int, seed uint64) *PS {
+	return &PS{Eta: eta, Batch: batch, Seed: seed}
+}
+
+// Name implements Algorithm.
+func (a *PS) Name() string {
+	if a.Batch > 1 {
+		return "PS-B"
+	}
+	return "PS"
+}
+
+// Select implements Algorithm.
+func (a *PS) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []video.PairKey {
+	if a.Eta <= 0 || a.Eta > 1 {
+		panic(fmt.Sprintf("core: PS eta must be in (0, 1], got %g", a.Eta))
+	}
+	scored := make([]scoredPair, 0, ps.Len())
+	for _, span := range chunkPairs(ps.Len(), a.Batch) {
+		specs := make([]reid.SampleSpec, 0, span[1]-span[0])
+		for idx := span[0]; idx < span[1]; idx++ {
+			p := ps.Pairs[idx]
+			total := p.NumBBoxPairs()
+			want := int(math.Ceil(a.Eta * float64(total)))
+			if want < 1 {
+				want = 1
+			}
+			if want > total {
+				want = total
+			}
+			rng := xrand.DeriveN(a.Seed, "ps:"+p.Key.String(), idx)
+			s := newIndexSampler(total, rng)
+			indices := make([]int, want)
+			for k := range indices {
+				indices[k] = s.Next()
+			}
+			specs = append(specs, reid.SampleSpec{Pair: p, Indices: indices})
+		}
+		means := oracle.SampledMeans(specs)
+		for i, idx := 0, span[0]; idx < span[1]; i, idx = i+1, idx+1 {
+			scored = append(scored, scoredPair{key: ps.Pairs[idx].Key, score: means[i]})
+		}
+	}
+	return rankAndTruncate(scored, ps, K)
+}

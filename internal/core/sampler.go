@@ -1,0 +1,63 @@
+// Package core implements the paper's contribution: the exhaustive
+// Baseline (Algorithm 1), the proportional-sampling baseline PS, the
+// lower-confidence-bound bandit LCB, and TMerge (Algorithm 2) with
+// BetaInit (Algorithm 3) and ULB pruning (Algorithm 4), together with
+// their batched "-B" variants (§IV-F) and the Merger that rewrites track
+// IDs once polyonymous pairs are confirmed.
+package core
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// indexSampler draws indices from [0, n) uniformly at random *without
+// replacement* in O(1) time and O(draws) memory, using a sparse
+// Fisher–Yates shuffle: instead of materialising the (potentially huge)
+// cross product of BBox pairs, only displaced positions are recorded in a
+// map. It backs the paper's "randomly select a BBox pair ... without
+// replacement" step (Algorithm 2, line 7).
+type indexSampler struct {
+	n         int
+	remaining int
+	moved     map[int]int
+	rng       *xrand.RNG
+}
+
+// newIndexSampler returns a sampler over [0, n).
+func newIndexSampler(n int, rng *xrand.RNG) *indexSampler {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative sampler domain %d", n))
+	}
+	return &indexSampler{n: n, remaining: n, moved: make(map[int]int), rng: rng}
+}
+
+// Remaining returns how many indices have not been drawn yet.
+func (s *indexSampler) Remaining() int { return s.remaining }
+
+// Exhausted reports whether every index has been drawn.
+func (s *indexSampler) Exhausted() bool { return s.remaining == 0 }
+
+// Next draws the next index. It panics when exhausted; callers must check
+// Exhausted first.
+func (s *indexSampler) Next() int {
+	if s.remaining == 0 {
+		panic("core: sampler exhausted")
+	}
+	k := s.rng.Intn(s.remaining)
+	v := s.valueAt(k)
+	last := s.remaining - 1
+	// Move the value at the end of the virtual array into slot k.
+	s.moved[k] = s.valueAt(last)
+	delete(s.moved, last)
+	s.remaining--
+	return v
+}
+
+func (s *indexSampler) valueAt(i int) int {
+	if v, ok := s.moved[i]; ok {
+		return v
+	}
+	return i
+}

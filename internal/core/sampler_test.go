@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func TestIndexSamplerCoversDomainExactlyOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed % 200)
+		s := newIndexSampler(n, xrand.New(seed))
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if s.Exhausted() {
+				return false
+			}
+			v := s.Next()
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+			if s.Remaining() != n-i-1 {
+				return false
+			}
+		}
+		return s.Exhausted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexSamplerExhaustionPanics(t *testing.T) {
+	s := newIndexSampler(1, xrand.New(1))
+	s.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic after exhaustion")
+		}
+	}()
+	s.Next()
+}
+
+func TestIndexSamplerZeroDomain(t *testing.T) {
+	s := newIndexSampler(0, xrand.New(1))
+	if !s.Exhausted() || s.Remaining() != 0 {
+		t.Error("zero-domain sampler must start exhausted")
+	}
+}
+
+func TestIndexSamplerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	newIndexSampler(-1, xrand.New(1))
+}
+
+func TestIndexSamplerDeterminism(t *testing.T) {
+	draw := func() []int {
+		s := newIndexSampler(50, xrand.New(9))
+		var out []int
+		for i := 0; i < 20; i++ {
+			out = append(out, s.Next())
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampler must be deterministic for the same seed")
+		}
+	}
+}
+
+func TestIndexSamplerUniformFirstDraw(t *testing.T) {
+	// The first draw should be roughly uniform over the domain.
+	const n = 10
+	counts := make([]int, n)
+	for seed := uint64(0); seed < 5000; seed++ {
+		s := newIndexSampler(n, xrand.New(seed*2654435761+17))
+		counts[s.Next()]++
+	}
+	for v, c := range counts {
+		if c < 350 || c > 650 {
+			t.Errorf("value %d drawn %d times of 5000 (expected ~500)", v, c)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/stats"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// TMergeConfig parameterises the TMerge algorithm.
+type TMergeConfig struct {
+	// TauMax is the iteration budget τmax — the total number of BBox pair
+	// distances evaluated (Algorithm 2). The paper's default is 10,000.
+	TauMax int
+	// ThrS is the BetaInit spatial-distance threshold thr_S in pixels
+	// (Algorithm 3). The paper's default is 200.
+	ThrS float64
+	// UseBetaInit enables the BetaInit prior (Algorithm 3); disabled in
+	// the Figure 8 ablation.
+	UseBetaInit bool
+	// UseULB enables confidence-bound pruning (Algorithm 4); disabled in
+	// the Figure 8 ablation.
+	UseULB bool
+	// ULBPeriod runs the pruning pass every ULBPeriod iterations. The
+	// paper runs it each iteration; 1 reproduces that. Larger values
+	// trade pruning promptness for bookkeeping time without changing
+	// which pairs may be pruned. Values < 1 default to 1.
+	ULBPeriod int
+	// ULBHoeffding selects the literal confidence radius of Algorithm 4,
+	// U = sqrt(2·lnτ/n), which treats distances as range-1 sub-Gaussian.
+	// That radius is far too conservative for ReID distances, whose
+	// within-pair standard deviation is a few percent of the range — with
+	// the paper's own τmax and pair counts it never prunes anything. The
+	// default (false) therefore uses an empirical-Bernstein-style radius,
+	// σ̂·sqrt(2·lnτ/n) + 0.5/n, which is the same bound sharpened by the
+	// observed variance and lets ULB deliver the pruning effect the
+	// paper's ablation (Figure 8) attributes to it.
+	ULBHoeffding bool
+	// Batch is the number of track pairs evaluated jointly per iteration
+	// round (TMerge-B, §IV-F). 1 is the sequential algorithm.
+	Batch int
+	// LiteralBernoulli performs the paper's explicit Bernoulli trial with
+	// success probability d̃ and updates the Beta posterior with the
+	// binary outcome (Algorithm 2, lines 9-13). The default (false) uses
+	// the fractional update S += d̃, F += 1-d̃ — the bounded-reward
+	// Thompson sampling of Agrawal & Goyal, of which the Bernoulli trial
+	// is the randomised, equal-expectation, higher-variance version. The
+	// fractional update converges with fewer oracle calls; both variants
+	// are compared by BenchmarkAblationPosterior.
+	LiteralBernoulli bool
+	// PosteriorWeight is the pseudo-observation weight w of each
+	// fractional update (ignored under LiteralBernoulli): the posterior
+	// after n samples behaves as if it had seen w·n Bernoulli outcomes.
+	// One ReID distance aggregates an entire pair of crops and is far
+	// more informative than a single Bernoulli bit, so w > 1 is
+	// justified; it tempers Thompson sampling's exploration toward
+	// exploitation, which matters when the pair universe is large
+	// relative to τmax. Values <= 0 default to 3.
+	PosteriorWeight float64
+	// LiteralRanking ranks the final candidates by the raw Beta posterior
+	// mean S/(S+F), exactly as Algorithm 2 line 15 is written. The
+	// default (false) Rao-Blackwellises that estimator: each Bernoulli
+	// trial's outcome r is replaced in the ranking statistic by its
+	// conditional expectation d̃ — identical in expectation, strictly
+	// lower variance, so fewer samples are wasted re-resolving ranking
+	// noise the algorithm itself injected. Exploration (the Thompson
+	// sampling over Beta posteriors, lines 4-13) is untouched.
+	LiteralRanking bool
+	// GaussianPosterior replaces the paper's Bernoulli-trial/Beta
+	// machinery with a direct Gaussian posterior on the score: θ is drawn
+	// from N(posterior mean, σ0/sqrt(n+1)). This ablation (DESIGN.md §5)
+	// measures how much the extra Bernoulli randomisation costs or buys;
+	// the paper's construction exists because Beta/Bernoulli conjugacy
+	// makes updates trivial, not because it is statistically optimal.
+	GaussianPosterior bool
+	// StopWhenSettled ends the loop before TauMax once ULB has pruned at
+	// least ⌈K·|Pc|⌉ pairs "confidently in the top-K" — the candidate set
+	// is then fully confirmed and further sampling cannot change it. An
+	// extension beyond the paper (which always runs to τmax); requires
+	// UseULB.
+	StopWhenSettled bool
+	// Seed drives Thompson sampling and BBox pair selection.
+	Seed uint64
+}
+
+// DefaultTMergeConfig returns the paper's default configuration
+// (τmax = 10,000, thr_S = 200, BetaInit and ULB enabled, sequential).
+func DefaultTMergeConfig(seed uint64) TMergeConfig {
+	return TMergeConfig{
+		TauMax:      10000,
+		ThrS:        200,
+		UseBetaInit: true,
+		UseULB:      true,
+		ULBPeriod:   1,
+		Batch:       1,
+		Seed:        seed,
+	}
+}
+
+// TMergeDiagnostics reports what happened inside a Select call.
+type TMergeDiagnostics struct {
+	Iterations   int     // BBox pair evaluations actually performed
+	PrunedIn     int     // pairs pruned as "confidently in the top-K"
+	PrunedOut    int     // pairs pruned as "confidently out"
+	Drained      int     // pairs whose BBox pair universe was exhausted
+	AvgRegret    float64 // (1/τ)·Σ(d̃τ − s̃min) with s̃min estimated post hoc
+	SumDistances float64
+}
+
+// TMerge is Algorithm 2: Thompson sampling over track pairs. Each pair
+// carries a Beta(S, F) posterior on its normalised score; at every
+// iteration the pair with the smallest posterior sample is examined — one
+// BBox pair is drawn without replacement, its normalised ReID distance d̃
+// becomes the success probability of a Bernoulli trial, and the trial's
+// outcome updates the posterior. Low-score (similar-looking) pairs
+// accumulate failures, their posterior mean drops, and sampling
+// concentrates on them: computation flows to the pairs most likely to be
+// polyonymous.
+type TMerge struct {
+	cfg TMergeConfig
+
+	// diag holds the diagnostics of the most recent Select call. TMerge
+	// is not safe for concurrent Select calls.
+	diag TMergeDiagnostics
+}
+
+// NewTMerge returns a TMerge instance for the configuration.
+func NewTMerge(cfg TMergeConfig) *TMerge {
+	if cfg.TauMax <= 0 {
+		panic(fmt.Sprintf("core: TMerge TauMax must be positive, got %d", cfg.TauMax))
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if cfg.ULBPeriod < 1 {
+		cfg.ULBPeriod = 1
+	}
+	if cfg.PosteriorWeight <= 0 {
+		cfg.PosteriorWeight = 3
+	}
+	return &TMerge{cfg: cfg}
+}
+
+// Name implements Algorithm.
+func (a *TMerge) Name() string {
+	name := "TMerge"
+	if a.cfg.GaussianPosterior {
+		name = "TMerge-G"
+	}
+	if a.cfg.Batch > 1 {
+		name += "-B"
+	}
+	return name
+}
+
+// Config returns the configuration.
+func (a *TMerge) Config() TMergeConfig { return a.cfg }
+
+// Diagnostics returns the diagnostics of the most recent Select call.
+func (a *TMerge) Diagnostics() TMergeDiagnostics { return a.diag }
+
+// pairState is the per-arm bandit state.
+type pairState struct {
+	beta    stats.Beta
+	sampler *indexSampler
+	count   int     // n_{i,j}: times this pair has been sampled
+	sum     float64 // Σ d̃ over its samples
+	sumSq   float64 // Σ d̃² (for the variance-aware ULB radius)
+	// priorMean and priorWeight are the prior pseudo-observations (from
+	// Be(1,1) or the BetaInit prior Be(1,2)), used by the
+	// Rao-Blackwellised ranking and the Gaussian-posterior variant.
+	priorMean   float64
+	priorWeight float64
+	// prune status
+	prunedIn, prunedOut bool
+}
+
+// gaussPosterior returns the posterior mean and stddev of the
+// Gaussian-posterior variant: the prior acts as one pseudo-observation.
+func (s *pairState) gaussPosterior() (mean, sd float64) {
+	const sigma0 = 0.35
+	n := float64(s.count)
+	mean = (s.priorMean + s.sum) / (n + 1)
+	sd = sigma0 / math.Sqrt(n+1)
+	return mean, sd
+}
+
+// shrunkMean is the Rao-Blackwellised ranking statistic: the posterior
+// mean computed from accumulated d̃ values (each Bernoulli trial replaced
+// by its conditional expectation), with the Beta prior's pseudo-counts as
+// shrinkage.
+func (s *pairState) shrunkMean() float64 {
+	return (s.priorMean*s.priorWeight + s.sum) / (s.priorWeight + float64(s.count))
+}
+
+// variance returns the (population) variance of the pair's observed
+// distances.
+func (s *pairState) variance() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	m := s.mean()
+	v := s.sumSq/float64(s.count) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (s *pairState) active() bool {
+	return !s.prunedIn && !s.prunedOut && !s.sampler.Exhausted()
+}
+
+func (s *pairState) mean() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.count)
+}
+
+// Select implements Algorithm.
+func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []video.PairKey {
+	a.diag = TMergeDiagnostics{}
+	n := ps.Len()
+	if n == 0 {
+		return nil
+	}
+	kCount := ps.TopCount(K)
+
+	// Line 1: initialise Beta posteriors (Algorithm 3).
+	arms := make([]*pairState, n)
+	tsRng := xrand.Derive(a.cfg.Seed, "tmerge:thompson")
+	bernRng := xrand.Derive(a.cfg.Seed, "tmerge:bernoulli")
+	for i, p := range ps.Pairs {
+		beta := stats.NewBeta(1, 1)
+		if a.cfg.UseBetaInit && p.DisS < a.cfg.ThrS {
+			// BetaInit: spatially close pairs get a lower prior mean so
+			// they are explored first (Algorithm 3, line 3).
+			beta = stats.NewBeta(1, 2)
+		}
+		arms[i] = &pairState{
+			beta:        beta,
+			priorMean:   beta.Mean(),
+			priorWeight: beta.S + beta.F,
+			sampler:     newIndexSampler(p.NumBBoxPairs(), xrand.DeriveN(a.cfg.Seed, "tmerge:boxes:"+p.Key.String(), i)),
+		}
+	}
+
+	tau := 0
+	chosen := make([]int, 0, a.cfg.Batch)
+	thetas := make([]float64, 0, a.cfg.Batch)
+	batch := make([][2]video.BBox, 0, a.cfg.Batch)
+	for tau < a.cfg.TauMax {
+		// Lines 4-6: Thompson-sample every active pair and keep the
+		// smallest Batch samples (Batch == 1 reproduces the sequential
+		// argmin). Selection keeps a small sorted buffer instead of
+		// sorting all pairs: O(n + B log B) expected per round.
+		want := a.cfg.Batch
+		if tau+want > a.cfg.TauMax {
+			want = a.cfg.TauMax - tau
+		}
+		chosen = chosen[:0]
+		thetas = thetas[:0]
+		for i, s := range arms {
+			if !s.active() {
+				continue
+			}
+			var theta float64
+			if a.cfg.GaussianPosterior {
+				m, sd := s.gaussPosterior()
+				theta = tsRng.Gaussian(m, sd)
+			} else {
+				theta = tsRng.Beta(s.beta.S, s.beta.F)
+			}
+			if len(chosen) < want {
+				insertCandidate(&chosen, &thetas, i, theta)
+				continue
+			}
+			if theta < thetas[len(thetas)-1] {
+				chosen = chosen[:len(chosen)-1]
+				thetas = thetas[:len(thetas)-1]
+				insertCandidate(&chosen, &thetas, i, theta)
+			}
+		}
+		if len(chosen) == 0 {
+			break // everything pruned or drained
+		}
+
+		// Lines 7-8: draw one BBox pair per chosen track pair and evaluate
+		// the whole round as one device submission.
+		batch = batch[:0]
+		for _, idx := range chosen {
+			ba, bb := ps.Pairs[idx].BBoxPairAt(arms[idx].sampler.Next())
+			batch = append(batch, [2]video.BBox{ba, bb})
+		}
+		dists := oracle.DistanceBatch(batch)
+
+		// Lines 9-13: posterior update from d̃ — a literal Bernoulli trial
+		// or the fractional bounded-reward update (see
+		// TMergeConfig.LiteralBernoulli).
+		for k, idx := range chosen {
+			d := dists[k]
+			s := arms[idx]
+			s.count++
+			s.sum += d
+			s.sumSq += d * d
+			if a.cfg.LiteralBernoulli {
+				s.beta = s.beta.Observe(bernRng.Bernoulli(d))
+			} else {
+				s.beta = s.beta.ObserveWeighted(d, a.cfg.PosteriorWeight)
+			}
+			a.diag.SumDistances += d
+		}
+		tau += len(chosen)
+		a.diag.Iterations = tau
+
+		// Line 14: ULB pruning (Algorithm 4).
+		if a.cfg.UseULB && (tau%(a.cfg.ULBPeriod*a.cfg.Batch) < a.cfg.Batch) {
+			a.ulb(arms, tau, kCount)
+			if a.cfg.StopWhenSettled {
+				settled := 0
+				for _, s := range arms {
+					if s.prunedIn {
+						settled++
+					}
+				}
+				if settled >= kCount {
+					break
+				}
+			}
+		}
+	}
+
+	for _, s := range arms {
+		if s.prunedIn {
+			a.diag.PrunedIn++
+		}
+		if s.prunedOut {
+			a.diag.PrunedOut++
+		}
+		if s.sampler.Exhausted() {
+			a.diag.Drained++
+		}
+	}
+	a.computeRegret(arms, tau)
+
+	// Line 15: rank by posterior mean. The default is the
+	// Rao-Blackwellised statistic (see TMergeConfig.LiteralRanking); the
+	// literal S/(S+F) and the Gaussian posterior mean are variants.
+	scored := make([]scoredPair, n)
+	for i, p := range ps.Pairs {
+		var score float64
+		switch {
+		case a.cfg.GaussianPosterior:
+			score, _ = arms[i].gaussPosterior()
+		case a.cfg.LiteralRanking:
+			score = arms[i].beta.Mean()
+		default:
+			score = arms[i].shrunkMean()
+		}
+		scored[i] = scoredPair{key: p.Key, score: score}
+	}
+	return rankAndTruncate(scored, ps, K)
+}
+
+// insertCandidate inserts (idx, theta) into the parallel slices kept
+// sorted ascending by theta (ties by index).
+func insertCandidate(chosen *[]int, thetas *[]float64, idx int, theta float64) {
+	c, t := *chosen, *thetas
+	pos := len(t)
+	for pos > 0 && (t[pos-1] > theta || (t[pos-1] == theta && c[pos-1] > idx)) {
+		pos--
+	}
+	c = append(c, 0)
+	t = append(t, 0)
+	copy(c[pos+1:], c[pos:])
+	copy(t[pos+1:], t[pos:])
+	c[pos] = idx
+	t[pos] = theta
+	*chosen, *thetas = c, t
+}
+
+// ulb is Algorithm 4: using Hoeffding confidence intervals
+// [s̃' − U, s̃' + U] with U = sqrt(2·lnτ / n), prune pairs that are
+// confidently inside the top-kCount (they need no more sampling) or
+// confidently outside it. Counting comparisons against all other pairs is
+// done with sorted bound arrays and binary search, making the pass
+// O(n log n) instead of the naive O(n²).
+func (a *TMerge) ulb(arms []*pairState, tau, kCount int) {
+	n := len(arms)
+	lbs := make([]float64, n)
+	ubs := make([]float64, n)
+	for i, s := range arms {
+		u := a.radius(s, tau)
+		if math.IsInf(u, 1) {
+			lbs[i] = math.Inf(-1)
+			ubs[i] = math.Inf(1)
+			continue
+		}
+		m := s.mean()
+		lbs[i] = m - u
+		ubs[i] = m + u
+	}
+	sortedLB := append([]float64(nil), lbs...)
+	sortedUB := append([]float64(nil), ubs...)
+	sort.Float64s(sortedLB)
+	sort.Float64s(sortedUB)
+
+	for i, s := range arms {
+		if !s.active() || s.count == 0 {
+			continue
+		}
+		// below(x, sorted) = #values strictly less than x.
+		// Pairs that might still beat pair i: those with LB < UB_i.
+		// LB_i < UB_i always, so exclude self.
+		couldBeat := countLess(sortedLB, ubs[i]) - 1
+		if couldBeat <= kCount-1 {
+			s.prunedIn = true
+			continue
+		}
+		// Pairs confidently better than pair i: those with UB < LB_i.
+		confidentlyBetter := countLess(sortedUB, lbs[i])
+		if confidentlyBetter >= kCount {
+			s.prunedOut = true
+		}
+	}
+}
+
+// radius returns the confidence radius of a pair's score estimate at
+// iteration tau. Drained pairs (every BBox pair evaluated) have an exact
+// score and radius 0. Unsampled pairs (and, in variance-aware mode, pairs
+// with too few samples for a variance estimate) have radius +Inf.
+func (a *TMerge) radius(s *pairState, tau int) float64 {
+	if s.sampler.Exhausted() {
+		return 0
+	}
+	if s.count == 0 {
+		return math.Inf(1)
+	}
+	if a.cfg.ULBHoeffding {
+		return stats.HoeffdingRadius(tau, s.count)
+	}
+	const minSamples = 8
+	if s.count < minSamples {
+		return math.Inf(1)
+	}
+	// Empirical-Bernstein-style radius: the Hoeffding exponent with the
+	// observed standard deviation in place of the worst-case range, plus
+	// a 1/n correction guarding small-sample variance underestimates.
+	sd := math.Sqrt(s.variance())
+	const minSD = 0.02
+	if sd < minSD {
+		sd = minSD
+	}
+	logTau := math.Log(float64(max2(tau, 2)))
+	return sd*math.Sqrt(2*logTau/float64(s.count)) + 0.5/float64(s.count)
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// countLess returns the number of elements of sorted that are < x.
+func countLess(sorted []float64, x float64) int {
+	return sort.SearchFloat64s(sorted, x)
+}
+
+// computeRegret fills diag.AvgRegret: the mean excess of the evaluated
+// distances over the smallest estimated track-pair score (§IV-E). The true
+// s̃min is unknown; the estimate uses the smallest sample mean among pairs
+// with at least one observation.
+func (a *TMerge) computeRegret(arms []*pairState, tau int) {
+	if tau == 0 {
+		return
+	}
+	sMin := math.Inf(1)
+	for _, s := range arms {
+		if s.count > 0 && s.mean() < sMin {
+			sMin = s.mean()
+		}
+	}
+	if math.IsInf(sMin, 1) {
+		return
+	}
+	a.diag.AvgRegret = a.diag.SumDistances/float64(tau) - sMin
+}

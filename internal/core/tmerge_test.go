@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func TestTMergeFindsPolyonymousPairs(t *testing.T) {
+	fx := newFixture(20, 5, 20, 10) // 30 tracks -> 435 pairs, 5 true
+	oracle := newFixtureOracle(7)
+	cfg := DefaultTMergeConfig(3)
+	cfg.TauMax = 4000
+	tm := NewTMerge(cfg)
+	sel := tm.Select(fx.ps, oracle, 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.8 {
+		t.Errorf("TMerge recall = %v", got)
+	}
+	// TMerge must be far cheaper than the exhaustive baseline.
+	total := 0
+	for _, p := range fx.ps.Pairs {
+		total += p.NumBBoxPairs()
+	}
+	if got := oracle.Stats().Distances; got > int64(total)/5 {
+		t.Errorf("TMerge used %d of %d distances", got, total)
+	}
+	if d := tm.Diagnostics(); d.Iterations != 4000 {
+		t.Errorf("iterations = %d", d.Iterations)
+	}
+}
+
+func TestTMergeDeterminism(t *testing.T) {
+	fx := newFixture(21, 3, 10, 6)
+	run := func() []video.PairKey {
+		cfg := DefaultTMergeConfig(11)
+		cfg.TauMax = 1500
+		return NewTMerge(cfg).Select(fx.ps, newFixtureOracle(7), 0.1)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("selection sizes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TMerge must be deterministic for the same seed")
+		}
+	}
+}
+
+func TestTMergeSeedSensitivity(t *testing.T) {
+	fx := newFixture(22, 3, 14, 8)
+	mk := func(seed uint64) TMergeDiagnostics {
+		cfg := DefaultTMergeConfig(seed)
+		cfg.TauMax = 800
+		tm := NewTMerge(cfg)
+		tm.Select(fx.ps, newFixtureOracle(7), 0.1)
+		return tm.Diagnostics()
+	}
+	if mk(1).SumDistances == mk(2).SumDistances {
+		t.Error("different seeds should explore differently")
+	}
+}
+
+func TestTMergeDrainsSmallUniverse(t *testing.T) {
+	fx := newFixture(23, 1, 2, 3) // few pairs, 9 bbox pairs each
+	oracle := newFixtureOracle(7)
+	cfg := DefaultTMergeConfig(5)
+	cfg.TauMax = 100000
+	// With K=1 ULB would (correctly) prune every pair "in" immediately;
+	// disable it so the drain path is what stops the loop.
+	cfg.UseULB = false
+	tm := NewTMerge(cfg)
+	sel := tm.Select(fx.ps, oracle, 1.0)
+	if len(sel) != fx.ps.Len() {
+		t.Errorf("selection = %d pairs", len(sel))
+	}
+	total := 0
+	for _, p := range fx.ps.Pairs {
+		total += p.NumBBoxPairs()
+	}
+	// Once every pair is drained the loop must stop, not spin.
+	if got := oracle.Stats().Distances; got != int64(total) {
+		t.Errorf("distances = %d, want %d (full drain)", got, total)
+	}
+	if d := tm.Diagnostics(); d.Drained != fx.ps.Len() {
+		t.Errorf("drained = %d, want %d", d.Drained, fx.ps.Len())
+	}
+}
+
+func TestTMergeBatchVariant(t *testing.T) {
+	fx := newFixture(24, 4, 16, 10)
+	cfg := DefaultTMergeConfig(9)
+	cfg.TauMax = 4000
+	cfg.Batch = 10
+	tm := NewTMerge(cfg)
+	if tm.Name() != "TMerge-B" {
+		t.Errorf("name = %s", tm.Name())
+	}
+	oracle := newFixtureOracle(7)
+	sel := tm.Select(fx.ps, oracle, 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.7 {
+		t.Errorf("TMerge-B recall = %v", got)
+	}
+	// The budget is respected exactly.
+	if got := oracle.Stats().Distances; got != 4000 {
+		t.Errorf("distances = %d, want 4000", got)
+	}
+	// Submissions are ~ tau/batch, far fewer than tau.
+	if subs := oracle.Device().Submissions(); subs > 4000/10+5 {
+		t.Errorf("submissions = %d, want <= ~400", subs)
+	}
+}
+
+func TestTMergeBetaInitPrioritizesClosePairs(t *testing.T) {
+	// With a tiny budget, BetaInit should beat no-BetaInit on recall,
+	// because true fragments are spatially close in the fixture.
+	fx := newFixture(25, 5, 25, 10)
+	run := func(useInit bool) float64 {
+		cfg := DefaultTMergeConfig(13)
+		cfg.TauMax = 600
+		cfg.UseBetaInit = useInit
+		cfg.ThrS = 100
+		sel := NewTMerge(cfg).Select(fx.ps, newFixtureOracle(7), 0.05)
+		return recallOf(sel, fx.truth)
+	}
+	with, without := run(true), run(false)
+	if with < without {
+		t.Errorf("BetaInit hurt recall: with=%v without=%v", with, without)
+	}
+}
+
+func TestTMergeULBPrunes(t *testing.T) {
+	fx := newFixture(26, 4, 20, 10)
+	cfg := DefaultTMergeConfig(17)
+	cfg.TauMax = 20000
+	tm := NewTMerge(cfg)
+	oracle := newFixtureOracle(7)
+	sel := tm.Select(fx.ps, oracle, 0.05)
+	d := tm.Diagnostics()
+	if d.PrunedOut == 0 {
+		t.Error("ULB pruned nothing at a large budget")
+	}
+	if got := recallOf(sel, fx.truth); got < 0.75 {
+		t.Errorf("recall with pruning = %v", got)
+	}
+}
+
+func TestTMergeULBDisabled(t *testing.T) {
+	fx := newFixture(27, 2, 10, 8)
+	cfg := DefaultTMergeConfig(19)
+	cfg.TauMax = 5000
+	cfg.UseULB = false
+	tm := NewTMerge(cfg)
+	tm.Select(fx.ps, newFixtureOracle(7), 0.05)
+	d := tm.Diagnostics()
+	if d.PrunedIn != 0 || d.PrunedOut != 0 {
+		t.Errorf("pruning happened with ULB disabled: %+v", d)
+	}
+}
+
+func TestTMergeRegretDecreasesWithBudget(t *testing.T) {
+	fx := newFixture(28, 4, 20, 10)
+	regret := func(tau int) float64 {
+		cfg := DefaultTMergeConfig(23)
+		cfg.TauMax = tau
+		tm := NewTMerge(cfg)
+		tm.Select(fx.ps, newFixtureOracle(7), 0.05)
+		return tm.Diagnostics().AvgRegret
+	}
+	small, large := regret(500), regret(8000)
+	if large >= small {
+		t.Errorf("average regret must fall with budget: %v -> %v", small, large)
+	}
+}
+
+func TestTMergeInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTMerge(TMergeConfig{TauMax: 0})
+}
+
+func TestTMergeHoeffdingVariantRuns(t *testing.T) {
+	fx := newFixture(29, 2, 8, 6)
+	cfg := DefaultTMergeConfig(29)
+	cfg.TauMax = 2000
+	cfg.ULBHoeffding = true
+	tm := NewTMerge(cfg)
+	sel := tm.Select(fx.ps, newFixtureOracle(7), 0.1)
+	if len(sel) == 0 {
+		t.Error("no selection")
+	}
+	// The literal Hoeffding radius is too conservative to prune in this
+	// regime — the documented reason for the variance-aware default.
+	if d := tm.Diagnostics(); d.PrunedOut > 0 || d.PrunedIn > 0 {
+		t.Logf("unexpected pruning under Hoeffding radius: %+v", d)
+	}
+}
+
+func TestInsertCandidateKeepsSorted(t *testing.T) {
+	var chosen []int
+	var thetas []float64
+	for i, th := range []float64{0.5, 0.2, 0.9, 0.2, 0.1} {
+		insertCandidate(&chosen, &thetas, i, th)
+	}
+	wantOrder := []int{4, 1, 3, 0, 2} // 0.1, 0.2(idx1), 0.2(idx3), 0.5, 0.9
+	for i, idx := range wantOrder {
+		if chosen[i] != idx {
+			t.Fatalf("chosen = %v, want %v", chosen, wantOrder)
+		}
+	}
+	for i := 1; i < len(thetas); i++ {
+		if thetas[i] < thetas[i-1] {
+			t.Fatalf("thetas not sorted: %v", thetas)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/stats"
+)
+
+func TestTMergeLiteralBernoulliRuns(t *testing.T) {
+	fx := newFixture(60, 3, 12, 8)
+	cfg := DefaultTMergeConfig(7)
+	cfg.TauMax = 3000
+	cfg.LiteralBernoulli = true
+	cfg.LiteralRanking = true
+	tm := NewTMerge(cfg)
+	sel := tm.Select(fx.ps, newFixtureOracle(7), 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.3 {
+		t.Errorf("literal variant recall = %v", got)
+	}
+}
+
+func TestTMergeFractionalAtLeastAsGoodAsLiteral(t *testing.T) {
+	// On average across seeds, the fractional (lower-variance) update
+	// should not lose to the literal Bernoulli trial.
+	fx := newFixture(61, 5, 25, 10)
+	run := func(literal bool) float64 {
+		var sum float64
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg := DefaultTMergeConfig(seed)
+			cfg.TauMax = 2500
+			cfg.LiteralBernoulli = literal
+			cfg.LiteralRanking = literal
+			sel := NewTMerge(cfg).Select(fx.ps, newFixtureOracle(7), 0.05)
+			sum += recallOf(sel, fx.truth)
+		}
+		return sum / 5
+	}
+	frac, lit := run(false), run(true)
+	if frac < lit-0.1 {
+		t.Errorf("fractional recall %v well below literal %v", frac, lit)
+	}
+}
+
+func TestTMergeGaussianPosteriorVariant(t *testing.T) {
+	fx := newFixture(62, 4, 16, 8)
+	cfg := DefaultTMergeConfig(7)
+	cfg.TauMax = 3000
+	cfg.GaussianPosterior = true
+	tm := NewTMerge(cfg)
+	if tm.Name() != "TMerge-G" {
+		t.Errorf("name = %s", tm.Name())
+	}
+	sel := tm.Select(fx.ps, newFixtureOracle(7), 0.05)
+	if got := recallOf(sel, fx.truth); got < 0.5 {
+		t.Errorf("Gaussian variant recall = %v", got)
+	}
+	cfg.Batch = 10
+	if NewTMerge(cfg).Name() != "TMerge-G-B" {
+		t.Error("batched Gaussian name wrong")
+	}
+}
+
+func TestTMergePosteriorWeightDefaults(t *testing.T) {
+	cfg := DefaultTMergeConfig(1)
+	cfg.PosteriorWeight = 0 // must default
+	tm := NewTMerge(cfg)
+	if tm.Config().PosteriorWeight != 3 {
+		t.Errorf("defaulted weight = %v", tm.Config().PosteriorWeight)
+	}
+	cfg.PosteriorWeight = 1.5
+	if NewTMerge(cfg).Config().PosteriorWeight != 1.5 {
+		t.Error("explicit weight overridden")
+	}
+}
+
+func TestObserveWeighted(t *testing.T) {
+	b := stats.NewBeta(1, 1)
+	b = b.ObserveWeighted(0.25, 2)
+	if b.S != 1.5 || b.F != 2.5 {
+		t.Errorf("posterior = %+v", b)
+	}
+	// Clamping.
+	b = stats.NewBeta(1, 1).ObserveWeighted(1.7, 1)
+	if b.S != 2 || b.F != 1 {
+		t.Errorf("clamped posterior = %+v", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-positive weight")
+		}
+	}()
+	stats.NewBeta(1, 1).ObserveWeighted(0.5, 0)
+}
+
+func TestShrunkMeanMatchesPrior(t *testing.T) {
+	s := &pairState{priorMean: 0.5, priorWeight: 2}
+	if got := s.shrunkMean(); got != 0.5 {
+		t.Errorf("no-observation shrunk mean = %v", got)
+	}
+	s.count = 2
+	s.sum = 0.2 // two observations of 0.1
+	want := (0.5*2 + 0.2) / 4
+	if got := s.shrunkMean(); got != want {
+		t.Errorf("shrunk mean = %v, want %v", got, want)
+	}
+}
+
+func TestTMergeStopWhenSettled(t *testing.T) {
+	// With K=1 every pair is trivially "in" after one sample, so the
+	// early stop must fire long before TauMax.
+	fx := newFixture(63, 2, 6, 5)
+	cfg := DefaultTMergeConfig(3)
+	cfg.TauMax = 100000
+	cfg.StopWhenSettled = true
+	tm := NewTMerge(cfg)
+	oracle := newFixtureOracle(7)
+	sel := tm.Select(fx.ps, oracle, 1.0)
+	if len(sel) != fx.ps.Len() {
+		t.Fatalf("selection size = %d", len(sel))
+	}
+	if d := tm.Diagnostics(); d.Iterations >= 100000 {
+		t.Errorf("early stop did not fire: %d iterations", d.Iterations)
+	}
+	if got := oracle.Stats().Distances; got >= 100000 {
+		t.Errorf("oracle did %d distances", got)
+	}
+}

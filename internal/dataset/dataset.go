@@ -1,0 +1,247 @@
+// Package dataset defines the three synthetic dataset profiles standing in
+// for the paper's evaluation corpora (§V-A) — MOT-17, KITTI, and PathTrack
+// — plus JSON (de)serialisation so generated datasets can be stored and
+// shared by the CLIs.
+//
+// Profiles are calibrated to the structural statistics the paper reports,
+// not to pixels: pair-universe sizes in the hundreds per window, tracks of
+// roughly a hundred boxes, a low single-digit polyonymous rate, and (for
+// the PathTrack profile) ground-truth tracks capped at Lmax=1000 frames so
+// the window-sweep experiment (Figure 9) reproduces the L < 2·Lmax
+// degradation.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Profile describes how to generate one synthetic dataset.
+type Profile struct {
+	// Name of the dataset ("mot17", "kitti", "pathtrack").
+	Name string
+	// NumVideos to generate; each gets a distinct seed derived from Seed.
+	NumVideos int
+	// WindowLen is the ingestion window L for this dataset; 0 means the
+	// whole video is one window (the paper's MOT-17/KITTI treatment).
+	WindowLen int
+	// MinPolyPairs curates the corpus the way the paper curated its
+	// datasets ("we select 8 videos with enough instances of pedestrians",
+	// §V-A): candidate scenes whose Tracktor output contains fewer
+	// polyonymous pairs than this are discarded and regenerated with a
+	// fresh seed. 0 disables curation.
+	MinPolyPairs int
+	// Template is the scene configuration; Generate overrides Seed and
+	// Name per video.
+	Template synth.Config
+}
+
+// Dataset is a generated collection of videos.
+type Dataset struct {
+	Name      string
+	WindowLen int
+	Videos    []*synth.Video
+}
+
+// Generate materialises the profile, applying curation when
+// MinPolyPairs is set (see the field comment).
+func (p Profile) Generate() (*Dataset, error) {
+	ds := &Dataset{Name: p.Name, WindowLen: p.WindowLen}
+	attempt := 0
+	for len(ds.Videos) < p.NumVideos {
+		cfg := p.Template
+		cfg.Seed = p.Template.Seed + uint64(attempt)*0x9E3779B97F4A7C15
+		cfg.Name = fmt.Sprintf("%s-%02d", p.Name, len(ds.Videos))
+		attempt++
+		if attempt > 8*p.NumVideos+16 {
+			return nil, fmt.Errorf("dataset %s: curation exhausted after %d attempts", p.Name, attempt)
+		}
+		v, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: video %d: %w", p.Name, len(ds.Videos), err)
+		}
+		if p.MinPolyPairs > 0 && polyPairCount(v) < p.MinPolyPairs {
+			continue
+		}
+		ds.Videos = append(ds.Videos, v)
+	}
+	return ds, nil
+}
+
+// polyPairCount runs the curation tracker (Tracktor, the paper's default)
+// over the scene and counts the resulting polyonymous pairs.
+func polyPairCount(v *synth.Video) int {
+	ts := track.Tracktor().Track(v.Detections)
+	w := video.Window{Start: 0, End: video.FrameIndex(v.NumFrames - 1)}
+	ps := video.BuildPairSet(w, ts.Sorted(), nil)
+	return len(motmetrics.PolyonymousPairs(ps))
+}
+
+// AppearanceDim is the shared observation dimensionality; the ReID model
+// must be constructed with the same value.
+const AppearanceDim = 32
+
+// MOT17Like returns the MOT-17 stand-in: crowded pedestrian scenes,
+// moderate motion, whole-video windows.
+func MOT17Like(seed uint64) Profile {
+	return Profile{
+		Name:         "mot17",
+		NumVideos:    6,
+		WindowLen:    0,
+		MinPolyPairs: 3,
+		Template: synth.Config{
+			Seed:                seed,
+			NumFrames:           800,
+			Width:               1920,
+			Height:              1080,
+			ArrivalRate:         0.045,
+			MaxObjects:          12,
+			MinSpan:             40,
+			MaxSpan:             500,
+			SpeedMin:            0.8,
+			SpeedMax:            3.0,
+			SizeMin:             90,
+			SizeMax:             180,
+			PosJitter:           0.8,
+			AppearanceDim:       AppearanceDim,
+			AppearanceNoise:     0.06,
+			AppearanceDrift:     0.004,
+			OutlierProb:         0.22,
+			OutlierNoise:        0.15,
+			PosAppearanceWeight: 0.55,
+			OcclusionCoverage:   0.45,
+			MissProb:            0.02,
+			GlareRate:           0.013,
+			GlareDuration:       45,
+			GlareSize:           340,
+		},
+	}
+}
+
+// KITTILike returns the KITTI stand-in: sparser pedestrians, faster
+// ego-motion-style displacement, whole-video windows.
+func KITTILike(seed uint64) Profile {
+	return Profile{
+		Name:         "kitti",
+		NumVideos:    8,
+		WindowLen:    0,
+		MinPolyPairs: 2,
+		Template: synth.Config{
+			Seed:                seed ^ 0xBADC0FFEE,
+			NumFrames:           600,
+			Width:               1242,
+			Height:              375,
+			ArrivalRate:         0.035,
+			MaxObjects:          9,
+			MinSpan:             40,
+			MaxSpan:             360,
+			SpeedMin:            1.5,
+			SpeedMax:            5.0,
+			SizeMin:             60,
+			SizeMax:             110,
+			PosJitter:           1.0,
+			AppearanceDim:       AppearanceDim,
+			AppearanceNoise:     0.06,
+			AppearanceDrift:     0.004,
+			OutlierProb:         0.22,
+			OutlierNoise:        0.15,
+			PosAppearanceWeight: 0.55,
+			OcclusionCoverage:   0.45,
+			MissProb:            0.03,
+			GlareRate:           0.020,
+			GlareDuration:       40,
+			GlareSize:           240,
+		},
+	}
+}
+
+// PathTrackLike returns the PathTrack stand-in: long YouTube-style
+// sequences processed with half-overlapping windows of L=2000 and
+// ground-truth tracks capped at Lmax=1000 frames.
+func PathTrackLike(seed uint64) Profile {
+	return Profile{
+		Name:         "pathtrack",
+		NumVideos:    5,
+		WindowLen:    2000,
+		MinPolyPairs: 6,
+		Template: synth.Config{
+			Seed:                seed ^ 0xFACEFEED,
+			NumFrames:           4000,
+			Width:               1280,
+			Height:              720,
+			ArrivalRate:         0.02,
+			MaxObjects:          9,
+			MinSpan:             150,
+			MaxSpan:             1000, // Lmax = 1000 (§V-F)
+			SpeedMin:            0.3,
+			SpeedMax:            1.5,
+			SizeMin:             70,
+			SizeMax:             150,
+			PosJitter:           0.7,
+			AppearanceDim:       AppearanceDim,
+			AppearanceNoise:     0.06,
+			AppearanceDrift:     0.004,
+			OutlierProb:         0.22,
+			OutlierNoise:        0.15,
+			PosAppearanceWeight: 0.55,
+			OcclusionCoverage:   0.45,
+			MissProb:            0.02,
+			GlareRate:           0.009,
+			GlareDuration:       45,
+			GlareSize:           280,
+		},
+	}
+}
+
+// Profiles returns the three standard profiles keyed by name.
+func Profiles(seed uint64) map[string]Profile {
+	return map[string]Profile{
+		"mot17":     MOT17Like(seed),
+		"kitti":     KITTILike(seed),
+		"pathtrack": PathTrackLike(seed),
+		"highway":   HighwayLike(seed),
+	}
+}
+
+// HighwayLike returns a vehicle-surveillance profile (the paper's intro
+// motivates TMerge with "cars on highways"): fast, strongly directional
+// motion in a wide scene, larger objects, and heavier mutual occlusion
+// when vehicles pass each other. Whole-video windows, like MOT-17.
+func HighwayLike(seed uint64) Profile {
+	return Profile{
+		Name:         "highway",
+		NumVideos:    6,
+		WindowLen:    0,
+		MinPolyPairs: 3,
+		Template: synth.Config{
+			Seed:                seed ^ 0xCAFED00D,
+			NumFrames:           700,
+			Width:               2560,
+			Height:              720,
+			ArrivalRate:         0.05,
+			MaxObjects:          11,
+			MinSpan:             60,
+			MaxSpan:             450,
+			SpeedMin:            3.0,
+			SpeedMax:            8.0,
+			SizeMin:             110,
+			SizeMax:             240,
+			PosJitter:           1.0,
+			AppearanceDim:       AppearanceDim,
+			AppearanceNoise:     0.06,
+			AppearanceDrift:     0.004,
+			OutlierProb:         0.22,
+			OutlierNoise:        0.15,
+			PosAppearanceWeight: 0.55,
+			OcclusionCoverage:   0.40,
+			MissProb:            0.02,
+			GlareRate:           0.014,
+			GlareDuration:       40,
+			GlareSize:           380,
+		},
+	}
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// The on-disk schema mirrors the in-memory model but flattens tracks into
+// box lists so the format stays independent of internal invariants.
+
+type jsonBox struct {
+	ID    video.BBoxID     `json:"id"`
+	Frame video.FrameIndex `json:"frame"`
+	X     float64          `json:"x"`
+	Y     float64          `json:"y"`
+	W     float64          `json:"w"`
+	H     float64          `json:"h"`
+	Obs   []float64        `json:"obs,omitempty"`
+	Class video.ClassID    `json:"class,omitempty"`
+	GT    video.ObjectID   `json:"gt"`
+}
+
+type jsonTrack struct {
+	ID    video.TrackID `json:"id"`
+	Boxes []jsonBox     `json:"boxes"`
+}
+
+type jsonVideo struct {
+	Name       string      `json:"name"`
+	NumFrames  int         `json:"num_frames"`
+	Width      float64     `json:"width"`
+	Height     float64     `json:"height"`
+	Detections [][]jsonBox `json:"detections"`
+	GT         []jsonTrack `json:"gt"`
+}
+
+type jsonDataset struct {
+	Name      string      `json:"name"`
+	WindowLen int         `json:"window_len"`
+	Videos    []jsonVideo `json:"videos"`
+}
+
+func toJSONBox(b video.BBox) jsonBox {
+	return jsonBox{
+		ID: b.ID, Frame: b.Frame,
+		X: b.Rect.X, Y: b.Rect.Y, W: b.Rect.W, H: b.Rect.H,
+		Obs: b.Obs, Class: b.Class, GT: b.GTObject,
+	}
+}
+
+func fromJSONBox(j jsonBox) video.BBox {
+	return video.BBox{
+		ID: j.ID, Frame: j.Frame,
+		Rect:     geom.Rect{X: j.X, Y: j.Y, W: j.W, H: j.H},
+		Obs:      vecmath.Vec(j.Obs),
+		Class:    j.Class,
+		GTObject: j.GT,
+	}
+}
+
+// Save writes the dataset to path as gzip-compressed JSON.
+func Save(ds *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	gz := gzip.NewWriter(f)
+	enc := json.NewEncoder(gz)
+
+	out := jsonDataset{Name: ds.Name, WindowLen: ds.WindowLen}
+	for _, v := range ds.Videos {
+		jv := jsonVideo{
+			Name:      v.Name,
+			NumFrames: v.NumFrames,
+			Width:     v.Bounds.W,
+			Height:    v.Bounds.H,
+		}
+		jv.Detections = make([][]jsonBox, len(v.Detections))
+		for fi, dets := range v.Detections {
+			for _, b := range dets {
+				jv.Detections[fi] = append(jv.Detections[fi], toJSONBox(b))
+			}
+		}
+		for _, t := range v.GT.Tracks() {
+			jt := jsonTrack{ID: t.ID}
+			for _, b := range t.Boxes {
+				bb := b
+				bb.Obs = nil // GT boxes carry no observations
+				jt.Boxes = append(jt.Boxes, toJSONBox(bb))
+			}
+			jv.GT = append(jv.GT, jt)
+		}
+		out.Videos = append(out.Videos, jv)
+	}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer gz.Close()
+	var in jsonDataset
+	if err := json.NewDecoder(gz).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+
+	ds := &Dataset{Name: in.Name, WindowLen: in.WindowLen}
+	for _, jv := range in.Videos {
+		v := &synth.Video{
+			Name:       jv.Name,
+			NumFrames:  jv.NumFrames,
+			Bounds:     geom.Rect{W: jv.Width, H: jv.Height},
+			Detections: make([][]video.BBox, jv.NumFrames),
+		}
+		for fi := range jv.Detections {
+			if fi >= jv.NumFrames {
+				return nil, fmt.Errorf("dataset: load: frame index %d out of range in %s", fi, jv.Name)
+			}
+			for _, jb := range jv.Detections[fi] {
+				v.Detections[fi] = append(v.Detections[fi], fromJSONBox(jb))
+			}
+		}
+		var gtTracks []*video.Track
+		for _, jt := range jv.GT {
+			t := &video.Track{ID: jt.ID}
+			for _, jb := range jt.Boxes {
+				t.Boxes = append(t.Boxes, fromJSONBox(jb))
+			}
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("dataset: load: %w", err)
+			}
+			gtTracks = append(gtTracks, t)
+		}
+		v.GT = video.NewTrackSet(gtTracks)
+		ds.Videos = append(ds.Videos, v)
+	}
+	return ds, nil
+}

@@ -1,0 +1,178 @@
+// Package device models the compute substrate the ReID oracle runs on.
+//
+// The paper evaluates every algorithm on a CPU and, for the "-B" variants,
+// on a GPU that processes batches of track pairs jointly (§IV-F). This
+// repository has no GPU, so devices combine two things:
+//
+//  1. real execution of the submitted work (the ReID MLP forward passes),
+//     in parallel for the accelerator; and
+//  2. a virtual clock that charges a calibrated cost model — a fixed
+//     launch cost per submission plus per-item costs.
+//
+// The experiment harness computes FPS from the virtual clock, which makes
+// the batching asymmetry the paper reports reproducible and deterministic:
+// batchable algorithms amortise the launch cost over many items, while
+// LCB-B, whose iterations are sequentially dependent, pays it per
+// iteration.
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CostModel is the virtual cost charged per submission.
+type CostModel struct {
+	// Launch is charged once per submission (kernel-launch / transfer
+	// overhead on an accelerator; zero on the CPU).
+	Launch time.Duration
+	// PerExtract is charged for each feature extraction in a submission.
+	PerExtract time.Duration
+	// PerDistance is charged for each pairwise distance computation.
+	PerDistance time.Duration
+}
+
+// DefaultCPU is calibrated so that an exhaustive baseline over a
+// MOT-17-scale window (≈15k boxes, ≈10M BBox pairs) costs minutes, as the
+// paper reports (§I), with distance computations dominating — the regime
+// in which sampling algorithms win by orders of magnitude.
+var DefaultCPU = CostModel{Launch: 0, PerExtract: 300 * time.Microsecond, PerDistance: 15 * time.Microsecond}
+
+// DefaultAccelerator is calibrated to the relative GPU gains of Table II:
+// ~20x per-item speedups, but a fixed launch cost that only batch-friendly
+// algorithms amortise (LCB-B pays it every iteration).
+var DefaultAccelerator = CostModel{Launch: 100 * time.Microsecond, PerExtract: 15 * time.Microsecond, PerDistance: 750 * time.Nanosecond}
+
+// Clock accumulates virtual time. It is safe for concurrent use.
+type Clock struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+// Add charges d to the clock.
+func (c *Clock) Add(d time.Duration) {
+	c.mu.Lock()
+	c.elapsed += d
+	c.mu.Unlock()
+}
+
+// Elapsed returns the accumulated virtual time.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.elapsed = 0
+	c.mu.Unlock()
+}
+
+// Device executes submissions of ReID work and charges their virtual cost.
+type Device interface {
+	// Name identifies the device in reports ("cpu", "accel").
+	Name() string
+	// Submit executes one submission consisting of nExtract feature
+	// extractions and nDistance distance computations. run(i) performs
+	// the i-th extraction (0 <= i < nExtract); the distance computations
+	// themselves are executed by the caller (they are trivial vector
+	// ops) and only their cost is charged here. run may be nil when
+	// nExtract is 0.
+	Submit(nExtract, nDistance int, run func(i int))
+	// Clock returns the device's virtual clock.
+	Clock() *Clock
+	// Submissions returns how many submissions have been made.
+	Submissions() int64
+}
+
+// cpu executes submissions serially with no launch cost.
+type cpu struct {
+	model CostModel
+	clock Clock
+	subs  int64
+}
+
+// NewCPU returns a serial device with the given cost model.
+func NewCPU(model CostModel) Device { return &cpu{model: model} }
+
+func (d *cpu) Name() string { return "cpu" }
+
+func (d *cpu) Submit(nExtract, nDistance int, run func(i int)) {
+	validateSubmission(nExtract, nDistance, run)
+	for i := 0; i < nExtract; i++ {
+		run(i)
+	}
+	d.clock.Add(d.model.Launch +
+		time.Duration(nExtract)*d.model.PerExtract +
+		time.Duration(nDistance)*d.model.PerDistance)
+	d.subs++
+}
+
+func (d *cpu) Clock() *Clock      { return &d.clock }
+func (d *cpu) Submissions() int64 { return d.subs }
+
+// accelerator executes extraction items across a worker pool and charges a
+// launch cost per submission.
+type accelerator struct {
+	model   CostModel
+	workers int
+	clock   Clock
+	subs    int64
+}
+
+// NewAccelerator returns a batch device executing submissions with the
+// given parallelism (0 means GOMAXPROCS).
+func NewAccelerator(model CostModel, workers int) Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &accelerator{model: model, workers: workers}
+}
+
+func (d *accelerator) Name() string { return "accel" }
+
+func (d *accelerator) Submit(nExtract, nDistance int, run func(i int)) {
+	validateSubmission(nExtract, nDistance, run)
+	if nExtract > 0 {
+		w := d.workers
+		if w > nExtract {
+			w = nExtract
+		}
+		var wg sync.WaitGroup
+		chunk := (nExtract + w - 1) / w
+		for start := 0; start < nExtract; start += chunk {
+			end := start + chunk
+			if end > nExtract {
+				end = nExtract
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					run(i)
+				}
+			}(start, end)
+		}
+		wg.Wait()
+	}
+	d.clock.Add(d.model.Launch +
+		time.Duration(nExtract)*d.model.PerExtract +
+		time.Duration(nDistance)*d.model.PerDistance)
+	d.subs++
+}
+
+func (d *accelerator) Clock() *Clock      { return &d.clock }
+func (d *accelerator) Submissions() int64 { return d.subs }
+
+func validateSubmission(nExtract, nDistance int, run func(i int)) {
+	if nExtract < 0 || nDistance < 0 {
+		panic(fmt.Sprintf("device: negative submission sizes (%d, %d)", nExtract, nDistance))
+	}
+	if nExtract > 0 && run == nil {
+		panic("device: nil run function with nonzero extractions")
+	}
+}

@@ -1,0 +1,145 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCPUExecutesSerially(t *testing.T) {
+	d := NewCPU(CostModel{PerExtract: time.Millisecond})
+	var order []int
+	d.Submit(5, 0, func(i int) { order = append(order, i) })
+	if len(order) != 5 {
+		t.Fatalf("ran %d items", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCPUCostAccounting(t *testing.T) {
+	m := CostModel{Launch: 10 * time.Millisecond, PerExtract: time.Millisecond, PerDistance: time.Microsecond}
+	d := NewCPU(m)
+	d.Submit(3, 100, func(i int) {})
+	want := 10*time.Millisecond + 3*time.Millisecond + 100*time.Microsecond
+	if got := d.Clock().Elapsed(); got != want {
+		t.Errorf("elapsed = %v, want %v", got, want)
+	}
+	if d.Submissions() != 1 {
+		t.Errorf("submissions = %d", d.Submissions())
+	}
+	d.Submit(0, 0, nil)
+	if got := d.Clock().Elapsed(); got != want+10*time.Millisecond {
+		t.Errorf("second submission elapsed = %v", got)
+	}
+}
+
+func TestAcceleratorRunsAllItems(t *testing.T) {
+	d := NewAccelerator(DefaultAccelerator, 4)
+	var count int64
+	hit := make([]int64, 100)
+	d.Submit(100, 0, func(i int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&hit[i], 1)
+	})
+	if count != 100 {
+		t.Errorf("ran %d items", count)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Errorf("item %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestAcceleratorLaunchCostPerSubmission(t *testing.T) {
+	m := CostModel{Launch: time.Millisecond, PerExtract: time.Microsecond}
+	d := NewAccelerator(m, 2)
+	// 10 submissions of 1 item each vs 1 submission of 10 items.
+	for i := 0; i < 10; i++ {
+		d.Submit(1, 0, func(int) {})
+	}
+	many := d.Clock().Elapsed()
+
+	d2 := NewAccelerator(m, 2)
+	d2.Submit(10, 0, func(int) {})
+	one := d2.Clock().Elapsed()
+
+	if many <= one {
+		t.Errorf("batching must be cheaper: unbatched %v, batched %v", many, one)
+	}
+	wantMany := 10*time.Millisecond + 10*time.Microsecond
+	if many != wantMany {
+		t.Errorf("unbatched = %v, want %v", many, wantMany)
+	}
+}
+
+func TestClockConcurrency(t *testing.T) {
+	var c Clock
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Add(time.Nanosecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := c.Elapsed(); got != 8000*time.Nanosecond {
+		t.Errorf("elapsed = %v", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d := NewCPU(CostModel{})
+	for _, f := range []func(){
+		func() { d.Submit(-1, 0, func(int) {}) },
+		func() { d.Submit(0, -1, nil) },
+		func() { d.Submit(3, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDefaultCostModelsBatchAsymmetry(t *testing.T) {
+	// The central calibration property: the accelerator is much cheaper
+	// per item, but its launch cost means per-item submissions lose most
+	// of the advantage — the asymmetry behind Table II.
+	perItemCPU := DefaultCPU.PerExtract
+	perItemAcc := DefaultAccelerator.PerExtract
+	if perItemAcc*10 > perItemCPU {
+		t.Error("accelerator per-item cost should be >10x cheaper than CPU")
+	}
+	if DefaultAccelerator.Launch < 5*perItemAcc {
+		t.Error("launch cost should dominate single-item submissions")
+	}
+	if DefaultCPU.Launch != 0 {
+		t.Error("CPU has no launch cost")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewCPU(DefaultCPU).Name() != "cpu" {
+		t.Error("cpu name")
+	}
+	if NewAccelerator(DefaultAccelerator, 0).Name() != "accel" {
+		t.Error("accel name")
+	}
+}

@@ -1,0 +1,11 @@
+package geom
+
+import "testing"
+
+func BenchmarkIoU(b *testing.B) {
+	r1 := Rect{X: 0, Y: 0, W: 50, H: 80}
+	r2 := Rect{X: 20, Y: 30, W: 50, H: 80}
+	for i := 0; i < b.N; i++ {
+		r1.IoU(r2)
+	}
+}

@@ -1,0 +1,137 @@
+// Package geom provides 2-D geometric primitives used throughout the
+// simulator, trackers, and merging algorithms: points, axis-aligned
+// rectangles (bounding boxes), and the standard similarity measures
+// computed over them (IoU, center distance).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point in frame coordinates (pixels).
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle identified by its top-left corner
+// (X, Y) and its width and height. The rectangle is considered empty when
+// W <= 0 or H <= 0.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// RectFromCenter builds a rectangle of the given size centered at c.
+func RectFromCenter(c Point, w, h float64) Rect {
+	return Rect{X: c.X - w/2, Y: c.Y - h/2, W: w, H: h}
+}
+
+// Center returns the center point of the rectangle.
+func (r Rect) Center() Point { return Point{r.X + r.W/2, r.Y + r.H/2} }
+
+// Area returns the area of the rectangle; empty rectangles have area 0.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// Empty reports whether the rectangle has no interior.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// MaxX returns the right edge coordinate.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the bottom edge coordinate.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Translate returns the rectangle moved by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{X: r.X + d.X, Y: r.Y + d.Y, W: r.W, H: r.H}
+}
+
+// Intersect returns the intersection of r and s; the result is empty when
+// the rectangles do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	x1 := math.Max(r.X, s.X)
+	y1 := math.Max(r.Y, s.Y)
+	x2 := math.Min(r.MaxX(), s.MaxX())
+	y2 := math.Min(r.MaxY(), s.MaxY())
+	if x2 <= x1 || y2 <= y1 {
+		return Rect{}
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Union returns the smallest rectangle covering both r and s. If one of the
+// rectangles is empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x1 := math.Min(r.X, s.X)
+	y1 := math.Min(r.Y, s.Y)
+	x2 := math.Max(r.MaxX(), s.MaxX())
+	y2 := math.Max(r.MaxY(), s.MaxY())
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// IoU returns the intersection-over-union of r and s in [0, 1].
+func (r Rect) IoU(s Rect) float64 {
+	inter := r.Intersect(s).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := r.Area() + s.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Contains reports whether the point p lies inside (or on the boundary of) r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X <= r.MaxX() && p.Y >= r.Y && p.Y <= r.MaxY()
+}
+
+// CoverageBy returns the fraction of r's area covered by s, in [0, 1].
+// It is the asymmetric occlusion measure used by the scene simulator.
+func (r Rect) CoverageBy(s Rect) float64 {
+	a := r.Area()
+	if a == 0 {
+		return 0
+	}
+	return r.Intersect(s).Area() / a
+}
+
+// Clamp returns r clipped to the bounds rectangle. The result may be empty.
+func (r Rect) Clamp(bounds Rect) Rect {
+	return r.Intersect(bounds)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("Rect(%.1f,%.1f %.1fx%.1f)", r.X, r.Y, r.W, r.H)
+}

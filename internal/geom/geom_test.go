@@ -1,0 +1,193 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := q.Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := p.Dist(Point{4, 6}); !almostEq(got, 5) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 10, Y: 20, W: 30, H: 40}
+	if got := r.Center(); got != (Point{25, 40}) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := r.Area(); got != 1200 {
+		t.Errorf("Area = %v", got)
+	}
+	if r.Empty() {
+		t.Error("Empty = true for non-empty rect")
+	}
+	if !(Rect{W: 0, H: 5}).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if (Rect{W: 0, H: 5}).Area() != 0 {
+		t.Error("empty rect area must be 0")
+	}
+	if got := r.MaxX(); got != 40 {
+		t.Errorf("MaxX = %v", got)
+	}
+	if got := r.MaxY(); got != 60 {
+		t.Errorf("MaxY = %v", got)
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Point{50, 50}, 20, 10)
+	if r.X != 40 || r.Y != 45 || r.W != 20 || r.H != 10 {
+		t.Errorf("RectFromCenter = %+v", r)
+	}
+	if got := r.Center(); got != (Point{50, 50}) {
+		t.Errorf("Center round-trip = %v", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 10, 10}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 5, 5}) {
+		t.Errorf("Intersect = %+v", got)
+	}
+	// Disjoint rectangles.
+	c := Rect{100, 100, 5, 5}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersection must be empty")
+	}
+	// Touching edges count as empty.
+	d := Rect{10, 0, 5, 5}
+	if !a.Intersect(d).Empty() {
+		t.Error("edge-touching intersection must be empty")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{20, 20, 10, 10}
+	got := a.Union(b)
+	if got != (Rect{0, 0, 30, 30}) {
+		t.Errorf("Union = %+v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %+v", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union a = %+v", got)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if got := a.IoU(a); !almostEq(got, 1) {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := Rect{5, 0, 10, 10}
+	// intersection 50, union 150.
+	if got := a.IoU(b); !almostEq(got, 1.0/3.0) {
+		t.Errorf("IoU = %v, want 1/3", got)
+	}
+	if got := a.IoU(Rect{100, 100, 1, 1}); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestCoverageBy(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{0, 0, 10, 5}
+	if got := a.CoverageBy(b); !almostEq(got, 0.5) {
+		t.Errorf("CoverageBy = %v, want 0.5", got)
+	}
+	if got := b.CoverageBy(a); !almostEq(got, 1) {
+		t.Errorf("CoverageBy = %v, want 1", got)
+	}
+	if got := (Rect{}).CoverageBy(a); got != 0 {
+		t.Errorf("empty CoverageBy = %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},
+		{Point{10, 10}, true},
+		{Point{-1, 5}, false},
+		{Point{5, 11}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	bounds := Rect{0, 0, 100, 100}
+	r := Rect{-10, 50, 30, 60}
+	got := r.Clamp(bounds)
+	if got != (Rect{0, 50, 20, 50}) {
+		t.Errorf("Clamp = %+v", got)
+	}
+}
+
+// Property: IoU is symmetric and bounded in [0, 1].
+func TestIoUProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 uint8) bool {
+		a := Rect{float64(x1), float64(y1), float64(w1%50) + 1, float64(h1%50) + 1}
+		b := Rect{float64(x2), float64(y2), float64(w2%50) + 1, float64(h2%50) + 1}
+		ab, ba := a.IoU(b), b.IoU(a)
+		return almostEq(ab, ba) && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both rectangles (area-wise) and
+// union contains both.
+func TestIntersectUnionProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 uint8) bool {
+		a := Rect{float64(x1), float64(y1), float64(w1%50) + 1, float64(h1%50) + 1}
+		b := Rect{float64(x2), float64(y2), float64(w2%50) + 1, float64(h2%50) + 1}
+		inter := a.Intersect(b)
+		union := a.Union(b)
+		return inter.Area() <= a.Area()+1e-9 &&
+			inter.Area() <= b.Area()+1e-9 &&
+			union.Area() >= a.Area()-1e-9 &&
+			union.Area() >= b.Area()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Rect{1, 2, 3, 4}.String()
+	if got != "Rect(1.0,2.0 3.0x4.0)" {
+		t.Errorf("String = %q", got)
+	}
+}

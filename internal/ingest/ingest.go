@@ -1,0 +1,182 @@
+// Package ingest implements the online ingestion workflow of §II for
+// video *streams*: detections arrive one frame at a time, an online
+// tracker runs incrementally, each half-overlapping window is processed
+// the moment the stream passes its end, and confirmed polyonymous pairs
+// are merged into a continuously maintained identity map. Downstream
+// query processing can consult the merged track set at any time — without
+// waiting for the stream to end, which may never happen.
+package ingest
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Inspector decides whether a selected candidate pair really is
+// polyonymous — the paper's optional human-inspection step, expressed as
+// a callback so deployments can wire in an actual review queue, a
+// second-stage model, or (in evaluation) the ground truth.
+type Inspector func(p *video.Pair) bool
+
+// Config parameterises a streaming ingestion session.
+type Config struct {
+	// WindowLen is the window length L in frames; it must be positive and
+	// even, and should be at least twice the longest expected track.
+	WindowLen int
+	// K is the candidate proportion per window.
+	K float64
+	// Algorithm selects the candidates of each closed window.
+	Algorithm core.Algorithm
+	// Inspect, when non-nil, filters candidates before merging. Nil
+	// merges every selected candidate.
+	Inspect Inspector
+}
+
+// WindowResult reports one processed window.
+type WindowResult struct {
+	Window   video.Window
+	Pairs    int
+	Selected []video.PairKey
+	Merged   []video.PairKey // selected pairs that passed inspection
+}
+
+// Ingestor is an online ingestion session. It is not safe for concurrent
+// use.
+type Ingestor struct {
+	cfg    Config
+	stream *track.Stream
+	oracle *reid.Oracle
+	merger *core.Merger
+
+	nextFrame  video.FrameIndex
+	nextWindow int
+	prevTc     []*video.Track
+	results    []WindowResult
+}
+
+// New returns an ingestion session over the given tracker engine, oracle,
+// and configuration.
+func New(engine *track.Engine, oracle *reid.Oracle, cfg Config) (*Ingestor, error) {
+	if cfg.WindowLen <= 0 || cfg.WindowLen%2 != 0 {
+		return nil, fmt.Errorf("ingest: window length must be positive and even, got %d", cfg.WindowLen)
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("ingest: nil selection algorithm")
+	}
+	if cfg.K <= 0 || cfg.K > 1 {
+		return nil, fmt.Errorf("ingest: K must be in (0, 1], got %g", cfg.K)
+	}
+	return &Ingestor{
+		cfg:    cfg,
+		stream: engine.NewStream(),
+		oracle: oracle,
+		merger: core.NewMerger(),
+	}, nil
+}
+
+// Push consumes the next frame of detections and returns the results of
+// any windows the stream just closed (usually zero or one). Frames are
+// implicitly numbered 0, 1, 2, ...
+func (in *Ingestor) Push(dets []video.BBox) []WindowResult {
+	f := in.nextFrame
+	in.nextFrame++
+	in.stream.Step(f, dets)
+
+	var closed []WindowResult
+	for {
+		w := in.pendingWindow()
+		if f < w.End {
+			break
+		}
+		closed = append(closed, in.processWindow(w))
+		in.nextWindow++
+	}
+	return closed
+}
+
+// Close flushes the final partial window (if any frames remain beyond the
+// last processed window's first half) and returns its results.
+func (in *Ingestor) Close() []WindowResult {
+	var closed []WindowResult
+	for {
+		w := in.pendingWindow()
+		if w.Start >= in.nextFrame {
+			break
+		}
+		if w.End > in.nextFrame-1 {
+			w.End = in.nextFrame - 1
+		}
+		closed = append(closed, in.processWindow(w))
+		in.nextWindow++
+	}
+	return closed
+}
+
+// pendingWindow returns the next unprocessed window.
+func (in *Ingestor) pendingWindow() video.Window {
+	half := in.cfg.WindowLen / 2
+	start := video.FrameIndex(in.nextWindow * half)
+	return video.Window{
+		Index:   in.nextWindow,
+		Start:   start,
+		End:     start + video.FrameIndex(in.cfg.WindowLen) - 1,
+		Nominal: in.cfg.WindowLen,
+	}
+}
+
+func (in *Ingestor) processWindow(w video.Window) WindowResult {
+	// Tc: tracks starting in the window's first half, clipped to the
+	// window. Snapshot includes still-active tracks; their boxes beyond
+	// w.End are excluded by clipping, so the view is stable.
+	var cur []*video.Track
+	for _, t := range sortTracks(in.stream.Snapshot()) {
+		if t.StartFrame() < w.Start || t.StartFrame() > w.FirstHalfEnd() {
+			continue
+		}
+		if c := video.ClipTrack(t, w.Start, w.End); c != nil {
+			cur = append(cur, c)
+		}
+	}
+	ps := video.BuildPairSet(w, cur, in.prevTc)
+	in.prevTc = cur
+
+	res := WindowResult{Window: w, Pairs: ps.Len()}
+	if ps.Len() > 0 {
+		res.Selected = in.cfg.Algorithm.Select(ps, in.oracle, in.cfg.K)
+		for _, key := range res.Selected {
+			if in.cfg.Inspect != nil && !in.cfg.Inspect(ps.Get(key)) {
+				continue
+			}
+			in.merger.Merge(key)
+			res.Merged = append(res.Merged, key)
+		}
+	}
+	in.results = append(in.results, res)
+	return res
+}
+
+// Results returns every window processed so far.
+func (in *Ingestor) Results() []WindowResult { return in.results }
+
+// Merger exposes the accumulated identity map.
+func (in *Ingestor) Merger() *core.Merger { return in.merger }
+
+// MergedTracks returns the current track state with merged identities
+// applied — the metadata a downstream query engine would consume.
+func (in *Ingestor) MergedTracks() *video.TrackSet {
+	return in.merger.Apply(video.NewTrackSet(sortTracks(in.stream.Snapshot())))
+}
+
+// FramesSeen returns how many frames have been pushed.
+func (in *Ingestor) FramesSeen() int { return int(in.nextFrame) }
+
+func sortTracks(ts []*video.Track) []*video.Track {
+	// Snapshot order is already deterministic (finished then active, in
+	// creation order); normalise to the canonical sort used elsewhere.
+	set := video.NewTrackSet(ts)
+	return set.Sorted()
+}

@@ -1,0 +1,205 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func streamScene(t *testing.T) *synth.Video {
+	t.Helper()
+	cfg := synth.Config{
+		Seed: 91, Name: "stream", NumFrames: 2400, Width: 900, Height: 700,
+		ArrivalRate: 0.03, MaxObjects: 7, MinSpan: 80, MaxSpan: 500,
+		SpeedMin: 0.4, SpeedMax: 1.6, SizeMin: 60, SizeMax: 120,
+		AppearanceDim: dataset.AppearanceDim, AppearanceNoise: 0.06,
+		PosAppearanceWeight: 0.45, AppearanceDrift: 0.004,
+		OutlierProb: 0.2, OutlierNoise: 0.15,
+		OcclusionCoverage: 0.45, MissProb: 0.02,
+		GlareRate: 0.01, GlareDuration: 45, GlareSize: 260,
+	}
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newIngestor(t *testing.T, inspect Inspector) *Ingestor {
+	t.Helper()
+	model := reid.NewModel(7, dataset.AppearanceDim)
+	oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+	cfg := core.DefaultTMergeConfig(5)
+	cfg.TauMax = 4000
+	in, err := New(track.Tracktor(), oracle, Config{
+		WindowLen: 1000,
+		K:         0.05,
+		Algorithm: core.NewTMerge(cfg),
+		Inspect:   inspect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestIngestorWindowsCloseOnSchedule(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	closeFrames := map[int]video.FrameIndex{}
+	for f, dets := range v.Detections {
+		for _, res := range in.Push(dets) {
+			closeFrames[res.Window.Index] = video.FrameIndex(f)
+		}
+	}
+	final := in.Close()
+	// 2400 frames, L=1000: windows start at 0,500,...; only windows whose
+	// full extent fits the stream close during it: ends 999, 1499, 1999.
+	if len(closeFrames) != 3 {
+		t.Fatalf("%d windows closed during the stream, want 3", len(closeFrames))
+	}
+	for idx, f := range closeFrames {
+		wantEnd := video.FrameIndex(idx*500 + 999)
+		if f != wantEnd {
+			t.Errorf("window %d closed at frame %d, want %d", idx, f, wantEnd)
+		}
+	}
+	// Close flushes the clipped tail windows (starts 1500 and 2000).
+	if len(final) != 2 {
+		t.Fatalf("Close flushed %d windows, want 2", len(final))
+	}
+	for _, res := range final {
+		if res.Window.End != 2399 {
+			t.Errorf("flushed window %d ends at %d, want 2399", res.Window.Index, res.Window.End)
+		}
+	}
+	if in.FramesSeen() != v.NumFrames {
+		t.Errorf("FramesSeen = %d", in.FramesSeen())
+	}
+}
+
+func TestIngestorMatchesOfflinePipelineCoverage(t *testing.T) {
+	// Every track Tc assignment the offline partitioner makes must also
+	// be made online: the total pair universes should match.
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	for _, dets := range v.Detections {
+		in.Push(dets)
+	}
+	in.Close()
+
+	offline := track.Tracktor().Track(v.Detections)
+	oraclePairs := 0
+	var prev []*video.Track
+	for _, w := range video.Partition(v.NumFrames, 1000) {
+		cur := video.WindowTracks(offline, w)
+		ps := video.BuildPairSet(w, cur, prev)
+		oraclePairs += ps.Len()
+		prev = cur
+	}
+	online := 0
+	for _, res := range in.Results() {
+		online += res.Pairs
+	}
+	// Online snapshots clip active tracks mid-flight, and a track that
+	// has not yet reached MinHits at a window boundary may be missed;
+	// allow a small discrepancy but not a structural one.
+	diff := online - oraclePairs
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.1*float64(oraclePairs)+5 {
+		t.Errorf("online pair count %d too far from offline %d", online, oraclePairs)
+	}
+}
+
+func TestIngestorInspectedMergeImprovesIdentity(t *testing.T) {
+	v := streamScene(t)
+	// Ground-truth inspector: accept only true polyonymous pairs.
+	inspect := func(p *video.Pair) bool {
+		oi := motmetrics.TrackObject(p.TI)
+		return oi >= 0 && oi == motmetrics.TrackObject(p.TJ)
+	}
+	in := newIngestor(t, inspect)
+	for _, dets := range v.Detections {
+		in.Push(dets)
+	}
+	in.Close()
+
+	merged := in.MergedTracks()
+	raw := track.Tracktor().Track(v.Detections)
+	before := motmetrics.Identity(v.GT, raw)
+	after := motmetrics.Identity(v.GT, merged)
+	if after.IDF1 < before.IDF1-1e-9 {
+		t.Errorf("online merge reduced IDF1: %v -> %v", before.IDF1, after.IDF1)
+	}
+	// Some merges should actually have happened.
+	totalMerged := 0
+	for _, res := range in.Results() {
+		totalMerged += len(res.Merged)
+	}
+	if totalMerged == 0 {
+		t.Error("no pairs merged over the whole stream")
+	}
+}
+
+func TestIngestorRejectingInspectorMergesNothing(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, func(*video.Pair) bool { return false })
+	for _, dets := range v.Detections {
+		in.Push(dets)
+	}
+	in.Close()
+	for _, res := range in.Results() {
+		if len(res.Merged) != 0 {
+			t.Fatal("rejecting inspector must merge nothing")
+		}
+	}
+	if len(in.Merger().Groups()) != 0 {
+		t.Error("merger has groups despite rejecting inspector")
+	}
+}
+
+func TestIngestorConfigValidation(t *testing.T) {
+	model := reid.NewModel(7, dataset.AppearanceDim)
+	oracle := reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+	algo := core.NewBaseline()
+	cases := []Config{
+		{WindowLen: 0, K: 0.05, Algorithm: algo},
+		{WindowLen: 999, K: 0.05, Algorithm: algo},
+		{WindowLen: 1000, K: 0, Algorithm: algo},
+		{WindowLen: 1000, K: 1.5, Algorithm: algo},
+		{WindowLen: 1000, K: 0.05, Algorithm: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := New(track.SORT(), oracle, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestIngestorMergedTracksMidStream(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	for f, dets := range v.Detections {
+		in.Push(dets)
+		if f == 1500 {
+			ts := in.MergedTracks()
+			if ts.Len() == 0 {
+				t.Fatal("no tracks mid-stream")
+			}
+			for _, tr := range ts.Tracks() {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("mid-stream track invalid: %v", err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package query implements the downstream video query engine of §V-H: the
+// Count and Co-occurring Objects queries evaluated over track metadata,
+// plus recall computation against the simulator's exact ground truth. The
+// engine consumes exactly the metadata schema the merger emits, so it
+// measures end-to-end how much track fragmentation hurts query accuracy
+// and how much merging recovers.
+//
+// Both queries interpret a track as a presence interval
+// [StartFrame, EndFrame]: an object is "in the scene" from its first to
+// its last detection, which is how track-metadata query systems reason
+// about visibility (isolated missed detections inside a track do not make
+// the object disappear). Track fragmentation shortens these intervals —
+// exactly the failure mode the paper's Figure 13 measures.
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// CountQuery counts objects that remain visible for at least MinFrames
+// frames — the paper's example is detecting congestion or long-dwelling
+// objects ("count the number of objects across more than e.g. 200
+// frames").
+type CountQuery struct {
+	// MinFrames is the minimum presence span (frames) an object must have.
+	MinFrames int
+}
+
+// matches reports whether a track satisfies the query.
+func (q CountQuery) matches(t *video.Track) bool { return t.Span() >= q.MinFrames }
+
+// Answer returns the IDs of the tracks satisfying the query, sorted.
+func (q CountQuery) Answer(ts *video.TrackSet) []video.TrackID {
+	var out []video.TrackID
+	for _, t := range ts.Tracks() {
+		if q.matches(t) {
+			out = append(out, t.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the query's answer cardinality.
+func (q CountQuery) Count(ts *video.TrackSet) int { return len(q.Answer(ts)) }
+
+// Recall evaluates the query over hypothesis tracks against ground truth:
+// the fraction of qualifying GT objects for which some answered hypothesis
+// track is attributed to that object. Fragmentation causes misses — a GT
+// object visible 250 frames split into two 125-frame tracks disappears
+// from a MinFrames=200 answer.
+func (q CountQuery) Recall(gt, hyp *video.TrackSet) float64 {
+	want := make(map[video.ObjectID]bool)
+	for _, t := range gt.Tracks() {
+		if q.matches(t) {
+			if obj := motmetrics.TrackObject(t); obj >= 0 {
+				want[obj] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		return 1
+	}
+	found := make(map[video.ObjectID]bool)
+	for _, id := range q.Answer(hyp) {
+		if obj := motmetrics.TrackObject(hyp.Get(id)); obj >= 0 && want[obj] {
+			found[obj] = true
+		}
+	}
+	return float64(len(found)) / float64(len(want))
+}
+
+// CoOccurQuery finds groups of GroupSize objects jointly present for at
+// least MinFrames frames — the paper's "same three objects appearing
+// jointly for at least 50 frames" query.
+type CoOccurQuery struct {
+	GroupSize int // number of objects that must co-occur (the paper uses 3)
+	MinFrames int // minimum joint-presence duration in frames
+	// Classes optionally constrains the group to this exact multiset of
+	// classes (order-insensitive) — the paper's "the same two persons and
+	// one vehicle appear jointly". When set, its length must equal
+	// GroupSize. Nil accepts any classes.
+	Classes []video.ClassID
+}
+
+// Group is a sorted set of track IDs that co-occur.
+type Group []video.TrackID
+
+// Answer returns all qualifying groups over the track set, each sorted by
+// ID, in deterministic order. Complexity is bounded by the combinations of
+// tracks whose own span reaches MinFrames; joint presence is interval
+// intersection, so candidate enumeration prunes on the running overlap.
+func (q CoOccurQuery) Answer(ts *video.TrackSet) []Group {
+	if q.GroupSize < 2 {
+		panic("query: CoOccurQuery.GroupSize must be >= 2")
+	}
+	if q.Classes != nil && len(q.Classes) != q.GroupSize {
+		panic("query: CoOccurQuery.Classes length must equal GroupSize")
+	}
+	var tracks []*video.Track
+	for _, t := range ts.Sorted() {
+		if t.Span() >= q.MinFrames {
+			tracks = append(tracks, t)
+		}
+	}
+	var out []Group
+	group := make([]*video.Track, 0, q.GroupSize)
+	var recurse func(start int, lo, hi video.FrameIndex)
+	recurse = func(start int, lo, hi video.FrameIndex) {
+		if len(group) == q.GroupSize {
+			if !q.classesMatch(group) {
+				return
+			}
+			g := make(Group, q.GroupSize)
+			for i, t := range group {
+				g[i] = t.ID
+			}
+			sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+			out = append(out, g)
+			return
+		}
+		for i := start; i < len(tracks); i++ {
+			t := tracks[i]
+			nlo, nhi := lo, hi
+			if len(group) == 0 {
+				nlo, nhi = t.StartFrame(), t.EndFrame()
+			} else {
+				if s := t.StartFrame(); s > nlo {
+					nlo = s
+				}
+				if e := t.EndFrame(); e < nhi {
+					nhi = e
+				}
+			}
+			if int(nhi-nlo)+1 < q.MinFrames {
+				continue
+			}
+			group = append(group, t)
+			recurse(i+1, nlo, nhi)
+			group = group[:len(group)-1]
+		}
+	}
+	recurse(0, 0, 0)
+	sort.Slice(out, func(i, j int) bool { return lessGroup(out[i], out[j]) })
+	return out
+}
+
+// classesMatch reports whether the group's class multiset equals the
+// query's (nil matches anything).
+func (q CoOccurQuery) classesMatch(group []*video.Track) bool {
+	if q.Classes == nil {
+		return true
+	}
+	want := make(map[video.ClassID]int, len(q.Classes))
+	for _, c := range q.Classes {
+		want[c]++
+	}
+	for _, t := range group {
+		c := t.Class()
+		if want[c] == 0 {
+			return false
+		}
+		want[c]--
+	}
+	return true
+}
+
+// Recall evaluates co-occurrence recall against ground truth: a GT object
+// group is found when some answered hypothesis group maps, track by track,
+// onto exactly that object set.
+func (q CoOccurQuery) Recall(gt, hyp *video.TrackSet) float64 {
+	want := make(map[string]bool)
+	for _, g := range q.Answer(gt) {
+		if k, ok := objectKey(gt, g); ok {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		return 1
+	}
+	found := 0
+	seen := make(map[string]bool)
+	for _, g := range q.Answer(hyp) {
+		k, ok := objectKey(hyp, g)
+		if !ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		if want[k] {
+			found++
+		}
+	}
+	return float64(found) / float64(len(want))
+}
+
+// objectKey maps a group of tracks to a canonical GT object set key. It
+// fails when any member track cannot be attributed or when two members map
+// to the same object.
+func objectKey(ts *video.TrackSet, g Group) (string, bool) {
+	objs := make([]int, 0, len(g))
+	for _, id := range g {
+		obj := motmetrics.TrackObject(ts.Get(id))
+		if obj < 0 {
+			return "", false
+		}
+		objs = append(objs, int(obj))
+	}
+	sort.Ints(objs)
+	for i := 1; i < len(objs); i++ {
+		if objs[i] == objs[i-1] {
+			return "", false
+		}
+	}
+	parts := make([]string, len(objs))
+	for i, o := range objs {
+		parts[i] = strconv.Itoa(o)
+	}
+	return strings.Join(parts, ","), true
+}
+
+func lessGroup(a, b Group) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

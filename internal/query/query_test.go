@@ -1,0 +1,224 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// span builds a track for object obj with one box per frame over
+// [start, end].
+func span(id video.TrackID, obj video.ObjectID, start, end video.FrameIndex) *video.Track {
+	t := &video.Track{ID: id}
+	for f := start; f <= end; f++ {
+		t.Boxes = append(t.Boxes, video.BBox{
+			ID:       video.BBoxID(int(id)*100000 + int(f) + 1),
+			Frame:    f,
+			Rect:     geom.Rect{X: float64(f), W: 5, H: 5},
+			GTObject: obj,
+		})
+	}
+	return t
+}
+
+func set(tracks ...*video.Track) *video.TrackSet { return video.NewTrackSet(tracks) }
+
+func TestCountQueryAnswer(t *testing.T) {
+	ts := set(
+		span(1, 1, 0, 249),  // 250 frames: qualifies
+		span(2, 2, 0, 100),  // 101 frames: no
+		span(3, 3, 50, 260), // 211 frames: qualifies
+	)
+	q := CountQuery{MinFrames: 200}
+	got := q.Answer(ts)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Answer = %v", got)
+	}
+	if q.Count(ts) != 2 {
+		t.Errorf("Count = %d", q.Count(ts))
+	}
+}
+
+func TestCountQueryRecallFragmentation(t *testing.T) {
+	gt := set(span(1, 1, 0, 299)) // object 1 visible 300 frames
+	q := CountQuery{MinFrames: 200}
+
+	// Fragmented: two tracks of 150 frames each -> miss.
+	frag := set(span(10, 1, 0, 149), span(11, 1, 150, 299))
+	if got := q.Recall(gt, frag); got != 0 {
+		t.Errorf("fragmented recall = %v, want 0", got)
+	}
+
+	// Merged: one track covering the full span -> hit.
+	merged := set(span(10, 1, 0, 299))
+	if got := q.Recall(gt, merged); got != 1 {
+		t.Errorf("merged recall = %v, want 1", got)
+	}
+}
+
+func TestCountQueryRecallEmptyTruth(t *testing.T) {
+	gt := set(span(1, 1, 0, 10))
+	hyp := set(span(10, 1, 0, 10))
+	q := CountQuery{MinFrames: 500}
+	if got := q.Recall(gt, hyp); got != 1 {
+		t.Errorf("empty-truth recall = %v, want 1", got)
+	}
+}
+
+func TestCoOccurAnswer(t *testing.T) {
+	ts := set(
+		span(1, 1, 0, 100),
+		span(2, 2, 20, 120),
+		span(3, 3, 40, 140),
+		span(4, 4, 95, 200), // overlaps the others by too little
+	)
+	q := CoOccurQuery{GroupSize: 3, MinFrames: 50}
+	got := q.Answer(ts)
+	// Joint presence of (1,2,3): frames 40..100 = 61 frames >= 50. Any
+	// triple with 4 has overlap <= 6 frames.
+	if len(got) != 1 {
+		t.Fatalf("got %d groups: %v", len(got), got)
+	}
+	if got[0][0] != 1 || got[0][1] != 2 || got[0][2] != 3 {
+		t.Errorf("group = %v", got[0])
+	}
+}
+
+func TestCoOccurPairs(t *testing.T) {
+	ts := set(span(1, 1, 0, 100), span(2, 2, 50, 160))
+	q := CoOccurQuery{GroupSize: 2, MinFrames: 51}
+	if got := q.Answer(ts); len(got) != 1 {
+		t.Errorf("pair groups = %v", got)
+	}
+	q.MinFrames = 52
+	if got := q.Answer(ts); len(got) != 0 {
+		t.Errorf("overlap of 51 frames must fail MinFrames=52: %v", got)
+	}
+}
+
+func TestCoOccurRecallFragmentation(t *testing.T) {
+	gt := set(
+		span(1, 1, 0, 200),
+		span(2, 2, 0, 200),
+		span(3, 3, 0, 200),
+	)
+	q := CoOccurQuery{GroupSize: 3, MinFrames: 100}
+
+	// Object 3 fragmented into two 80-frame tracks: the triple's joint
+	// run with either fragment is < 100 -> miss.
+	frag := set(
+		span(10, 1, 0, 200),
+		span(11, 2, 0, 200),
+		span(12, 3, 0, 79),
+		span(13, 3, 110, 200),
+	)
+	if got := q.Recall(gt, frag); got != 0 {
+		t.Errorf("fragmented recall = %v, want 0", got)
+	}
+
+	merged := set(
+		span(10, 1, 0, 200),
+		span(11, 2, 0, 200),
+		span(12, 3, 0, 200),
+	)
+	if got := q.Recall(gt, merged); got != 1 {
+		t.Errorf("merged recall = %v, want 1", got)
+	}
+}
+
+func TestCoOccurRecallDuplicateObjectsRejected(t *testing.T) {
+	gt := set(span(1, 1, 0, 200), span(2, 2, 0, 200), span(3, 3, 0, 200))
+	q := CoOccurQuery{GroupSize: 3, MinFrames: 100}
+	// Hypothesis group where two tracks map to the same object cannot
+	// match any GT group.
+	hyp := set(
+		span(10, 1, 0, 200),
+		span(11, 1, 0, 200), // duplicate object 1
+		span(12, 2, 0, 200),
+	)
+	if got := q.Recall(gt, hyp); got != 0 {
+		t.Errorf("recall with duplicate-object group = %v, want 0", got)
+	}
+}
+
+func TestCoOccurGroupSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CoOccurQuery{GroupSize: 1, MinFrames: 10}.Answer(set())
+}
+
+func TestCoOccurEmptySet(t *testing.T) {
+	q := CoOccurQuery{GroupSize: 3, MinFrames: 10}
+	if got := q.Answer(set()); len(got) != 0 {
+		t.Errorf("empty answer = %v", got)
+	}
+	if got := q.Recall(set(), set()); got != 1 {
+		t.Errorf("empty recall = %v", got)
+	}
+}
+
+func TestCoOccurDeterministicOrder(t *testing.T) {
+	ts := set(
+		span(4, 4, 0, 100),
+		span(2, 2, 0, 100),
+		span(1, 1, 0, 100),
+		span(3, 3, 0, 100),
+	)
+	q := CoOccurQuery{GroupSize: 2, MinFrames: 50}
+	got := q.Answer(ts)
+	if len(got) != 6 {
+		t.Fatalf("got %d pairs, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !lessGroup(got[i-1], got[i]) {
+			t.Errorf("groups out of order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func classSpan(id video.TrackID, obj video.ObjectID, class video.ClassID, start, end video.FrameIndex) *video.Track {
+	t := span(id, obj, start, end)
+	for i := range t.Boxes {
+		t.Boxes[i].Class = class
+	}
+	return t
+}
+
+func TestCoOccurClassPattern(t *testing.T) {
+	// "The same two persons (class 0) and one vehicle (class 1) appear
+	// jointly" — the paper's §V-H example.
+	ts := set(
+		classSpan(1, 1, 0, 0, 200), // person
+		classSpan(2, 2, 0, 0, 200), // person
+		classSpan(3, 3, 1, 0, 200), // vehicle
+		classSpan(4, 4, 1, 0, 200), // vehicle
+	)
+	q := CoOccurQuery{GroupSize: 3, MinFrames: 100, Classes: []video.ClassID{0, 0, 1}}
+	got := q.Answer(ts)
+	// Valid groups: {1,2,3} and {1,2,4}. Not {1,3,4} or {2,3,4}.
+	if len(got) != 2 {
+		t.Fatalf("got %d groups: %v", len(got), got)
+	}
+	for _, g := range got {
+		if g[0] != 1 || g[1] != 2 {
+			t.Errorf("group %v does not contain both persons", g)
+		}
+	}
+	// Unconstrained query returns all 4 triples.
+	if n := len((CoOccurQuery{GroupSize: 3, MinFrames: 100}).Answer(ts)); n != 4 {
+		t.Errorf("unconstrained answer = %d triples", n)
+	}
+}
+
+func TestCoOccurClassPatternLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CoOccurQuery{GroupSize: 3, MinFrames: 1, Classes: []video.ClassID{0}}.Answer(set())
+}

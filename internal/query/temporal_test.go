@@ -1,0 +1,111 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// regionTrack builds a track whose boxes sit at fixed coordinates.
+func regionTrack(id video.TrackID, obj video.ObjectID, start, end video.FrameIndex, x, y float64) *video.Track {
+	t := &video.Track{ID: id}
+	for f := start; f <= end; f++ {
+		t.Boxes = append(t.Boxes, video.BBox{
+			ID:       video.BBoxID(int(id)*100000 + int(f) + 1),
+			Frame:    f,
+			Rect:     geom.RectFromCenter(geom.Point{X: x, Y: y}, 10, 10),
+			GTObject: obj,
+		})
+	}
+	return t
+}
+
+func TestRegionQueryAnswer(t *testing.T) {
+	region := geom.Rect{X: 0, Y: 0, W: 100, H: 100}
+	inside := regionTrack(1, 1, 0, 99, 50, 50)    // 100 frames inside
+	outside := regionTrack(2, 2, 0, 99, 500, 500) // outside
+	short := regionTrack(3, 3, 0, 10, 50, 50)     // inside but brief
+	ts := set(inside, outside, short)
+
+	q := RegionQuery{Region: region, MinFrames: 50}
+	got := q.Answer(ts)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Answer = %v", got)
+	}
+}
+
+func TestRegionQueryRecallFragmentation(t *testing.T) {
+	region := geom.Rect{X: 0, Y: 0, W: 100, H: 100}
+	gt := set(regionTrack(1, 1, 0, 99, 50, 50))
+	q := RegionQuery{Region: region, MinFrames: 80}
+
+	frag := set(
+		regionTrack(10, 1, 0, 49, 50, 50),
+		regionTrack(11, 1, 50, 99, 50, 50),
+	)
+	if got := q.Recall(gt, frag); got != 0 {
+		t.Errorf("fragmented recall = %v", got)
+	}
+	merged := set(regionTrack(10, 1, 0, 99, 50, 50))
+	if got := q.Recall(gt, merged); got != 1 {
+		t.Errorf("merged recall = %v", got)
+	}
+	// Empty truth.
+	if got := (RegionQuery{Region: region, MinFrames: 1000}).Recall(gt, merged); got != 1 {
+		t.Errorf("empty-truth recall = %v", got)
+	}
+}
+
+func TestPrecedesQueryAnswer(t *testing.T) {
+	a := span(1, 1, 0, 200)   // enters at 0
+	b := span(2, 2, 100, 300) // enters 100 after a; overlap 100..200 = 101
+	c := span(3, 3, 190, 400) // enters 190 after a; overlap 190..200 = 11
+	ts := set(a, b, c)
+
+	q := PrecedesQuery{MinGap: 50, MinOverlap: 50}
+	got := q.Answer(ts)
+	// Qualifying: (1,2) gap 100 overlap 101; (2,3) gap 90 overlap 111.
+	// (1,3): gap 190 but overlap 11 -> no.
+	if len(got) != 2 {
+		t.Fatalf("Answer = %v", got)
+	}
+	if got[0] != (OrderedPair{1, 2}) || got[1] != (OrderedPair{2, 3}) {
+		t.Errorf("Answer = %v", got)
+	}
+}
+
+func TestPrecedesQueryRecallFragmentation(t *testing.T) {
+	gt := set(
+		span(1, 1, 0, 300),
+		span(2, 2, 100, 400),
+	)
+	q := PrecedesQuery{MinGap: 50, MinOverlap: 150}
+	if got := q.Recall(gt, gt); got != 1 {
+		t.Fatalf("self recall = %v", got)
+	}
+	// Fragmenting object 2's track truncates the overlap below 150.
+	frag := set(
+		span(10, 1, 0, 300),
+		span(11, 2, 100, 200),
+		span(12, 2, 210, 400),
+	)
+	if got := q.Recall(gt, frag); got != 0 {
+		t.Errorf("fragmented recall = %v", got)
+	}
+	merged := set(
+		span(10, 1, 0, 300),
+		span(11, 2, 100, 400),
+	)
+	if got := q.Recall(gt, merged); got != 1 {
+		t.Errorf("merged recall = %v", got)
+	}
+}
+
+func TestPrecedesQueryEmptyTruth(t *testing.T) {
+	ts := set(span(1, 1, 0, 10))
+	q := PrecedesQuery{MinGap: 5, MinOverlap: 5}
+	if got := q.Recall(ts, ts); got != 1 {
+		t.Errorf("empty-truth recall = %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+// Package reid implements the simulated re-identification model and the
+// distance oracle every merging algorithm consults.
+//
+// The paper uses OSNet, a deep CNN trained with a triplet+softmax loss so
+// that BBoxes of the same object embed close together (§V-B). Here the
+// model is a fixed-weight two-layer MLP over the simulator's appearance
+// observations: same-object observations (latent + noise) map to nearby
+// embeddings, different objects map far apart. The forward pass is real
+// CPU work, so extraction is genuinely the expensive operation, and the
+// Oracle adds the virtual cost accounting and the feature cache that
+// implements the paper's reuse optimisation.
+package reid
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/stats"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// Model is the simulated ReID embedder: a fixed random-weight MLP
+// in -> hidden -> out with tanh activations, plus a distance normaliser
+// calibrated at construction so that normalised distances of independent
+// objects concentrate well below 1 while staying far above same-object
+// distances.
+type Model struct {
+	InDim, HiddenDim, OutDim int
+
+	w1, w2 *vecmath.Mat
+	scale  float64 // distance normaliser: dNorm = clamp01(d / scale)
+}
+
+// NewModel constructs a model with deterministic weights derived from seed.
+// inDim must match the simulator's AppearanceDim.
+func NewModel(seed uint64, inDim int) *Model {
+	if inDim <= 0 {
+		panic(fmt.Sprintf("reid: inDim must be positive, got %d", inDim))
+	}
+	hidden := 2 * inDim
+	out := inDim
+	m := &Model{InDim: inDim, HiddenDim: hidden, OutDim: out}
+	r := xrand.Derive(seed, "reid-weights")
+	m.w1 = randomMat(r, hidden, inDim)
+	m.w2 = randomMat(r, out, hidden)
+	m.calibrate(xrand.Derive(seed, "reid-calibrate"))
+	return m
+}
+
+func randomMat(r *xrand.RNG, rows, cols int) *vecmath.Mat {
+	m := vecmath.NewMat(rows, cols)
+	// He-style scaling keeps tanh activations in their linear-ish regime.
+	std := 1.0 / float64(cols)
+	for i := range m.Data {
+		m.Data[i] = r.Gaussian(0, std) * 3
+	}
+	return m
+}
+
+// calibrate sets the distance normaliser from the empirical distribution
+// of distances between embeddings of independent noisy observations
+// (random unit latents plus typical per-frame observation noise), so that
+// the bulk of cross-object pairs lands around 0.8 and the [0, 1] clamp
+// rarely binds.
+func (m *Model) calibrate(r *xrand.RNG) {
+	const (
+		samples  = 256
+		obsNoise = 0.06 // typical per-frame observation noise level
+	)
+	dists := make([]float64, 0, samples)
+	noisy := func() vecmath.Vec {
+		v := randomUnit(r, m.InDim)
+		for i := range v {
+			v[i] += r.Gaussian(0, obsNoise)
+		}
+		return v
+	}
+	for i := 0; i < samples; i++ {
+		dists = append(dists, vecmath.Dist2(m.Embed(noisy()), m.Embed(noisy())))
+	}
+	m.scale = stats.Quantile(dists, 0.95) * 1.15
+	if m.scale <= 0 {
+		m.scale = 1
+	}
+}
+
+func randomUnit(r *xrand.RNG, n int) vecmath.Vec {
+	v := vecmath.NewVec(n)
+	for i := range v {
+		v[i] = r.Gaussian(0, 1)
+	}
+	return vecmath.Normalize(v)
+}
+
+// Embed runs the MLP forward pass and returns a fresh embedding vector.
+func (m *Model) Embed(obs vecmath.Vec) vecmath.Vec {
+	if len(obs) != m.InDim {
+		panic(fmt.Sprintf("reid: observation dim %d, model expects %d", len(obs), m.InDim))
+	}
+	h := vecmath.NewVec(m.HiddenDim)
+	m.w1.MulVec(h, obs)
+	vecmath.Tanh(h)
+	out := vecmath.NewVec(m.OutDim)
+	m.w2.MulVec(out, h)
+	vecmath.Tanh(out)
+	return out
+}
+
+// Distance returns the Euclidean distance between two embeddings.
+func (m *Model) Distance(f1, f2 vecmath.Vec) float64 { return vecmath.Dist2(f1, f2) }
+
+// Normalize maps a raw embedding distance into [0, 1] using the calibrated
+// scale (the paper's normalised distance d~).
+func (m *Model) Normalize(d float64) float64 { return stats.Clamp01(d / m.scale) }
+
+// Scale exposes the calibrated normaliser (used by tests).
+func (m *Model) Scale() float64 { return m.scale }

@@ -1,0 +1,125 @@
+package reid
+
+import (
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Stats counts the oracle's work, the currency every algorithm in the
+// paper is measured in.
+type Stats struct {
+	Distances   int64 // BBox pair distances computed
+	Extractions int64 // MLP forward passes actually executed
+	CacheHits   int64 // extractions avoided by the feature cache
+}
+
+// Oracle computes normalised BBox pair distances on a Device, caching
+// embeddings by BBox identity (the paper's feature-reuse optimisation:
+// "if either of the BBoxes' feature vectors has been extracted in previous
+// iterations it can be reused").
+type Oracle struct {
+	model *Model
+	dev   device.Device
+	cache map[video.BBoxID]vecmath.Vec
+	// Caching can be disabled for the ablation benchmarks.
+	cacheEnabled bool
+	stats        Stats
+}
+
+// NewOracle returns an oracle executing on dev with caching enabled.
+func NewOracle(model *Model, dev device.Device) *Oracle {
+	return &Oracle{
+		model:        model,
+		dev:          dev,
+		cache:        make(map[video.BBoxID]vecmath.Vec),
+		cacheEnabled: true,
+	}
+}
+
+// SetCacheEnabled toggles the feature cache (ablation).
+func (o *Oracle) SetCacheEnabled(on bool) { o.cacheEnabled = on }
+
+// Model returns the underlying embedder.
+func (o *Oracle) Model() *Model { return o.model }
+
+// Device returns the execution device.
+func (o *Oracle) Device() device.Device { return o.dev }
+
+// Stats returns a snapshot of the oracle's work counters.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// ResetStats zeroes the counters (the cache is retained).
+func (o *Oracle) ResetStats() { o.stats = Stats{} }
+
+// ResetCache clears the feature cache.
+func (o *Oracle) ResetCache() { o.cache = make(map[video.BBoxID]vecmath.Vec) }
+
+// Distance computes the normalised distance d~(b1, b2) in [0, 1] as a
+// single device submission.
+func (o *Oracle) Distance(b1, b2 video.BBox) float64 {
+	return o.DistanceBatch([][2]video.BBox{{b1, b2}})[0]
+}
+
+// DistanceBatch computes normalised distances for a batch of BBox pairs as
+// one device submission — the unit of work the "-B" algorithm variants
+// amortise launch costs over. Uncached embeddings across the whole batch
+// are extracted jointly.
+func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
+	// Collect distinct uncached boxes across the batch.
+	type job struct {
+		id  video.BBoxID
+		obs vecmath.Vec
+	}
+	var jobs []job
+	seen := make(map[video.BBoxID]bool)
+	need := func(b video.BBox) {
+		if o.cacheEnabled {
+			if _, ok := o.cache[b.ID]; ok {
+				o.stats.CacheHits++
+				return
+			}
+		}
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		jobs = append(jobs, job{id: b.ID, obs: b.Obs})
+	}
+	for _, p := range pairs {
+		need(p[0])
+		need(p[1])
+	}
+
+	results := make([]vecmath.Vec, len(jobs))
+	run := func(i int) { results[i] = o.model.Embed(jobs[i].obs) }
+	if len(jobs) == 0 {
+		run = nil
+	}
+	o.dev.Submit(len(jobs), len(pairs), run)
+	o.stats.Extractions += int64(len(jobs))
+	o.stats.Distances += int64(len(pairs))
+
+	fresh := make(map[video.BBoxID]vecmath.Vec, len(jobs))
+	for i, j := range jobs {
+		fresh[j.id] = results[i]
+		if o.cacheEnabled {
+			o.cache[j.id] = results[i]
+		}
+	}
+	feature := func(b video.BBox) vecmath.Vec {
+		if o.cacheEnabled {
+			if f, ok := o.cache[b.ID]; ok {
+				return f
+			}
+		}
+		return fresh[b.ID]
+	}
+
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		d := o.model.Distance(feature(p[0]), feature(p[1]))
+		out[i] = o.model.Normalize(d)
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package reid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+const dim = 32
+
+func newTestOracle() *Oracle {
+	return NewOracle(NewModel(7, dim), device.NewCPU(device.DefaultCPU))
+}
+
+func randomObs(r *xrand.RNG) vecmath.Vec {
+	v := vecmath.NewVec(dim)
+	for i := range v {
+		v[i] = r.Gaussian(0, 1)
+	}
+	return vecmath.Normalize(v)
+}
+
+func noisy(r *xrand.RNG, base vecmath.Vec, sigma float64) vecmath.Vec {
+	v := base.Clone()
+	for i := range v {
+		v[i] += r.Gaussian(0, sigma)
+	}
+	return v
+}
+
+func TestModelDeterminism(t *testing.T) {
+	r := xrand.New(1)
+	obs := randomObs(r)
+	m1 := NewModel(7, dim)
+	m2 := NewModel(7, dim)
+	e1 := m1.Embed(obs)
+	e2 := m2.Embed(obs)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("same seed must give identical embeddings")
+		}
+	}
+	m3 := NewModel(8, dim)
+	e3 := m3.Embed(obs)
+	diff := false
+	for i := range e1 {
+		if e1[i] != e3[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds must give different models")
+	}
+}
+
+// The defining ReID property: same-object observations embed much closer
+// than different-object observations.
+func TestModelSeparation(t *testing.T) {
+	m := NewModel(7, dim)
+	r := xrand.New(3)
+	var same, diff float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := randomObs(r)
+		b := randomObs(r)
+		same += m.Distance(m.Embed(noisy(r, a, 0.08)), m.Embed(noisy(r, a, 0.08)))
+		diff += m.Distance(m.Embed(noisy(r, a, 0.08)), m.Embed(noisy(r, b, 0.08)))
+	}
+	same /= trials
+	diff /= trials
+	if diff < 2*same {
+		t.Errorf("separation too weak: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestNormalizeRange(t *testing.T) {
+	m := NewModel(7, dim)
+	f := func(d float64) bool {
+		if d < 0 {
+			d = -d
+		}
+		n := m.Normalize(d)
+		return n >= 0 && n <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if m.Normalize(0) != 0 {
+		t.Error("Normalize(0) must be 0")
+	}
+	if m.Scale() <= 0 {
+		t.Error("calibrated scale must be positive")
+	}
+}
+
+func TestEmbedPanicsOnWrongDim(t *testing.T) {
+	m := NewModel(7, dim)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Embed(vecmath.NewVec(dim + 1))
+}
+
+func box(id video.BBoxID, obs vecmath.Vec) video.BBox {
+	return video.BBox{ID: id, Obs: obs}
+}
+
+func TestOracleDistanceCountsWork(t *testing.T) {
+	o := newTestOracle()
+	r := xrand.New(5)
+	b1 := box(1, randomObs(r))
+	b2 := box(2, randomObs(r))
+	d := o.Distance(b1, b2)
+	if d < 0 || d > 1 {
+		t.Errorf("distance = %v", d)
+	}
+	st := o.Stats()
+	if st.Distances != 1 || st.Extractions != 2 || st.CacheHits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOracleCacheReuse(t *testing.T) {
+	o := newTestOracle()
+	r := xrand.New(5)
+	b1 := box(1, randomObs(r))
+	b2 := box(2, randomObs(r))
+	b3 := box(3, randomObs(r))
+	d1 := o.Distance(b1, b2)
+	d2 := o.Distance(b1, b3) // b1 cached
+	_ = d2
+	st := o.Stats()
+	if st.Extractions != 3 {
+		t.Errorf("extractions = %d, want 3", st.Extractions)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+	// Same inputs give the same answer from cache.
+	if got := o.Distance(b1, b2); got != d1 {
+		t.Errorf("cached distance differs: %v vs %v", got, d1)
+	}
+}
+
+func TestOracleCacheDisabled(t *testing.T) {
+	o := newTestOracle()
+	o.SetCacheEnabled(false)
+	r := xrand.New(5)
+	b1 := box(1, randomObs(r))
+	b2 := box(2, randomObs(r))
+	o.Distance(b1, b2)
+	o.Distance(b1, b2)
+	st := o.Stats()
+	if st.Extractions != 4 {
+		t.Errorf("extractions = %d, want 4 (no cache)", st.Extractions)
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("cache hits = %d", st.CacheHits)
+	}
+}
+
+func TestOracleBatchDedup(t *testing.T) {
+	o := newTestOracle()
+	r := xrand.New(6)
+	b1 := box(1, randomObs(r))
+	b2 := box(2, randomObs(r))
+	b3 := box(3, randomObs(r))
+	// b1 appears in both pairs: extracted once.
+	ds := o.DistanceBatch([][2]video.BBox{{b1, b2}, {b1, b3}})
+	if len(ds) != 2 {
+		t.Fatalf("got %d distances", len(ds))
+	}
+	st := o.Stats()
+	if st.Extractions != 3 {
+		t.Errorf("extractions = %d, want 3", st.Extractions)
+	}
+	if st.Distances != 2 {
+		t.Errorf("distances = %d, want 2", st.Distances)
+	}
+	if got := o.Device().Submissions(); got != 1 {
+		t.Errorf("submissions = %d, want 1", got)
+	}
+}
+
+func TestOracleResets(t *testing.T) {
+	o := newTestOracle()
+	r := xrand.New(6)
+	o.Distance(box(1, randomObs(r)), box(2, randomObs(r)))
+	o.ResetStats()
+	if st := o.Stats(); st.Distances != 0 || st.Extractions != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	// Cache retained after ResetStats: no new extraction.
+	o.Distance(box(1, randomObs(r)), box(2, randomObs(r)))
+	if st := o.Stats(); st.Extractions != 0 {
+		t.Errorf("extractions after cached distance = %d", st.Extractions)
+	}
+	o.ResetCache()
+	o.Distance(box(1, randomObs(r)), box(2, randomObs(r)))
+	if st := o.Stats(); st.Extractions != 2 {
+		t.Errorf("extractions after cache reset = %d", st.Extractions)
+	}
+}
+
+func mkTrackWithObs(id video.TrackID, r *xrand.RNG, base vecmath.Vec, n int, firstBox video.BBoxID) *video.Track {
+	t := &video.Track{ID: id}
+	for i := 0; i < n; i++ {
+		t.Boxes = append(t.Boxes, video.BBox{
+			ID:    firstBox + video.BBoxID(i),
+			Frame: video.FrameIndex(i),
+			Obs:   noisy(r, base, 0.08),
+		})
+	}
+	return t
+}
+
+func TestTrackPairMeansMatchesDistanceBatch(t *testing.T) {
+	r := xrand.New(9)
+	a := randomObs(r)
+	b := randomObs(r)
+	ti := mkTrackWithObs(1, r, a, 3, 100)
+	tj := mkTrackWithObs(2, r, b, 4, 200)
+	pair := video.NewPair(ti, tj)
+
+	o1 := newTestOracle()
+	streamed := o1.TrackPairMeans([]*video.Pair{pair})[0]
+
+	o2 := newTestOracle()
+	var pairs [][2]video.BBox
+	for _, ba := range ti.Boxes {
+		for _, bb := range tj.Boxes {
+			pairs = append(pairs, [2]video.BBox{ba, bb})
+		}
+	}
+	ds := o2.DistanceBatch(pairs)
+	var sum float64
+	for _, d := range ds {
+		sum += d
+	}
+	want := sum / float64(len(ds))
+	if diff := streamed - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("TrackPairMeans = %v, batch mean = %v", streamed, want)
+	}
+	// Work accounting matches: 7 extractions, 12 distances.
+	st := o1.Stats()
+	if st.Extractions != 7 || st.Distances != 12 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSampledMeansSubset(t *testing.T) {
+	r := xrand.New(11)
+	a := randomObs(r)
+	b := randomObs(r)
+	ti := mkTrackWithObs(1, r, a, 2, 100)
+	tj := mkTrackWithObs(2, r, b, 2, 200)
+	pair := video.NewPair(ti, tj)
+
+	o := newTestOracle()
+	full := o.TrackPairMeans([]*video.Pair{pair})[0]
+
+	o2 := newTestOracle()
+	all := o2.SampledMeans([]SampleSpec{{Pair: pair, Indices: []int{0, 1, 2, 3}}})[0]
+	if diff := full - all; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("full sample mean %v != exact %v", all, full)
+	}
+
+	o3 := newTestOracle()
+	one := o3.SampledMeans([]SampleSpec{{Pair: pair, Indices: []int{0}}})[0]
+	if one < 0 || one > 1 {
+		t.Errorf("single-sample mean = %v", one)
+	}
+	if st := o3.Stats(); st.Distances != 1 || st.Extractions != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSampledMeansEmptyIndices(t *testing.T) {
+	r := xrand.New(12)
+	pair := video.NewPair(mkTrackWithObs(1, r, randomObs(r), 1, 1), mkTrackWithObs(2, r, randomObs(r), 1, 2))
+	o := newTestOracle()
+	got := o.SampledMeans([]SampleSpec{{Pair: pair, Indices: nil}})[0]
+	if got != 1 {
+		t.Errorf("empty-sample mean = %v, want 1 (rank last)", got)
+	}
+}

@@ -1,0 +1,68 @@
+package reid
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// SequenceDistance computes the normalised distance between two
+// fixed-length BBox *sequences* — the sequence-input ReID variant the
+// paper's footnote 2 notes its techniques equally apply to ("two
+// fixed-length image sequences may be accepted as input", citing
+// video-based attention models). Each side's boxes are embedded
+// (cache-aware) and mean-pooled before the distance is taken; pooling
+// averages out per-frame noise, so sequence distances are sharper
+// estimates of track similarity at the cost of len(a)+len(b) extractions
+// per call.
+//
+// The call is one device submission, like DistanceBatch.
+func (o *Oracle) SequenceDistance(a, b []video.BBox) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic(fmt.Sprintf("reid: empty sequence (%d, %d boxes)", len(a), len(b)))
+	}
+	plan := newExtractPlan(o)
+	for _, box := range a {
+		plan.addBox(box)
+	}
+	for _, box := range b {
+		plan.addBox(box)
+	}
+	plan.execute(1)
+	o.stats.Distances++
+
+	pa := o.pool(plan, a)
+	pb := o.pool(plan, b)
+	return o.model.Normalize(o.model.Distance(pa, pb))
+}
+
+// pool mean-pools the embeddings of boxes.
+func (o *Oracle) pool(plan *extractPlan, boxes []video.BBox) vecmath.Vec {
+	out := vecmath.NewVec(o.model.OutDim)
+	for _, b := range boxes {
+		vecmath.Add(out, out, plan.feature(b.ID))
+	}
+	vecmath.Scale(out, 1/float64(len(boxes)), out)
+	return out
+}
+
+// SequenceWindow extracts a contiguous run of up to n boxes from a track,
+// centred as closely as possible on index around (clamped to the track).
+// It is the sampling primitive for sequence-input algorithms.
+func SequenceWindow(t *video.Track, around, n int) []video.BBox {
+	if n <= 0 || t.Len() == 0 {
+		return nil
+	}
+	if n >= t.Len() {
+		return t.Boxes
+	}
+	start := around - n/2
+	if start < 0 {
+		start = 0
+	}
+	if start+n > t.Len() {
+		start = t.Len() - n
+	}
+	return t.Boxes[start : start+n]
+}

@@ -1,0 +1,83 @@
+package reid
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func TestSequenceDistancePoolingReducesNoise(t *testing.T) {
+	r := xrand.New(21)
+	base1 := randomObs(r)
+	base2 := randomObs(r)
+	t1a := mkTrackWithObs(1, r, base1, 8, 100)
+	t1b := mkTrackWithObs(2, r, base1, 8, 200) // same object
+	t2 := mkTrackWithObs(3, r, base2, 8, 300)  // different object
+
+	o := newTestOracle()
+	same := o.SequenceDistance(t1a.Boxes, t1b.Boxes)
+	diff := o.SequenceDistance(t1a.Boxes, t2.Boxes)
+	if same >= diff {
+		t.Errorf("sequence distances: same=%v !< diff=%v", same, diff)
+	}
+
+	// Pooled same-object distance should be below the mean single-box
+	// distance (noise averages out).
+	o2 := newTestOracle()
+	single := o2.TrackPairMeans([]*video.Pair{video.NewPair(t1a, t1b)})[0]
+	if same > single+1e-9 {
+		t.Errorf("pooled distance %v above single-box mean %v", same, single)
+	}
+}
+
+func TestSequenceDistanceAccounting(t *testing.T) {
+	r := xrand.New(22)
+	a := mkTrackWithObs(1, r, randomObs(r), 4, 100)
+	b := mkTrackWithObs(2, r, randomObs(r), 3, 200)
+	o := newTestOracle()
+	o.SequenceDistance(a.Boxes, b.Boxes)
+	st := o.Stats()
+	if st.Extractions != 7 || st.Distances != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Second call fully cached.
+	o.SequenceDistance(a.Boxes, b.Boxes)
+	if got := o.Stats().Extractions; got != 7 {
+		t.Errorf("extractions after cached call = %d", got)
+	}
+}
+
+func TestSequenceDistancePanicsOnEmpty(t *testing.T) {
+	o := newTestOracle()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	o.SequenceDistance(nil, nil)
+}
+
+func TestSequenceWindow(t *testing.T) {
+	r := xrand.New(23)
+	tr := mkTrackWithObs(1, r, randomObs(r), 10, 100)
+	cases := []struct {
+		around, n   int
+		first, last video.BBoxID
+	}{
+		{5, 4, 103, 106},  // centred
+		{0, 4, 100, 103},  // clamped left
+		{9, 4, 106, 109},  // clamped right
+		{5, 20, 100, 109}, // n >= len: whole track
+	}
+	for _, c := range cases {
+		got := SequenceWindow(tr, c.around, c.n)
+		if got[0].ID != c.first || got[len(got)-1].ID != c.last {
+			t.Errorf("window(around=%d,n=%d) = [%d..%d], want [%d..%d]",
+				c.around, c.n, got[0].ID, got[len(got)-1].ID, c.first, c.last)
+		}
+	}
+	if SequenceWindow(tr, 0, 0) != nil {
+		t.Error("n=0 must be nil")
+	}
+}

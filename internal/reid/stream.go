@@ -1,0 +1,171 @@
+package reid
+
+import (
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// TrackPairMeans computes the exact track-pair score (Definition 3.1) —
+// the mean normalised distance over the full BBox cross product — for a
+// batch of track pairs as ONE device submission, streaming over the cross
+// products without materialising them. It is the execution path of the
+// exhaustive baseline (and BL-B), whose cross products reach millions of
+// BBox pairs per window.
+func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
+	// Plan: distinct uncached boxes across the batch.
+	plan := newExtractPlan(o)
+	totalDistances := 0
+	for _, p := range pairs {
+		plan.addTrack(p.TI)
+		plan.addTrack(p.TJ)
+		totalDistances += p.NumBBoxPairs()
+	}
+	plan.execute(totalDistances)
+
+	out := make([]float64, len(pairs))
+	for k, p := range pairs {
+		fi := plan.features(p.TI)
+		fj := plan.features(p.TJ)
+		var sum float64
+		for _, a := range fi {
+			for _, b := range fj {
+				sum += o.model.Normalize(vecmath.Dist2(a, b))
+			}
+		}
+		n := len(fi) * len(fj)
+		if n == 0 {
+			out[k] = 1
+			continue
+		}
+		out[k] = sum / float64(n)
+	}
+	o.stats.Distances += int64(totalDistances)
+	return out
+}
+
+// SampleSpec names a subset of one track pair's BBox cross product by
+// row-major indices (video.Pair.BBoxPairAt order).
+type SampleSpec struct {
+	Pair    *video.Pair
+	Indices []int
+}
+
+// SampledMeans computes, as one device submission, the sample-mean score
+// estimate (Equation 8) for each spec. It is the execution path of PS and
+// PS-B.
+func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
+	plan := newExtractPlan(o)
+	totalDistances := 0
+	for _, s := range specs {
+		m := s.Pair.TJ.Len()
+		for _, idx := range s.Indices {
+			plan.addBox(s.Pair.TI.Boxes[idx/m])
+			plan.addBox(s.Pair.TJ.Boxes[idx%m])
+		}
+		totalDistances += len(s.Indices)
+	}
+	plan.execute(totalDistances)
+
+	out := make([]float64, len(specs))
+	for k, s := range specs {
+		if len(s.Indices) == 0 {
+			out[k] = 1
+			continue
+		}
+		m := s.Pair.TJ.Len()
+		var sum float64
+		for _, idx := range s.Indices {
+			a := plan.feature(s.Pair.TI.Boxes[idx/m].ID)
+			b := plan.feature(s.Pair.TJ.Boxes[idx%m].ID)
+			sum += o.model.Normalize(vecmath.Dist2(a, b))
+		}
+		out[k] = sum / float64(len(s.Indices))
+	}
+	o.stats.Distances += int64(totalDistances)
+	return out
+}
+
+// extractPlan accumulates the distinct boxes a submission must embed and
+// provides feature lookup afterwards. When the oracle cache is enabled,
+// features land in the shared cache; otherwise they live only in the plan.
+type extractPlan struct {
+	o     *Oracle
+	boxes []video.BBox
+	local map[video.BBoxID]vecmath.Vec
+	seen  map[video.BBoxID]bool
+	// trackFeat memoises per-track feature slices so the baseline's inner
+	// loops avoid per-box map lookups.
+	trackFeat map[*video.Track][]vecmath.Vec
+}
+
+func newExtractPlan(o *Oracle) *extractPlan {
+	return &extractPlan{
+		o:         o,
+		local:     make(map[video.BBoxID]vecmath.Vec),
+		seen:      make(map[video.BBoxID]bool),
+		trackFeat: make(map[*video.Track][]vecmath.Vec),
+	}
+}
+
+func (p *extractPlan) addBox(b video.BBox) {
+	if p.seen[b.ID] {
+		return
+	}
+	if p.o.cacheEnabled {
+		if _, ok := p.o.cache[b.ID]; ok {
+			p.o.stats.CacheHits++
+			p.seen[b.ID] = true
+			return
+		}
+	}
+	p.seen[b.ID] = true
+	p.boxes = append(p.boxes, b)
+}
+
+func (p *extractPlan) addTrack(t *video.Track) {
+	if _, done := p.trackFeat[t]; done {
+		return
+	}
+	p.trackFeat[t] = nil // mark; filled lazily by features()
+	for _, b := range t.Boxes {
+		p.addBox(b)
+	}
+}
+
+// execute runs the single submission embedding every planned box and
+// charging nDistances distance costs.
+func (p *extractPlan) execute(nDistances int) {
+	results := make([]vecmath.Vec, len(p.boxes))
+	run := func(i int) { results[i] = p.o.model.Embed(p.boxes[i].Obs) }
+	if len(p.boxes) == 0 {
+		run = nil
+	}
+	p.o.dev.Submit(len(p.boxes), nDistances, run)
+	p.o.stats.Extractions += int64(len(p.boxes))
+	for i, b := range p.boxes {
+		p.local[b.ID] = results[i]
+		if p.o.cacheEnabled {
+			p.o.cache[b.ID] = results[i]
+		}
+	}
+}
+
+func (p *extractPlan) feature(id video.BBoxID) vecmath.Vec {
+	if f, ok := p.local[id]; ok {
+		return f
+	}
+	return p.o.cache[id]
+}
+
+// features returns the per-box feature slice of a planned track.
+func (p *extractPlan) features(t *video.Track) []vecmath.Vec {
+	if fs := p.trackFeat[t]; fs != nil {
+		return fs
+	}
+	fs := make([]vecmath.Vec, len(t.Boxes))
+	for i, b := range t.Boxes {
+		fs[i] = p.feature(b.ID)
+	}
+	p.trackFeat[t] = fs
+	return fs
+}

@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func trackerForTest() track.Tracker { return track.Tracktor() }
+
+func TestClassesAssignedAndConsistent(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumClasses = 3
+	v, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every detection's class matches its GT object's class, and with
+	// enough objects more than one class appears.
+	objClass := map[video.ObjectID]video.ClassID{}
+	for _, tr := range v.GT.Tracks() {
+		objClass[video.ObjectID(tr.ID)] = tr.Class()
+	}
+	seen := map[video.ClassID]bool{}
+	for _, dets := range v.Detections {
+		for _, d := range dets {
+			if d.Class < 0 || int(d.Class) >= 3 {
+				t.Fatalf("class %d out of range", d.Class)
+			}
+			if want := objClass[d.GTObject]; d.Class != want {
+				t.Fatalf("object %d detected with class %d, GT class %d", d.GTObject, d.Class, want)
+			}
+			seen[d.Class] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d classes appeared across the scene", len(seen))
+	}
+}
+
+func TestSingleClassDefault(t *testing.T) {
+	v, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dets := range v.Detections {
+		for _, d := range dets {
+			if d.Class != 0 {
+				t.Fatalf("single-class scene produced class %d", d.Class)
+			}
+		}
+	}
+}
+
+func TestCameraPanShiftsDetections(t *testing.T) {
+	cfg := testConfig()
+	still, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CameraPan = geom.Point{X: 1.5, Y: 0}
+	panned, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same world (same seeds) viewed through a moving camera: detections
+	// at frame f shift by f * pan relative to the static version.
+	checked := 0
+	for f := 10; f < 200; f += 37 {
+		a, b := still.Detections[f], panned.Detections[f]
+		if len(a) != len(b) || len(a) == 0 {
+			continue
+		}
+		wantShift := 1.5 * float64(f+1)
+		got := b[0].Rect.X - a[0].Rect.X
+		if diff := got - wantShift; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("frame %d: shift = %v, want %v", f, got, wantShift)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no comparable frames")
+	}
+}
+
+func TestCameraShakeDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.CameraShake = 2.0
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Detections {
+		if len(a.Detections[f]) != len(b.Detections[f]) {
+			t.Fatalf("frame %d counts differ", f)
+		}
+		for i := range a.Detections[f] {
+			if a.Detections[f][i].Rect != b.Detections[f][i].Rect {
+				t.Fatalf("camera shake not deterministic at frame %d", f)
+			}
+		}
+	}
+}
+
+func TestTrackerDoesNotAssociateAcrossClasses(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumClasses = 4
+	v, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track with the class-gated engine: every emitted track must be
+	// class-pure.
+	ts := trackerForTest().Track(v.Detections)
+	for _, tr := range ts.Tracks() {
+		c := tr.Boxes[0].Class
+		for _, b := range tr.Boxes {
+			if b.Class != c {
+				t.Fatalf("track %d mixes classes %d and %d", tr.ID, c, b.Class)
+			}
+		}
+	}
+}

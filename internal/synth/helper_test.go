@@ -1,0 +1,5 @@
+package synth
+
+import "github.com/tmerge/tmerge/internal/geom"
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }

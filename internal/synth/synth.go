@@ -1,0 +1,455 @@
+// Package synth implements the synthetic scene simulator that stands in
+// for real video in this reproduction (see DESIGN.md §2).
+//
+// A scene contains objects that enter over time, move with noisy constant
+// velocity, and leave (or time out after MaxSpan frames, the paper's Lmax
+// bound on ground-truth track span). Each object carries a latent
+// appearance vector; every detection is a noisy observation of it. Two
+// effects suppress detections and therefore fragment downstream trackers,
+// exactly as occlusion and glare do in the paper:
+//
+//   - occlusion: when a nearer object covers more than OcclusionCoverage of
+//     a farther object's box, the farther object goes undetected;
+//   - glare: transient bright regions suppress detections inside them.
+//
+// The simulator knows ground truth exactly, so the evaluation code can
+// derive the true polyonymous pair sets P*c without manual labelling.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// Config parameterises a synthetic scene.
+type Config struct {
+	Seed      uint64
+	Name      string
+	NumFrames int
+
+	// Scene geometry.
+	Width, Height float64
+
+	// Object population dynamics.
+	ArrivalRate float64 // expected number of new objects per frame
+	MaxObjects  int     // cap on concurrently live objects (0 = no cap)
+	MinSpan     int     // minimum object lifetime in frames
+	MaxSpan     int     // maximum object lifetime in frames (the paper's Lmax)
+
+	// Kinematics and size.
+	SpeedMin, SpeedMax float64 // pixels per frame
+	SizeMin, SizeMax   float64 // box side length range
+	PosJitter          float64 // per-frame positional noise (pixels)
+	// CameraPan is a constant global camera translation per frame
+	// (ego-motion, as in KITTI); it shifts every object's apparent
+	// position. Zero disables it.
+	CameraPan geom.Point
+	// CameraShake is per-frame random global jitter (hand-held or
+	// vibrating mounts), applied to all objects identically.
+	CameraShake float64
+
+	// NumClasses is how many object classes the scene contains (person,
+	// vehicle, ...). Values < 2 produce the single-class setting. Each
+	// object draws a class at spawn; detections carry it, trackers never
+	// associate across classes, and queries may constrain on it.
+	NumClasses int
+
+	// Appearance model.
+	AppearanceDim   int     // latent/observation dimensionality
+	AppearanceNoise float64 // stddev of per-frame observation noise
+	// PosAppearanceWeight couples an object's latent appearance to its
+	// spawn position: spatially close objects share illumination,
+	// background bleed, and camera perspective, so they look more alike.
+	// This reproduces the paper's §IV-C observation that track-pair scores
+	// correlate with spatial distance (Pearson >= 0.3), the signal
+	// BetaInit exploits. 0 disables the coupling.
+	PosAppearanceWeight float64
+	// AppearanceDrift is the per-frame random-walk step of the object's
+	// latent appearance (lighting and pose change along a trajectory).
+	// Drift is what makes temporally distant fragments of the same object
+	// genuinely hard to match: their mean ReID distance approaches that
+	// of similar-looking distinct objects, so high recall requires many
+	// samples — the regime in which the paper's REC-K curve tops out near
+	// 0.95 rather than 1 (Figure 3). 0 disables drift.
+	AppearanceDrift float64
+	// OutlierProb is the per-detection probability of a corrupted
+	// appearance observation (pose change, partial occlusion, motion
+	// blur): the observation is pulled toward one of SharedPoseCount
+	// global "pose/background" components and gets OutlierNoise-scale
+	// noise on top of the usual AppearanceNoise. Outliers are what make a
+	// single BBox-pair distance an unreliable estimate of the track-pair
+	// score: same-object samples occasionally look far apart, and —
+	// because the pose components are shared across objects — two
+	// *different* objects occasionally produce a near-identical pair of
+	// crops (a ReID false match). The false-low samples are what defeat
+	// small uniform samples (PS at low η) while a bandit simply
+	// re-samples and rejects the offending pair.
+	OutlierProb  float64
+	OutlierNoise float64
+	// SharedPoseCount is the number of global pose/background components
+	// (default 8 when OutlierProb > 0).
+	SharedPoseCount int
+
+	// Failure modes.
+	OcclusionCoverage float64 // coverage fraction at which detection drops
+	MissProb          float64 // independent per-detection miss probability
+	GlareRate         float64 // probability a glare event starts per frame
+	GlareDuration     int     // glare event duration in frames
+	GlareSize         float64 // glare region side length
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumFrames <= 0:
+		return fmt.Errorf("synth: NumFrames must be positive, got %d", c.NumFrames)
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("synth: scene dimensions must be positive, got %gx%g", c.Width, c.Height)
+	case c.MinSpan <= 0 || c.MaxSpan < c.MinSpan:
+		return fmt.Errorf("synth: invalid span range [%d, %d]", c.MinSpan, c.MaxSpan)
+	case c.SpeedMin < 0 || c.SpeedMax < c.SpeedMin:
+		return fmt.Errorf("synth: invalid speed range [%g, %g]", c.SpeedMin, c.SpeedMax)
+	case c.SizeMin <= 0 || c.SizeMax < c.SizeMin:
+		return fmt.Errorf("synth: invalid size range [%g, %g]", c.SizeMin, c.SizeMax)
+	case c.AppearanceDim <= 0:
+		return fmt.Errorf("synth: AppearanceDim must be positive, got %d", c.AppearanceDim)
+	case c.OcclusionCoverage <= 0 || c.OcclusionCoverage > 1:
+		return fmt.Errorf("synth: OcclusionCoverage must be in (0, 1], got %g", c.OcclusionCoverage)
+	}
+	return nil
+}
+
+// Video is a generated scene: the per-frame detections a tracker consumes
+// and the exact ground truth the evaluator consumes.
+type Video struct {
+	Name      string
+	NumFrames int
+	Bounds    geom.Rect
+	// Detections[f] holds the detections of frame f, ordered by GT object
+	// ID for determinism. Each carries its GTObject for evaluation.
+	Detections [][]video.BBox
+	// GT holds one ground-truth track per object covering every frame the
+	// object is inside the scene, whether or not it was detected.
+	GT *video.TrackSet
+	// Latents maps each object to its latent appearance vector (used by
+	// tests and by the reid calibration).
+	Latents map[video.ObjectID]vecmath.Vec
+}
+
+// object is the simulator's internal per-object state.
+type object struct {
+	id     video.ObjectID
+	class  video.ClassID
+	latent vecmath.Vec
+	drift  *xrand.RNG // per-object stream for the appearance random walk
+	enter  int        // first frame
+	exit   int        // last frame (inclusive)
+	depth  float64
+	size   float64
+	pos    geom.Point
+	vel    geom.Point
+	gt     []video.BBox
+}
+
+type glare struct {
+	region geom.Rect
+	until  int // last frame (inclusive)
+}
+
+// Generate runs the simulation and returns the resulting Video.
+func Generate(cfg Config) (*Video, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := geom.Rect{X: 0, Y: 0, W: cfg.Width, H: cfg.Height}
+	arrivals := xrand.Derive(cfg.Seed, "arrivals:"+cfg.Name)
+	glareRng := xrand.Derive(cfg.Seed, "glare:"+cfg.Name)
+	detRng := xrand.Derive(cfg.Seed, "detect:"+cfg.Name)
+
+	var (
+		objects []*object
+		live    []*object
+		glares  []glare
+		nextID  video.ObjectID
+		nextBox video.BBoxID = 1
+	)
+	out := &Video{
+		Name:       cfg.Name,
+		NumFrames:  cfg.NumFrames,
+		Bounds:     bounds,
+		Detections: make([][]video.BBox, cfg.NumFrames),
+		Latents:    make(map[video.ObjectID]vecmath.Vec),
+	}
+
+	camRng := xrand.Derive(cfg.Seed, "camera:"+cfg.Name)
+	var camera geom.Point
+	for f := 0; f < cfg.NumFrames; f++ {
+		// Global camera motion: constant pan plus random shake, applied
+		// identically to every detection in the frame. The GT registry
+		// keeps world coordinates; the tracker sees the camera frame.
+		camera = camera.Add(cfg.CameraPan)
+		if cfg.CameraShake > 0 {
+			camera = camera.Add(geom.Point{
+				X: camRng.Gaussian(0, cfg.CameraShake),
+				Y: camRng.Gaussian(0, cfg.CameraShake),
+			})
+		}
+		// Spawn new objects (Poisson-ish via Bernoulli splitting).
+		expected := cfg.ArrivalRate
+		for expected > 0 {
+			p := expected
+			if p > 1 {
+				p = 1
+			}
+			if arrivals.Bernoulli(p) && (cfg.MaxObjects == 0 || len(live) < cfg.MaxObjects) {
+				o := spawnObject(cfg, nextID, f)
+				out.Latents[o.id] = o.latent
+				objects = append(objects, o)
+				live = append(live, o)
+				nextID++
+			}
+			expected--
+		}
+
+		// Start/expire glare events.
+		if cfg.GlareRate > 0 && glareRng.Bernoulli(cfg.GlareRate) {
+			gx := glareRng.Float64() * (cfg.Width - cfg.GlareSize)
+			gy := glareRng.Float64() * (cfg.Height - cfg.GlareSize)
+			glares = append(glares, glare{
+				region: geom.Rect{X: gx, Y: gy, W: cfg.GlareSize, H: cfg.GlareSize},
+				until:  f + cfg.GlareDuration - 1,
+			})
+		}
+		activeGlares := glares[:0]
+		for _, g := range glares {
+			if g.until >= f {
+				activeGlares = append(activeGlares, g)
+			}
+		}
+		glares = activeGlares
+
+		// Advance live objects, recording GT boxes and culling exits.
+		nextLive := live[:0]
+		for _, o := range live {
+			if f > o.exit {
+				continue
+			}
+			rect := geom.RectFromCenter(o.pos, o.size, o.size)
+			if !bounds.Contains(o.pos) {
+				o.exit = f - 1
+				continue
+			}
+			o.gt = append(o.gt, video.BBox{
+				Frame:    video.FrameIndex(f),
+				Rect:     rect,
+				Class:    o.class,
+				GTObject: o.id,
+			})
+			// Appearance random walk (see Config.AppearanceDrift).
+			if cfg.AppearanceDrift > 0 {
+				for i := range o.latent {
+					o.latent[i] += o.drift.Gaussian(0, cfg.AppearanceDrift)
+				}
+				vecmath.Normalize(o.latent)
+			}
+			// Kinematic step with jitter.
+			o.pos = o.pos.Add(o.vel)
+			if cfg.PosJitter > 0 {
+				jr := xrand.DeriveN(cfg.Seed, "jitter", int(o.id)*1_000_003+f)
+				o.pos = o.pos.Add(geom.Point{
+					X: jr.Gaussian(0, cfg.PosJitter),
+					Y: jr.Gaussian(0, cfg.PosJitter),
+				})
+			}
+			nextLive = append(nextLive, o)
+		}
+		live = nextLive
+
+		// Emit detections: occlusion, glare, and random misses suppress.
+		var dets []video.BBox
+		for _, o := range live {
+			if len(o.gt) == 0 || int(o.gt[len(o.gt)-1].Frame) != f {
+				continue
+			}
+			rect := o.gt[len(o.gt)-1].Rect
+			if occludedAt(o, live, rect, f, cfg.OcclusionCoverage) {
+				continue
+			}
+			if inGlare(rect, glares) {
+				continue
+			}
+			if cfg.MissProb > 0 && detRng.Bernoulli(cfg.MissProb) {
+				continue
+			}
+			obs := observe(cfg, o, f)
+			dets = append(dets, video.BBox{
+				ID:       nextBox,
+				Frame:    video.FrameIndex(f),
+				Rect:     jitterRect(detRng, rect, cfg.PosJitter).Translate(camera),
+				Obs:      obs,
+				Class:    o.class,
+				GTObject: o.id,
+			})
+			nextBox++
+		}
+		out.Detections[f] = dets
+	}
+
+	// Assemble GT tracks.
+	var gtTracks []*video.Track
+	for _, o := range objects {
+		if len(o.gt) == 0 {
+			continue
+		}
+		gtTracks = append(gtTracks, &video.Track{ID: video.TrackID(o.id), Boxes: o.gt})
+	}
+	out.GT = video.NewTrackSet(gtTracks)
+	return out, nil
+}
+
+func spawnObject(cfg Config, id video.ObjectID, frame int) *object {
+	r := xrand.DeriveN(cfg.Seed, "object", int(id))
+	span := cfg.MinSpan + r.Intn(cfg.MaxSpan-cfg.MinSpan+1)
+	size := cfg.SizeMin + r.Float64()*(cfg.SizeMax-cfg.SizeMin)
+	speed := cfg.SpeedMin + r.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
+	theta := r.Float64() * 2 * math.Pi
+	pos := geom.Point{
+		X: cfg.Width * (0.1 + 0.8*r.Float64()),
+		Y: cfg.Height * (0.1 + 0.8*r.Float64()),
+	}
+	latent := vecmath.NewVec(cfg.AppearanceDim)
+	for i := range latent {
+		latent[i] = r.Gaussian(0, 1)
+	}
+	vecmath.Normalize(latent)
+	if w := cfg.PosAppearanceWeight; w > 0 {
+		// Blend in a smooth position embedding over the first dimensions
+		// (see the PosAppearanceWeight field comment).
+		pe := positionEmbedding(cfg.Seed, pos, cfg.Width, cfg.Height, cfg.AppearanceDim)
+		for i := range latent {
+			latent[i] = (1-w)*latent[i] + w*pe[i]
+		}
+		vecmath.Normalize(latent)
+	}
+	class := video.ClassID(0)
+	if cfg.NumClasses > 1 {
+		class = video.ClassID(r.Intn(cfg.NumClasses))
+	}
+	return &object{
+		id:     id,
+		class:  class,
+		latent: latent,
+		drift:  xrand.DeriveN(cfg.Seed, "drift", int(id)),
+		enter:  frame,
+		exit:   frame + span - 1,
+		depth:  r.Float64(),
+		size:   size,
+		pos:    pos,
+		vel:    geom.Point{X: speed * math.Cos(theta), Y: speed * math.Sin(theta)},
+	}
+}
+
+// positionEmbedding maps a scene position to a unit vector of the
+// appearance dimensionality using random Fourier features: nearby
+// positions map to nearby embeddings with a Gaussian-kernel falloff, and
+// the per-dimension mean over positions is zero, so the coupling adds no
+// global similarity offset between distant objects. The feature
+// frequencies and phases are derived from the scene seed.
+func positionEmbedding(seed uint64, p geom.Point, w, h float64, dim int) vecmath.Vec {
+	const freqScale = 2.0 // radians per normalised scene unit
+	r := xrand.Derive(seed, "posembed")
+	v := vecmath.NewVec(dim)
+	nx := p.X / w
+	ny := p.Y / h
+	for i := 0; i < dim; i++ {
+		wx := r.Gaussian(0, freqScale)
+		wy := r.Gaussian(0, freqScale)
+		b := r.Float64() * 2 * math.Pi
+		v[i] = math.Cos(wx*nx + wy*ny + b)
+	}
+	return vecmath.Normalize(v)
+}
+
+// occludedAt reports whether o's box is covered beyond the threshold by a
+// nearer (smaller depth) live object at frame f.
+func occludedAt(o *object, live []*object, rect geom.Rect, f int, threshold float64) bool {
+	for _, p := range live {
+		if p == o || p.depth >= o.depth {
+			continue
+		}
+		if len(p.gt) == 0 || int(p.gt[len(p.gt)-1].Frame) != f {
+			continue
+		}
+		if rect.CoverageBy(p.gt[len(p.gt)-1].Rect) >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+func inGlare(rect geom.Rect, glares []glare) bool {
+	c := rect.Center()
+	for _, g := range glares {
+		if g.region.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// observe produces the appearance observation for object o at frame f:
+// the latent vector plus per-frame Gaussian noise, deterministically keyed
+// by (object, frame).
+func observe(cfg Config, o *object, f int) vecmath.Vec {
+	r := xrand.DeriveN(cfg.Seed, "obs", int(o.id)*1_000_003+f)
+	obs := o.latent.Clone()
+	sigma := cfg.AppearanceNoise
+	if cfg.OutlierProb > 0 && r.Bernoulli(cfg.OutlierProb) {
+		// Corrupted crop: the shared pose/background component dominates
+		// the object's own appearance (see Config.OutlierProb).
+		k := r.Intn(sharedPoseCount(cfg))
+		pose := sharedPose(cfg.Seed, k, cfg.AppearanceDim)
+		for i := range obs {
+			obs[i] = 0.45*obs[i] + 0.9*pose[i]
+		}
+		vecmath.Normalize(obs)
+		sigma += cfg.OutlierNoise
+	}
+	for i := range obs {
+		obs[i] += r.Gaussian(0, sigma)
+	}
+	return obs
+}
+
+func sharedPoseCount(cfg Config) int {
+	if cfg.SharedPoseCount > 0 {
+		return cfg.SharedPoseCount
+	}
+	return 8
+}
+
+// sharedPose returns the k-th global pose/background component for the
+// scene seed, deterministically.
+func sharedPose(seed uint64, k, dim int) vecmath.Vec {
+	r := xrand.DeriveN(seed, "pose", k)
+	v := vecmath.NewVec(dim)
+	for i := range v {
+		v[i] = r.Gaussian(0, 1)
+	}
+	return vecmath.Normalize(v)
+}
+
+func jitterRect(r *xrand.RNG, rect geom.Rect, jitter float64) geom.Rect {
+	if jitter <= 0 {
+		return rect
+	}
+	return rect.Translate(geom.Point{
+		X: r.Gaussian(0, jitter/2),
+		Y: r.Gaussian(0, jitter/2),
+	})
+}

@@ -1,0 +1,256 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:                1,
+		Name:                "t",
+		NumFrames:           300,
+		Width:               800,
+		Height:              600,
+		ArrivalRate:         0.05,
+		MaxObjects:          8,
+		MinSpan:             40,
+		MaxSpan:             150,
+		SpeedMin:            0.5,
+		SpeedMax:            2,
+		SizeMin:             40,
+		SizeMax:             80,
+		PosJitter:           0.5,
+		AppearanceDim:       16,
+		AppearanceNoise:     0.08,
+		PosAppearanceWeight: 0.3,
+		OcclusionCoverage:   0.5,
+		MissProb:            0.02,
+		GlareRate:           0.01,
+		GlareDuration:       25,
+		GlareSize:           150,
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GT.Len() != b.GT.Len() {
+		t.Fatalf("GT track counts differ: %d vs %d", a.GT.Len(), b.GT.Len())
+	}
+	for f := range a.Detections {
+		if len(a.Detections[f]) != len(b.Detections[f]) {
+			t.Fatalf("frame %d detection counts differ", f)
+		}
+		for i := range a.Detections[f] {
+			da, db := a.Detections[f][i], b.Detections[f][i]
+			if da.ID != db.ID || da.Rect != db.Rect || da.GTObject != db.GTObject {
+				t.Fatalf("frame %d detection %d differs", f, i)
+			}
+		}
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	v, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Detections) != 300 {
+		t.Fatalf("detections for %d frames", len(v.Detections))
+	}
+	if v.GT.Len() == 0 {
+		t.Fatal("no GT tracks generated")
+	}
+
+	// GT tracks are valid and within the span bound.
+	for _, tr := range v.GT.Tracks() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("GT track %d: %v", tr.ID, err)
+		}
+		if tr.Span() > testConfig().MaxSpan {
+			t.Errorf("GT track %d span %d exceeds MaxSpan", tr.ID, tr.Span())
+		}
+		// GT tracks are contiguous: one box per frame of presence.
+		if tr.Span() != tr.Len() {
+			t.Errorf("GT track %d has gaps: span %d, boxes %d", tr.ID, tr.Span(), tr.Len())
+		}
+	}
+
+	// Detections carry valid GT labels, unique IDs, and observations.
+	seen := map[video.BBoxID]bool{}
+	total := 0
+	for f, dets := range v.Detections {
+		for _, d := range dets {
+			total++
+			if d.Frame != video.FrameIndex(f) {
+				t.Fatalf("detection frame mismatch: %d vs %d", d.Frame, f)
+			}
+			if d.ID == 0 || seen[d.ID] {
+				t.Fatalf("detection ID %d duplicate or zero", d.ID)
+			}
+			seen[d.ID] = true
+			if d.GTObject < 0 {
+				t.Fatal("detection without GT label")
+			}
+			if len(d.Obs) != 16 {
+				t.Fatalf("observation dim = %d", len(d.Obs))
+			}
+			if v.GT.Get(video.TrackID(d.GTObject)) == nil {
+				t.Fatalf("detection references unknown object %d", d.GTObject)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no detections generated")
+	}
+
+	// Detections are a subset of presence: fewer detections than GT boxes
+	// (occlusion, glare, misses suppress some).
+	if total >= v.GT.TotalBoxes() {
+		t.Errorf("detections (%d) should be fewer than GT boxes (%d)", total, v.GT.TotalBoxes())
+	}
+	// But not degenerately few.
+	if float64(total) < 0.5*float64(v.GT.TotalBoxes()) {
+		t.Errorf("detections (%d) below half of GT boxes (%d): suppression too aggressive", total, v.GT.TotalBoxes())
+	}
+}
+
+func TestObservationsReflectIdentity(t *testing.T) {
+	v, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two observations of the same object are closer than observations of
+	// different objects, on average.
+	type obs struct {
+		id video.ObjectID
+		v  vecmath.Vec
+	}
+	var all []obs
+	for _, dets := range v.Detections {
+		for _, d := range dets {
+			all = append(all, obs{d.GTObject, d.Obs})
+		}
+	}
+	var same, diff, nSame, nDiff float64
+	for i := 0; i < len(all) && i < 400; i++ {
+		for j := i + 1; j < len(all) && j < 400; j++ {
+			d := vecmath.Dist2(all[i].v, all[j].v)
+			if all[i].id == all[j].id {
+				same += d
+				nSame++
+			} else {
+				diff += d
+				nDiff++
+			}
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Skip("not enough pairs")
+	}
+	if same/nSame > 0.5*diff/nDiff {
+		t.Errorf("same-object obs distance %.3f not well below diff-object %.3f", same/nSame, diff/nDiff)
+	}
+}
+
+func TestLatentsRecorded(t *testing.T) {
+	v, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range v.GT.Tracks() {
+		if _, ok := v.Latents[video.ObjectID(tr.ID)]; !ok {
+			t.Errorf("no latent for object %d", tr.ID)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumFrames = 0 },
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.MinSpan = 0 },
+		func(c *Config) { c.MaxSpan = c.MinSpan - 1 },
+		func(c *Config) { c.SpeedMin = -1 },
+		func(c *Config) { c.SpeedMax = c.SpeedMin - 1 },
+		func(c *Config) { c.SizeMin = 0 },
+		func(c *Config) { c.AppearanceDim = 0 },
+		func(c *Config) { c.OcclusionCoverage = 0 },
+		func(c *Config) { c.OcclusionCoverage = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMaxObjectsCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.ArrivalRate = 5 // try to spawn many per frame
+	cfg.MaxObjects = 3
+	v, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every frame at most MaxObjects objects are present.
+	present := map[video.FrameIndex]int{}
+	for _, tr := range v.GT.Tracks() {
+		for _, b := range tr.Boxes {
+			present[b.Frame]++
+		}
+	}
+	for f, n := range present {
+		if n > 3 {
+			t.Fatalf("frame %d has %d objects, cap is 3", f, n)
+		}
+	}
+}
+
+func TestGlareSuppressesDetections(t *testing.T) {
+	cfg := testConfig()
+	cfg.GlareRate = 0
+	noGlare, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GlareRate = 0.05
+	cfg.GlareSize = 400
+	glare, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(v *Video) int {
+		n := 0
+		for _, dets := range v.Detections {
+			n += len(dets)
+		}
+		return n
+	}
+	if count(glare) >= count(noGlare) {
+		t.Errorf("glare should suppress detections: %d vs %d", count(glare), count(noGlare))
+	}
+}
+
+func TestPositionEmbeddingLocality(t *testing.T) {
+	cfg := testConfig()
+	a := positionEmbedding(cfg.Seed, pt(100, 100), cfg.Width, cfg.Height, 16)
+	near := positionEmbedding(cfg.Seed, pt(110, 105), cfg.Width, cfg.Height, 16)
+	far := positionEmbedding(cfg.Seed, pt(700, 500), cfg.Width, cfg.Height, 16)
+	dNear := vecmath.Dist2(a, near)
+	dFar := vecmath.Dist2(a, far)
+	if dNear >= dFar {
+		t.Errorf("embedding locality violated: near %v >= far %v", dNear, dFar)
+	}
+}

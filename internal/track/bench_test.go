@@ -1,0 +1,31 @@
+package track
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func BenchmarkKalmanPredictUpdate(b *testing.B) {
+	kf := newBoxKF(100, 100, 40, 80)
+	for i := 0; i < b.N; i++ {
+		kf.predict()
+		kf.update(float64(100+i%5), float64(100-i%3), 40, 80)
+	}
+}
+
+func BenchmarkHungarian16(b *testing.B) {
+	r := xrand.New(5)
+	const n = 16
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hungarian(cost)
+	}
+}

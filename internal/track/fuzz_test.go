@@ -1,0 +1,63 @@
+package track
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHungarian checks the assignment invariants on arbitrary cost
+// matrices: every returned column index is valid and used at most once,
+// and rows with at least one finite cost in a feasible matching are not
+// gratuitously dropped when rows <= cols and all costs are finite.
+func FuzzHungarian(f *testing.F) {
+	f.Add(uint64(1), 3, 3)
+	f.Add(uint64(7), 2, 5)
+	f.Add(uint64(9), 5, 2)
+	f.Add(uint64(13), 1, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw int) {
+		n := 1 + abs(nRaw)%8
+		m := 1 + abs(mRaw)%8
+		cost := make([][]float64, n)
+		state := seed
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>40) / float64(1<<24) * 100
+		}
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(next())
+			}
+		}
+		got := Hungarian(cost)
+		if len(got) != n {
+			t.Fatalf("result length %d, want %d", len(got), n)
+		}
+		used := map[int]bool{}
+		assigned := 0
+		for _, j := range got {
+			if j < 0 {
+				continue
+			}
+			if j >= m || used[j] {
+				t.Fatalf("invalid or duplicate column %d in %v", j, got)
+			}
+			used[j] = true
+			assigned++
+		}
+		want := n
+		if m < n {
+			want = m
+		}
+		if assigned != want {
+			t.Fatalf("assigned %d rows of %d possible (all-finite matrix)", assigned, want)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

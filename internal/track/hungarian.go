@@ -1,0 +1,128 @@
+// Package track implements the multi-object tracking substrate: Hungarian
+// assignment, constant-velocity Kalman filtering, and three trackers in
+// the SORT family standing in for the paper's SORT, DeepSORT, and Tracktor
+// (see DESIGN.md §2). Occlusion and glare gaps produced by the simulator
+// genuinely fragment these trackers' outputs, producing the polyonymous
+// tracks the merging algorithms must find.
+package track
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the rectangular linear assignment problem, minimising
+// total cost. cost[i][j] is the cost of assigning row i to column j; +Inf
+// forbids an assignment. It returns, for each row, the assigned column or
+// -1. The implementation is the O(n²m) Jonker–Volgenant-style shortest
+// augmenting path algorithm with potentials.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			panic(fmt.Sprintf("track: ragged cost matrix at row %d", i))
+		}
+	}
+	// The algorithm needs rows <= cols; transpose if necessary.
+	if n > m {
+		t := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = cost[i][j]
+			}
+		}
+		colOfRow := Hungarian(t) // assignment of transposed rows (= columns)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = -1
+		}
+		for j, i := range colOfRow {
+			if i >= 0 {
+				out[i] = j
+			}
+		}
+		return out
+	}
+
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row assigned to column j (1-based), 0 = none
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				var cur float64
+				if math.IsInf(c, 1) {
+					cur = inf
+				} else {
+					cur = c - u[i0] - v[j]
+				}
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				// No augmenting path within finite costs: the row stays
+				// unassigned. Undo the partial assignment from this phase.
+				p[0] = 0
+				break
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else if !math.IsInf(minv[j], 1) {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				// Augment along the alternating path.
+				for j0 != 0 {
+					j1 := way[j0]
+					p[j0] = p[j1]
+					j0 = j1
+				}
+				break
+			}
+		}
+	}
+
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 && !math.IsInf(cost[p[j]-1][j-1], 1) {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out
+}

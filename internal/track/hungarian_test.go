@@ -1,0 +1,187 @@
+package track
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func cost(assign []int, m [][]float64) float64 {
+	var c float64
+	for i, j := range assign {
+		if j >= 0 {
+			c += m[i][j]
+		}
+	}
+	return c
+}
+
+func TestHungarianSquare(t *testing.T) {
+	m := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got := Hungarian(m)
+	// Optimal: 0->1 (1), 1->0 (2), 2->2 (2) = 5.
+	if cost(got, m) != 5 {
+		t.Errorf("assignment %v has cost %v, want 5", got, cost(got, m))
+	}
+}
+
+func TestHungarianIdentity(t *testing.T) {
+	m := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	got := Hungarian(m)
+	for i, j := range got {
+		if j != i {
+			t.Errorf("row %d assigned to %d", i, j)
+		}
+	}
+}
+
+func TestHungarianRectangularWide(t *testing.T) {
+	// 2 rows, 4 columns: both rows assigned, distinct columns.
+	m := [][]float64{
+		{5, 1, 9, 9},
+		{1, 5, 9, 9},
+	}
+	got := Hungarian(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("assignment = %v", got)
+	}
+}
+
+func TestHungarianRectangularTall(t *testing.T) {
+	// 3 rows, 2 columns: one row stays unassigned.
+	m := [][]float64{
+		{1, 9},
+		{9, 1},
+		{2, 2},
+	}
+	got := Hungarian(m)
+	assigned := 0
+	used := map[int]bool{}
+	for _, j := range got {
+		if j >= 0 {
+			assigned++
+			if used[j] {
+				t.Fatalf("column %d used twice: %v", j, got)
+			}
+			used[j] = true
+		}
+	}
+	if assigned != 2 {
+		t.Errorf("assigned %d rows, want 2: %v", assigned, got)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("assignment = %v, want [0 1 -1]", got)
+	}
+}
+
+func TestHungarianForbidden(t *testing.T) {
+	inf := math.Inf(1)
+	m := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	got := Hungarian(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("assignment = %v", got)
+	}
+}
+
+func TestHungarianAllForbiddenRow(t *testing.T) {
+	inf := math.Inf(1)
+	m := [][]float64{
+		{inf, inf},
+		{1, 2},
+	}
+	got := Hungarian(m)
+	if got[0] != -1 {
+		t.Errorf("fully-forbidden row assigned to %d", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("row 1 assigned to %d, want 0", got[1])
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := Hungarian(nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestHungarianRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Hungarian([][]float64{{1, 2}, {3}})
+}
+
+// Property: on random square matrices, the Hungarian result matches
+// brute-force optimal cost (n <= 6 so brute force is feasible), and the
+// assignment is a valid partial matching.
+func TestHungarianOptimality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + int(seed%6)
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = math.Floor(r.Float64() * 100)
+			}
+		}
+		got := Hungarian(m)
+		used := map[int]bool{}
+		for _, j := range got {
+			if j < 0 || used[j] {
+				return false
+			}
+			used[j] = true
+		}
+		return cost(got, m) == bruteForce(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForce returns the optimal assignment cost by enumerating
+// permutations.
+func bruteForce(m [][]float64) float64 {
+	n := len(m)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			var c float64
+			for i, j := range perm {
+				c += m[i][j]
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}

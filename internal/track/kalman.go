@@ -1,0 +1,100 @@
+package track
+
+// scalarKF is a 2-state (position, velocity) Kalman filter for one scalar
+// dimension. The trackers run four of them — for center x, center y, width,
+// and height — which is the diagonal-covariance simplification of the
+// 8-state constant-velocity filter used by SORT/DeepSORT. Cross-dimension
+// covariance carries no information under the simulator's isotropic motion
+// noise, so the simplification loses nothing here while keeping the
+// numerics transparent.
+type scalarKF struct {
+	x, v float64 // state: position, velocity
+
+	// Covariance matrix [[pxx, pxv], [pxv, pvv]].
+	pxx, pxv, pvv float64
+
+	// Model noise parameters.
+	q float64 // process noise (acceleration variance)
+	r float64 // measurement noise variance
+}
+
+// newScalarKF initialises the filter at position x0 with zero velocity and
+// large velocity uncertainty.
+func newScalarKF(x0, q, r float64) scalarKF {
+	return scalarKF{
+		x: x0, v: 0,
+		pxx: r, pxv: 0, pvv: 100 * r,
+		q: q, r: r,
+	}
+}
+
+// predict advances the state one frame: x += v.
+func (k *scalarKF) predict() {
+	k.x += k.v
+	// P = F P F^T + Q with F = [[1,1],[0,1]], Q = q * [[1/4,1/2],[1/2,1]].
+	pxx := k.pxx + 2*k.pxv + k.pvv + k.q/4
+	pxv := k.pxv + k.pvv + k.q/2
+	pvv := k.pvv + k.q
+	k.pxx, k.pxv, k.pvv = pxx, pxv, pvv
+}
+
+// update folds in a position measurement z.
+func (k *scalarKF) update(z float64) {
+	s := k.pxx + k.r
+	kx := k.pxx / s
+	kv := k.pxv / s
+	y := z - k.x
+	k.x += kx * y
+	k.v += kv * y
+	pxx := (1 - kx) * k.pxx
+	pxv := (1 - kx) * k.pxv
+	pvv := k.pvv - kv*k.pxv
+	k.pxx, k.pxv, k.pvv = pxx, pxv, pvv
+}
+
+// boxKF tracks a bounding box with four scalar filters.
+type boxKF struct {
+	cx, cy, w, h scalarKF
+}
+
+func newBoxKF(cx, cy, w, h float64) *boxKF {
+	const (
+		posQ  = 1.0  // process noise for centers
+		posR  = 4.0  // measurement noise for centers
+		sizeQ = 0.01 // sizes change slowly
+		sizeR = 4.0
+	)
+	return &boxKF{
+		cx: newScalarKF(cx, posQ, posR),
+		cy: newScalarKF(cy, posQ, posR),
+		w:  newScalarKF(w, sizeQ, sizeR),
+		h:  newScalarKF(h, sizeQ, sizeR),
+	}
+}
+
+func (b *boxKF) predict() {
+	b.cx.predict()
+	b.cy.predict()
+	b.w.predict()
+	b.h.predict()
+}
+
+func (b *boxKF) update(cx, cy, w, h float64) {
+	b.cx.update(cx)
+	b.cy.update(cy)
+	b.w.update(w)
+	b.h.update(h)
+}
+
+// state returns the current estimated box parameters.
+func (b *boxKF) state() (cx, cy, w, h float64) {
+	w = b.w.x
+	h = b.h.x
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return b.cx.x, b.cy.x, w, h
+}

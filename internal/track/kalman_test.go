@@ -1,0 +1,100 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func TestScalarKFConvergesToConstant(t *testing.T) {
+	k := newScalarKF(0, 0.1, 4)
+	for i := 0; i < 50; i++ {
+		k.predict()
+		k.update(10)
+	}
+	if math.Abs(k.x-10) > 0.5 {
+		t.Errorf("position = %v, want ~10", k.x)
+	}
+	if math.Abs(k.v) > 0.2 {
+		t.Errorf("velocity = %v, want ~0", k.v)
+	}
+}
+
+func TestScalarKFTracksConstantVelocity(t *testing.T) {
+	k := newScalarKF(0, 1, 4)
+	for i := 1; i <= 60; i++ {
+		k.predict()
+		k.update(float64(i) * 2) // moving at 2 per frame
+	}
+	if math.Abs(k.v-2) > 0.3 {
+		t.Errorf("velocity = %v, want ~2", k.v)
+	}
+	// Prediction without measurement continues the motion.
+	before := k.x
+	k.predict()
+	if math.Abs(k.x-before-k.v) > 1e-9 {
+		t.Error("predict must advance by the velocity estimate")
+	}
+}
+
+func TestScalarKFSmoothsNoise(t *testing.T) {
+	r := xrand.New(3)
+	k := newScalarKF(0, 0.05, 9)
+	var rawErr, kfErr float64
+	for i := 1; i <= 200; i++ {
+		truth := float64(i)
+		z := truth + r.Gaussian(0, 3)
+		k.predict()
+		k.update(z)
+		rawErr += math.Abs(z - truth)
+		kfErr += math.Abs(k.x - truth)
+	}
+	if kfErr >= rawErr {
+		t.Errorf("filter error %v not below raw measurement error %v", kfErr, rawErr)
+	}
+}
+
+func TestScalarKFUncertaintyGrowsWithoutMeasurements(t *testing.T) {
+	k := newScalarKF(0, 1, 4)
+	k.predict()
+	k.update(0)
+	p0 := k.pxx
+	for i := 0; i < 10; i++ {
+		k.predict()
+	}
+	if k.pxx <= p0 {
+		t.Errorf("position variance must grow on predict-only: %v -> %v", p0, k.pxx)
+	}
+}
+
+func TestBoxKFStateFloors(t *testing.T) {
+	b := newBoxKF(50, 50, 2, 2)
+	// Drive the size estimate negative with shrinking measurements.
+	for i := 0; i < 30; i++ {
+		b.predict()
+		b.update(50, 50, 0.1, 0.1)
+	}
+	for i := 0; i < 20; i++ {
+		b.predict() // size velocity may push below zero
+	}
+	_, _, w, h := b.state()
+	if w < 1 || h < 1 {
+		t.Errorf("state sizes must be floored at 1: %v x %v", w, h)
+	}
+}
+
+func TestBoxKFTracksMotion(t *testing.T) {
+	b := newBoxKF(0, 0, 10, 10)
+	for i := 1; i <= 40; i++ {
+		b.predict()
+		b.update(float64(i)*3, float64(i)*-1, 10, 10)
+	}
+	cx, cy, w, h := b.state()
+	if math.Abs(cx-120) > 3 || math.Abs(cy+40) > 3 {
+		t.Errorf("center = (%v, %v), want ~(120, -40)", cx, cy)
+	}
+	if math.Abs(w-10) > 1 || math.Abs(h-10) > 1 {
+		t.Errorf("size = %v x %v, want ~10 x 10", w, h)
+	}
+}

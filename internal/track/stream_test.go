@@ -1,0 +1,76 @@
+package track
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func TestStreamMatchesBatchTrack(t *testing.T) {
+	frames := makeFrames(80, 30, 10)
+	batch := Tracktor().Track(frames)
+
+	st := Tracktor().NewStream()
+	for f := range frames {
+		st.Step(video.FrameIndex(f), frames[f])
+	}
+	stream := st.Finish()
+
+	if batch.Len() != stream.Len() {
+		t.Fatalf("track counts differ: batch %d, stream %d", batch.Len(), stream.Len())
+	}
+	for _, bt := range batch.Tracks() {
+		sv := stream.Get(bt.ID)
+		if sv == nil {
+			t.Fatalf("stream missing track %d", bt.ID)
+		}
+		if sv.Len() != bt.Len() {
+			t.Errorf("track %d lengths differ: %d vs %d", bt.ID, bt.Len(), sv.Len())
+		}
+	}
+}
+
+func TestStreamSnapshotIncludesActive(t *testing.T) {
+	frames := makeFrames(50, 0, 0)
+	st := SORT().NewStream()
+	for f := 0; f < 25; f++ {
+		st.Step(video.FrameIndex(f), frames[f])
+	}
+	snap := st.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d tracks", len(snap))
+	}
+	if snap[0].Len() != 25 {
+		t.Errorf("active track has %d boxes", snap[0].Len())
+	}
+}
+
+func TestStreamStepOrderEnforced(t *testing.T) {
+	st := SORT().NewStream()
+	st.Step(5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order Step")
+		}
+	}()
+	st.Step(5, nil)
+}
+
+func TestStreamGapsAgeTracks(t *testing.T) {
+	// Feeding frame 0 then frame 40 directly: the 40-frame gap exceeds
+	// every preset's MaxAge, so the first track retires and a fresh
+	// detection starts a new one.
+	frames := makeFrames(60, 0, 0)
+	st := Tracktor().NewStream()
+	st.Step(0, frames[0])
+	st.Step(40, frames[40])
+	st.Step(41, frames[41])
+	ts := st.Finish()
+	// First track had a single hit (below MinHits=2); second has 2.
+	if ts.Len() != 1 {
+		t.Fatalf("got %d tracks", ts.Len())
+	}
+	if ts.Tracks()[0].StartFrame() != 40 {
+		t.Errorf("surviving track starts at %d", ts.Tracks()[0].StartFrame())
+	}
+}

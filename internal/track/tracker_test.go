@@ -1,0 +1,194 @@
+package track
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// makeFrames builds frames with one object moving right at 2px/frame, with
+// an optional detection gap.
+func makeFrames(n int, gapStart, gapLen int) [][]video.BBox {
+	r := xrand.New(1)
+	obs := vecmath.NewVec(8)
+	for i := range obs {
+		obs[i] = r.Gaussian(0, 1)
+	}
+	frames := make([][]video.BBox, n)
+	id := video.BBoxID(1)
+	for f := 0; f < n; f++ {
+		if gapLen > 0 && f >= gapStart && f < gapStart+gapLen {
+			continue
+		}
+		frames[f] = []video.BBox{{
+			ID:       id,
+			Frame:    video.FrameIndex(f),
+			Rect:     geom.Rect{X: float64(f) * 2, Y: 100, W: 40, H: 40},
+			Obs:      obs.Clone(),
+			GTObject: 7,
+		}}
+		id++
+	}
+	return frames
+}
+
+func TestEngineSingleObjectSingleTrack(t *testing.T) {
+	ts := SORT().Track(makeFrames(50, 0, 0))
+	if ts.Len() != 1 {
+		t.Fatalf("got %d tracks, want 1", ts.Len())
+	}
+	tr := ts.Tracks()[0]
+	if tr.Len() != 50 {
+		t.Errorf("track has %d boxes, want 50", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSORTFragmentsOnGap(t *testing.T) {
+	// Gap of 5 frames > SORT's MaxAge of 1 -> two tracks.
+	ts := SORT().Track(makeFrames(60, 30, 5))
+	if ts.Len() != 2 {
+		t.Fatalf("SORT got %d tracks, want 2", ts.Len())
+	}
+	// Both fragments belong to the same GT object.
+	a, _ := ts.Tracks()[0].MajorityObject()
+	b, _ := ts.Tracks()[1].MajorityObject()
+	if a != 7 || b != 7 {
+		t.Errorf("fragments attributed to %v and %v", a, b)
+	}
+}
+
+func TestTracktorBridgesShortGap(t *testing.T) {
+	// Gap of 5 frames < Tracktor's MaxAge of 25 -> one track.
+	ts := Tracktor().Track(makeFrames(60, 30, 5))
+	if ts.Len() != 1 {
+		t.Fatalf("Tracktor got %d tracks, want 1", ts.Len())
+	}
+}
+
+func TestTracktorFragmentsOnLongGap(t *testing.T) {
+	ts := Tracktor().Track(makeFrames(120, 40, 40))
+	if ts.Len() != 2 {
+		t.Fatalf("Tracktor got %d tracks across a 40-frame gap, want 2", ts.Len())
+	}
+}
+
+func TestTwoCrossingObjectsKeepIdentity(t *testing.T) {
+	// Two objects pass each other with distinct appearances; DeepSORT
+	// should keep their identities pure.
+	r := xrand.New(2)
+	mkObs := func() vecmath.Vec {
+		v := vecmath.NewVec(8)
+		for i := range v {
+			v[i] = r.Gaussian(0, 1)
+		}
+		return vecmath.Normalize(v)
+	}
+	obsA, obsB := mkObs(), mkObs()
+	n := 80
+	frames := make([][]video.BBox, n)
+	id := video.BBoxID(1)
+	for f := 0; f < n; f++ {
+		fa := float64(f)
+		frames[f] = []video.BBox{
+			{ID: id, Frame: video.FrameIndex(f), Rect: geom.Rect{X: fa * 3, Y: 100, W: 30, H: 30}, Obs: obsA.Clone(), GTObject: 1},
+			{ID: id + 1, Frame: video.FrameIndex(f), Rect: geom.Rect{X: 240 - fa*3, Y: 100, W: 30, H: 30}, Obs: obsB.Clone(), GTObject: 2},
+		}
+		id += 2
+	}
+	ts := DeepSORT().Track(frames)
+	if ts.Len() != 2 {
+		t.Fatalf("got %d tracks, want 2", ts.Len())
+	}
+	for _, tr := range ts.Tracks() {
+		if _, purity := tr.MajorityObject(); purity < 0.95 {
+			t.Errorf("track %d purity %v", tr.ID, purity)
+		}
+	}
+}
+
+func TestMinHitsFiltersNoise(t *testing.T) {
+	// A single-frame detection (noise) must not produce a track when
+	// MinHits is 2.
+	frames := make([][]video.BBox, 10)
+	frames[5] = []video.BBox{{
+		ID: 1, Frame: 5, Rect: geom.Rect{X: 0, Y: 0, W: 10, H: 10}, GTObject: 3,
+	}}
+	ts := SORT().Track(frames)
+	if ts.Len() != 0 {
+		t.Errorf("noise detection produced %d tracks", ts.Len())
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on MaxAge < 1")
+		}
+	}()
+	NewEngine(Config{MaxAge: 0})
+}
+
+func TestTrackerNames(t *testing.T) {
+	if SORT().Name() != "SORT" || DeepSORT().Name() != "DeepSORT" || Tracktor().Name() != "Tracktor" {
+		t.Error("preset names wrong")
+	}
+}
+
+func TestTrackerDeterminism(t *testing.T) {
+	cfg := synth.Config{
+		Seed: 5, Name: "d", NumFrames: 200, Width: 600, Height: 400,
+		ArrivalRate: 0.05, MaxObjects: 6, MinSpan: 30, MaxSpan: 100,
+		SpeedMin: 0.5, SpeedMax: 2, SizeMin: 30, SizeMax: 60,
+		AppearanceDim: 8, AppearanceNoise: 0.08,
+		OcclusionCoverage: 0.5, MissProb: 0.02,
+	}
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Tracktor().Track(v.Detections)
+	b := Tracktor().Track(v.Detections)
+	if a.Len() != b.Len() {
+		t.Fatalf("track counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i, tr := range a.Tracks() {
+		other := b.Tracks()[i]
+		if tr.ID != other.ID || tr.Len() != other.Len() {
+			t.Fatalf("track %d differs", i)
+		}
+	}
+}
+
+func TestFragmentOrderingAcrossTrackers(t *testing.T) {
+	// On an occlusion-heavy scene, SORT must fragment at least as much as
+	// DeepSORT, which must fragment at least as much as Tracktor — the
+	// ordering behind Figure 11.
+	cfg := synth.Config{
+		Seed: 11, Name: "frag", NumFrames: 400, Width: 800, Height: 600,
+		ArrivalRate: 0.04, MaxObjects: 8, MinSpan: 60, MaxSpan: 200,
+		SpeedMin: 0.5, SpeedMax: 2, SizeMin: 50, SizeMax: 90,
+		AppearanceDim: 16, AppearanceNoise: 0.08,
+		OcclusionCoverage: 0.45, MissProb: 0.02,
+		GlareRate: 0.01, GlareDuration: 40, GlareSize: 200,
+	}
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSORT := SORT().Track(v.Detections).Len()
+	nDeep := DeepSORT().Track(v.Detections).Len()
+	nTrk := Tracktor().Track(v.Detections).Len()
+	if !(nSORT >= nDeep && nDeep >= nTrk) {
+		t.Errorf("fragment ordering violated: SORT=%d DeepSORT=%d Tracktor=%d", nSORT, nDeep, nTrk)
+	}
+	if nTrk < v.GT.Len() {
+		t.Errorf("Tracktor produced fewer tracks (%d) than GT objects (%d)", nTrk, v.GT.Len())
+	}
+}

@@ -1,0 +1,108 @@
+package trackdb
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// The on-disk schema: a flat list of tracks with their boxes. Appearance
+// observations are not persisted — the store holds query metadata, and
+// ReID features are recomputed (or re-cached) at ingestion time.
+
+type jsonBox struct {
+	ID    video.BBoxID     `json:"id"`
+	Frame video.FrameIndex `json:"frame"`
+	X     float64          `json:"x"`
+	Y     float64          `json:"y"`
+	W     float64          `json:"w"`
+	H     float64          `json:"h"`
+	Class video.ClassID    `json:"class,omitempty"`
+	GT    video.ObjectID   `json:"gt"`
+}
+
+type jsonTrack struct {
+	ID    video.TrackID `json:"id"`
+	Boxes []jsonBox     `json:"boxes"`
+}
+
+type jsonStore struct {
+	Tracks []jsonTrack `json:"tracks"`
+}
+
+// Save writes the store to path as gzip-compressed JSON, tracks ordered
+// by ID for stable output.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trackdb: save: %w", err)
+	}
+	defer f.Close()
+	gz := gzip.NewWriter(f)
+
+	var out jsonStore
+	ids := make([]video.TrackID, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := s.byID[id]
+		jt := jsonTrack{ID: t.ID}
+		for _, b := range t.Boxes {
+			jt.Boxes = append(jt.Boxes, jsonBox{
+				ID: b.ID, Frame: b.Frame,
+				X: b.Rect.X, Y: b.Rect.Y, W: b.Rect.W, H: b.Rect.H,
+				Class: b.Class, GT: b.GTObject,
+			})
+		}
+		out.Tracks = append(out.Tracks, jt)
+	}
+	if err := json.NewEncoder(gz).Encode(out); err != nil {
+		return fmt.Errorf("trackdb: save: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("trackdb: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a store previously written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trackdb: load: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trackdb: load: %w", err)
+	}
+	defer gz.Close()
+	var in jsonStore
+	if err := json.NewDecoder(gz).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trackdb: load: %w", err)
+	}
+	s := New()
+	for _, jt := range in.Tracks {
+		t := &video.Track{ID: jt.ID}
+		for _, jb := range jt.Boxes {
+			t.Boxes = append(t.Boxes, video.BBox{
+				ID:       jb.ID,
+				Frame:    jb.Frame,
+				Rect:     geom.Rect{X: jb.X, Y: jb.Y, W: jb.W, H: jb.H},
+				Class:    jb.Class,
+				GTObject: jb.GT,
+			})
+		}
+		if err := s.Put(t); err != nil {
+			return nil, fmt.Errorf("trackdb: load: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,29 @@
+package vecmath
+
+import "testing"
+
+func BenchmarkDist2_32(b *testing.B) {
+	v := NewVec(32)
+	w := NewVec(32)
+	for i := range v {
+		v[i] = float64(i)
+		w[i] = float64(32 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dist2(v, w)
+	}
+}
+
+func BenchmarkMulVec64x32(b *testing.B) {
+	m := NewMat(64, 32)
+	for i := range m.Data {
+		m.Data[i] = float64(i % 7)
+	}
+	v := NewVec(32)
+	dst := NewVec(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, v)
+	}
+}

@@ -1,0 +1,160 @@
+// Package vecmath provides dense float64 vector and matrix operations used
+// by the simulated ReID model and the appearance machinery of the trackers.
+// The operations are deliberately simple and allocation-conscious: the ReID
+// oracle is on the hot path of every algorithm in this repository.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add stores v + w into dst and returns dst. dst may alias v or w. All three
+// must have the same length.
+func Add(dst, v, w Vec) Vec {
+	checkLen(len(dst), len(v))
+	checkLen(len(v), len(w))
+	for i := range v {
+		dst[i] = v[i] + w[i]
+	}
+	return dst
+}
+
+// Sub stores v - w into dst and returns dst.
+func Sub(dst, v, w Vec) Vec {
+	checkLen(len(dst), len(v))
+	checkLen(len(v), len(w))
+	for i := range v {
+		dst[i] = v[i] - w[i]
+	}
+	return dst
+}
+
+// Scale stores s*v into dst and returns dst.
+func Scale(dst Vec, s float64, v Vec) Vec {
+	checkLen(len(dst), len(v))
+	for i := range v {
+		dst[i] = s * v[i]
+	}
+	return dst
+}
+
+// AXPY stores dst + s*v into dst and returns dst.
+func AXPY(dst Vec, s float64, v Vec) Vec {
+	checkLen(len(dst), len(v))
+	for i := range v {
+		dst[i] += s * v[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product of v and w.
+func Dot(v, w Vec) float64 {
+	checkLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dist2 returns the Euclidean distance between v and w without allocating.
+func Dist2(v, w Vec) float64 {
+	checkLen(len(v), len(w))
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit L2 norm and returns v. The zero vector
+// is left unchanged.
+func Normalize(v Vec) Vec {
+	n := Norm2(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMat returns a zero matrix with the given dimensions.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("vecmath: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of the i-th row.
+func (m *Mat) Row(i int) Vec { return Vec(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// MulVec stores m * v into dst and returns dst. dst must have length
+// m.Rows and must not alias v.
+func (m *Mat) MulVec(dst, v Vec) Vec {
+	checkLen(len(v), m.Cols)
+	checkLen(len(dst), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// Tanh applies the element-wise hyperbolic tangent to v in place and
+// returns v. It is the activation function of the simulated ReID MLP.
+func Tanh(v Vec) Vec {
+	for i, x := range v {
+		v[i] = math.Tanh(x)
+	}
+	return v
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vecmath: length mismatch %d != %d", a, b))
+	}
+}

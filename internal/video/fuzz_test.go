@@ -1,0 +1,49 @@
+package video
+
+import "testing"
+
+// FuzzPartition checks the window-partition invariants for arbitrary
+// video lengths and window sizes: full coverage, at most double coverage,
+// and every frame in exactly one window's first half (so every track
+// joins exactly one Tc).
+func FuzzPartition(f *testing.F) {
+	f.Add(4000, 2000)
+	f.Add(1, 2)
+	f.Add(999, 10)
+	f.Add(2000, 2000)
+	f.Fuzz(func(t *testing.T, numFrames, L int) {
+		if numFrames <= 0 || numFrames > 20000 {
+			t.Skip()
+		}
+		L = 2 * (1 + abs(L)%2000)
+		ws := Partition(numFrames, L)
+		cover := make([]int8, numFrames)
+		firstHalf := make([]int8, numFrames)
+		for _, w := range ws {
+			if w.Start < 0 || int(w.End) > numFrames-1 || w.End < w.Start {
+				t.Fatalf("window out of bounds: %+v", w)
+			}
+			for fr := w.Start; fr <= w.End; fr++ {
+				cover[fr]++
+			}
+			for fr := w.Start; fr <= w.FirstHalfEnd(); fr++ {
+				firstHalf[fr]++
+			}
+		}
+		for fr := range cover {
+			if cover[fr] < 1 || cover[fr] > 2 {
+				t.Fatalf("frame %d covered %d times (L=%d, n=%d)", fr, cover[fr], L, numFrames)
+			}
+			if firstHalf[fr] != 1 {
+				t.Fatalf("frame %d in %d first-halves (L=%d, n=%d)", fr, firstHalf[fr], L, numFrames)
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,221 @@
+package video
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PairKey identifies an unordered track pair. The canonical form has
+// A < B; use MakePairKey to construct one.
+type PairKey struct {
+	A, B TrackID
+}
+
+// MakePairKey returns the canonical key for the unordered pair {a, b}.
+// It panics when a == b: a track is never paired with itself.
+func MakePairKey(a, b TrackID) PairKey {
+	if a == b {
+		panic(fmt.Sprintf("video: self pair %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{A: a, B: b}
+}
+
+// String implements fmt.Stringer.
+func (k PairKey) String() string { return fmt.Sprintf("(%d,%d)", k.A, k.B) }
+
+// Pair is one candidate track pair p_{i,j} from Pc, carrying the two
+// (window-clipped) tracks so algorithms can enumerate BBox pairs, plus the
+// precomputed spatial and temporal gap features used by BetaInit.
+type Pair struct {
+	Key PairKey
+	// TI is the temporally earlier track (by end frame) and TJ the later
+	// one, matching the paper's orientation for the spatial distance:
+	// DisS = || center(last BBox of t_i) - center(first BBox of t_j) ||.
+	TI, TJ *Track
+	// DisS is the spatial distance between TI's last and TJ's first BBox
+	// centers (§IV-C).
+	DisS float64
+	// DisT is the temporal gap in frames between TI's last BBox and TJ's
+	// first BBox. Negative when the tracks overlap in time.
+	DisT int
+}
+
+// NumBBoxPairs returns |B_ti x B_tj|, the number of cross-track BBox pairs.
+func (p *Pair) NumBBoxPairs() int { return p.TI.Len() * p.TJ.Len() }
+
+// BBoxPairAt returns the n-th BBox pair under row-major enumeration of
+// B_ti x B_tj. It panics when n is out of range.
+func (p *Pair) BBoxPairAt(n int) (BBox, BBox) {
+	m := p.TJ.Len()
+	if n < 0 || n >= p.NumBBoxPairs() {
+		panic(fmt.Sprintf("video: bbox pair index %d out of range [0,%d)", n, p.NumBBoxPairs()))
+	}
+	return p.TI.Boxes[n/m], p.TJ.Boxes[n%m]
+}
+
+// NewPair builds a Pair for the two tracks, orienting them by end frame
+// (ties broken by ID) and computing the spatial/temporal gap features.
+func NewPair(a, b *Track) *Pair {
+	ti, tj := a, b
+	if tj.EndFrame() < ti.EndFrame() ||
+		(tj.EndFrame() == ti.EndFrame() && tj.ID < ti.ID) {
+		ti, tj = tj, ti
+	}
+	return &Pair{
+		Key:  MakePairKey(a.ID, b.ID),
+		TI:   ti,
+		TJ:   tj,
+		DisS: ti.Last().Rect.Center().Dist(tj.First().Rect.Center()),
+		DisT: int(tj.StartFrame() - ti.EndFrame()),
+	}
+}
+
+// PairSet is Pc: the universe of candidate track pairs for one window,
+// in a deterministic order.
+type PairSet struct {
+	Window Window
+	Pairs  []*Pair
+	index  map[PairKey]int
+}
+
+// BuildPairSet constructs Pc for window w per Equation (1):
+//
+//	Pc = { p_{i,j} | t_i ∈ Tc, t_j ∈ Tc ∪ Tc-1, t_i ≠ t_j }
+//
+// cur is Tc and prev is Tc-1 (nil for the first window). Tracks appearing
+// in both sets (possible when a track starts near the boundary) are paired
+// once.
+func BuildPairSet(w Window, cur, prev []*Track) *PairSet {
+	ps := &PairSet{Window: w, index: make(map[PairKey]int)}
+	add := func(a, b *Track) {
+		if a.ID == b.ID {
+			return
+		}
+		key := MakePairKey(a.ID, b.ID)
+		if _, dup := ps.index[key]; dup {
+			return
+		}
+		ps.index[key] = len(ps.Pairs)
+		ps.Pairs = append(ps.Pairs, NewPair(a, b))
+	}
+	for i := 0; i < len(cur); i++ {
+		for j := i + 1; j < len(cur); j++ {
+			add(cur[i], cur[j])
+		}
+	}
+	for _, a := range cur {
+		for _, b := range prev {
+			add(a, b)
+		}
+	}
+	sort.Slice(ps.Pairs, func(i, j int) bool { return lessKey(ps.Pairs[i].Key, ps.Pairs[j].Key) })
+	for i, p := range ps.Pairs {
+		ps.index[p.Key] = i
+	}
+	return ps
+}
+
+func lessKey(a, b PairKey) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// Len returns |Pc|.
+func (ps *PairSet) Len() int { return len(ps.Pairs) }
+
+// Get returns the pair with the given key, or nil.
+func (ps *PairSet) Get(key PairKey) *Pair {
+	if i, ok := ps.index[key]; ok {
+		return ps.Pairs[i]
+	}
+	return nil
+}
+
+// IndexOf returns the position of key in the deterministic order, or -1.
+func (ps *PairSet) IndexOf(key PairKey) int {
+	if i, ok := ps.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// TopCount returns ceil(K * |Pc|), the size of the candidate set the
+// algorithms must report, clamped to [0, |Pc|]. K is clamped to [0, 1].
+func (ps *PairSet) TopCount(K float64) int {
+	if K <= 0 || ps.Len() == 0 {
+		return 0
+	}
+	if K > 1 {
+		K = 1
+	}
+	n := int(math.Ceil(K * float64(ps.Len())))
+	if n > ps.Len() {
+		n = ps.Len()
+	}
+	return n
+}
+
+// Recall returns REC(selected) per Equation (3): the fraction of the true
+// polyonymous pairs (truth) contained in selected. By convention the recall
+// of an empty truth set is 1 (there was nothing to find).
+func Recall(selected []PairKey, truth map[PairKey]bool) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, k := range selected {
+		if truth[k] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// PairFilter decides whether a candidate pair enters the universe.
+type PairFilter func(p *Pair) bool
+
+// TemporalOverlapFilter rejects pairs whose tracks coexist for more than
+// maxOverlap frames: one physical object cannot appear twice in the same
+// frame, so heavily co-present tracks cannot be polyonymous. The paper
+// keeps the full Eq. (1) universe; this filter is an opt-in pre-pruning
+// extension that shrinks |Pc| (and with it every algorithm's cost) at the
+// price of missing pairs whose fragments briefly overlap due to duplicate
+// detections — hence the slack parameter rather than zero.
+func TemporalOverlapFilter(maxOverlap int) PairFilter {
+	return func(p *Pair) bool {
+		lo := p.TI.StartFrame()
+		if s := p.TJ.StartFrame(); s > lo {
+			lo = s
+		}
+		hi := p.TI.EndFrame()
+		if e := p.TJ.EndFrame(); e < hi {
+			hi = e
+		}
+		return int(hi-lo)+1 <= maxOverlap
+	}
+}
+
+// BuildPairSetFiltered is BuildPairSet with a pre-filter; pairs rejected
+// by keep never enter Pc. A nil filter keeps everything.
+func BuildPairSetFiltered(w Window, cur, prev []*Track, keep PairFilter) *PairSet {
+	ps := BuildPairSet(w, cur, prev)
+	if keep == nil {
+		return ps
+	}
+	kept := &PairSet{Window: w}
+	kept.index = make(map[PairKey]int)
+	for _, p := range ps.Pairs {
+		if !keep(p) {
+			continue
+		}
+		kept.index[p.Key] = len(kept.Pairs)
+		kept.Pairs = append(kept.Pairs, p)
+	}
+	return kept
+}

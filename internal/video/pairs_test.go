@@ -1,0 +1,225 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakePairKeyCanonical(t *testing.T) {
+	if MakePairKey(5, 2) != (PairKey{A: 2, B: 5}) {
+		t.Error("key must be canonicalised with A < B")
+	}
+	if MakePairKey(2, 5) != MakePairKey(5, 2) {
+		t.Error("key must be order-independent")
+	}
+}
+
+func TestMakePairKeySelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self pair")
+		}
+	}()
+	MakePairKey(3, 3)
+}
+
+func TestNewPairOrientation(t *testing.T) {
+	early := mkTrack(7, 10, 20) // ends at 20
+	late := mkTrack(3, 30, 40)  // ends at 40
+	p := NewPair(late, early)   // argument order must not matter
+	if p.TI != early || p.TJ != late {
+		t.Error("pair must orient earlier-ending track as TI")
+	}
+	if p.Key != (PairKey{A: 3, B: 7}) {
+		t.Errorf("key = %v", p.Key)
+	}
+	if p.DisT != 10 {
+		t.Errorf("DisT = %d, want 10", p.DisT)
+	}
+	// Spatial distance between last box of early (frame 20 -> x=20) and
+	// first box of late (frame 30 -> x=30): centers differ by 10 in x.
+	if p.DisS != 10 {
+		t.Errorf("DisS = %v, want 10", p.DisS)
+	}
+}
+
+func TestPairBBoxPairAt(t *testing.T) {
+	a := mkTrack(1, 1, 2)    // 2 boxes
+	b := mkTrack(2, 5, 6, 7) // 3 boxes
+	p := NewPair(a, b)
+	if p.NumBBoxPairs() != 6 {
+		t.Fatalf("NumBBoxPairs = %d", p.NumBBoxPairs())
+	}
+	seen := map[[2]BBoxID]bool{}
+	for i := 0; i < 6; i++ {
+		ba, bb := p.BBoxPairAt(i)
+		seen[[2]BBoxID{ba.ID, bb.ID}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("enumeration visited %d distinct pairs, want 6", len(seen))
+	}
+}
+
+func TestPairBBoxPairAtPanics(t *testing.T) {
+	p := NewPair(mkTrack(1, 1), mkTrack(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.BBoxPairAt(1)
+}
+
+func TestBuildPairSetWithinWindow(t *testing.T) {
+	cur := []*Track{mkTrack(1, 0, 10), mkTrack(2, 5, 15), mkTrack(3, 8, 20)}
+	ps := BuildPairSet(Window{Start: 0, End: 99}, cur, nil)
+	if ps.Len() != 3 { // C(3,2)
+		t.Fatalf("|Pc| = %d, want 3", ps.Len())
+	}
+	for _, want := range []PairKey{{1, 2}, {1, 3}, {2, 3}} {
+		if ps.Get(want) == nil {
+			t.Errorf("missing pair %v", want)
+		}
+	}
+}
+
+func TestBuildPairSetCrossWindow(t *testing.T) {
+	prev := []*Track{mkTrack(1, 0, 10), mkTrack(2, 5, 15)}
+	cur := []*Track{mkTrack(3, 100, 110)}
+	ps := BuildPairSet(Window{Start: 100, End: 299}, cur, prev)
+	// Pairs: (3,1), (3,2) — no pairs inside cur (only one track) and
+	// no prev-prev pairs.
+	if ps.Len() != 2 {
+		t.Fatalf("|Pc| = %d, want 2", ps.Len())
+	}
+	if ps.Get(PairKey{1, 2}) != nil {
+		t.Error("prev-internal pair must not be in Pc")
+	}
+}
+
+func TestBuildPairSetNoDuplicates(t *testing.T) {
+	shared := mkTrack(2, 5, 15)
+	cur := []*Track{mkTrack(1, 0, 10), shared}
+	prev := []*Track{shared}
+	ps := BuildPairSet(Window{}, cur, prev)
+	if ps.Len() != 1 {
+		t.Errorf("|Pc| = %d, want 1 (dedup)", ps.Len())
+	}
+}
+
+func TestPairSetIndexOf(t *testing.T) {
+	cur := []*Track{mkTrack(1, 0, 10), mkTrack(2, 5, 15)}
+	ps := BuildPairSet(Window{}, cur, nil)
+	key := PairKey{1, 2}
+	if got := ps.IndexOf(key); got != 0 {
+		t.Errorf("IndexOf = %d", got)
+	}
+	if got := ps.IndexOf(PairKey{7, 8}); got != -1 {
+		t.Errorf("missing IndexOf = %d", got)
+	}
+}
+
+func TestTopCount(t *testing.T) {
+	cur := []*Track{mkTrack(1, 0, 1), mkTrack(2, 2, 3), mkTrack(3, 4, 5), mkTrack(4, 6, 7)}
+	ps := BuildPairSet(Window{}, cur, nil) // 6 pairs
+	cases := []struct {
+		k    float64
+		want int
+	}{
+		{0, 0}, {0.05, 1}, {0.5, 3}, {1, 6}, {2, 6}, {-1, 0},
+		{0.17, 2}, // ceil(1.02)
+	}
+	for _, c := range cases {
+		if got := ps.TopCount(c.k); got != c.want {
+			t.Errorf("TopCount(%v) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := map[PairKey]bool{{1, 2}: true, {3, 4}: true}
+	if got := Recall([]PairKey{{1, 2}}, truth); got != 0.5 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := Recall([]PairKey{{1, 2}, {3, 4}, {5, 6}}, truth); got != 1 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := Recall(nil, truth); got != 0 {
+		t.Errorf("empty selection Recall = %v", got)
+	}
+	if got := Recall([]PairKey{{1, 2}}, nil); got != 1 {
+		t.Errorf("empty truth Recall = %v", got)
+	}
+}
+
+// Property: |Pc| for n current and m previous tracks (all distinct) is
+// C(n,2) + n*m, and the pair order is deterministic.
+func TestBuildPairSetCardinality(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%8)
+		m := int(seed / 13 % 8)
+		var cur, prev []*Track
+		id := TrackID(1)
+		for i := 0; i < n; i++ {
+			cur = append(cur, mkTrack(id, FrameIndex(i*2), FrameIndex(i*2+1)))
+			id++
+		}
+		for i := 0; i < m; i++ {
+			prev = append(prev, mkTrack(id, FrameIndex(i*2), FrameIndex(i*2+1)))
+			id++
+		}
+		ps := BuildPairSet(Window{}, cur, prev)
+		want := n*(n-1)/2 + n*m
+		if ps.Len() != want {
+			return false
+		}
+		// Deterministic order: keys strictly increasing.
+		for i := 1; i < ps.Len(); i++ {
+			a, b := ps.Pairs[i-1].Key, ps.Pairs[i].Key
+			if !(a.A < b.A || (a.A == b.A && a.B < b.B)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemporalOverlapFilter(t *testing.T) {
+	// Tracks 1 and 2 coexist for 11 frames; tracks 1 and 3 are disjoint.
+	a := mkTrack(1, 0, 5, 10, 15, 20)
+	b := mkTrack(2, 10, 25)
+	c := mkTrack(3, 30, 40)
+	keep := TemporalOverlapFilter(5)
+	if keep(NewPair(a, b)) {
+		t.Error("11-frame overlap passed a 5-frame filter")
+	}
+	if !keep(NewPair(a, c)) {
+		t.Error("disjoint pair rejected")
+	}
+	if !TemporalOverlapFilter(11)(NewPair(a, b)) {
+		t.Error("11-frame overlap rejected by an 11-frame filter")
+	}
+}
+
+func TestBuildPairSetFiltered(t *testing.T) {
+	a := mkTrack(1, 0, 20)
+	b := mkTrack(2, 10, 30) // overlaps a by 11 frames
+	c := mkTrack(3, 50, 60)
+	full := BuildPairSetFiltered(Window{}, []*Track{a, b, c}, nil, nil)
+	if full.Len() != 3 {
+		t.Fatalf("unfiltered |Pc| = %d", full.Len())
+	}
+	filtered := BuildPairSetFiltered(Window{}, []*Track{a, b, c}, nil, TemporalOverlapFilter(0))
+	if filtered.Len() != 2 {
+		t.Fatalf("filtered |Pc| = %d, want 2", filtered.Len())
+	}
+	if filtered.Get(PairKey{1, 2}) != nil {
+		t.Error("overlapping pair survived the filter")
+	}
+	if filtered.IndexOf(PairKey{1, 3}) < 0 || filtered.IndexOf(PairKey{2, 3}) < 0 {
+		t.Error("disjoint pairs missing")
+	}
+}

@@ -1,0 +1,103 @@
+package video
+
+import "fmt"
+
+// Window is one half-overlapping window of the partitioning described in
+// §II: windows have a fixed length L and each window overlaps its
+// predecessor by L/2 frames, so that no ground-truth track (of span at most
+// Lmax, with L >= 2*Lmax) spans more than two windows.
+type Window struct {
+	Index int        // 0-based window index (c in the paper)
+	Start FrameIndex // first frame (inclusive)
+	End   FrameIndex // last frame (inclusive)
+	// Nominal is the nominal window length L. The final window of a video
+	// may be clipped shorter than L; its first half still extends to the
+	// video end so every track belongs to exactly one Tc. Zero means the
+	// window is a whole-video window whose first half is the entire
+	// window.
+	Nominal int
+}
+
+// Len returns the window length in frames.
+func (w Window) Len() int { return int(w.End-w.Start) + 1 }
+
+// FirstHalfEnd returns the last frame (inclusive) of the window's first
+// L/2 frames — the region whose tracks form Tc — clipped to the window
+// end.
+func (w Window) FirstHalfEnd() FrameIndex {
+	if w.Nominal <= 0 {
+		return w.End
+	}
+	e := w.Start + FrameIndex(w.Nominal/2) - 1
+	if e > w.End {
+		e = w.End
+	}
+	return e
+}
+
+// Contains reports whether f lies inside the window.
+func (w Window) Contains(f FrameIndex) bool { return f >= w.Start && f <= w.End }
+
+// Partition splits a video of numFrames frames into half-overlapping
+// windows of length L. Window c starts at frame c*L/2. The final window may
+// be shorter than L. L must be an even positive number so the half-overlap
+// is exact.
+func Partition(numFrames, L int) []Window {
+	if L <= 0 || L%2 != 0 {
+		panic(fmt.Sprintf("video: window length must be positive and even, got %d", L))
+	}
+	if numFrames <= 0 {
+		return nil
+	}
+	half := L / 2
+	var ws []Window
+	for c := 0; ; c++ {
+		start := c * half
+		if start >= numFrames {
+			break
+		}
+		end := start + L - 1
+		if end > numFrames-1 {
+			end = numFrames - 1
+		}
+		ws = append(ws, Window{Index: c, Start: FrameIndex(start), End: FrameIndex(end), Nominal: L})
+	}
+	return ws
+}
+
+// WindowTracks returns Tc for window w: the tracks of ts that start within
+// the first L/2 frames of w (the paper's "tracks identified in the first
+// L/2 frames"), ordered deterministically. A track is clipped to the
+// window: only its BBoxes inside [w.Start, w.End] are retained; tracks
+// whose clipped view is empty are dropped.
+func WindowTracks(ts *TrackSet, w Window) []*Track {
+	var out []*Track
+	for _, t := range ts.Sorted() {
+		if t.StartFrame() < w.Start || t.StartFrame() > w.FirstHalfEnd() {
+			continue
+		}
+		clipped := ClipTrack(t, w.Start, w.End)
+		if clipped != nil {
+			out = append(out, clipped)
+		}
+	}
+	return out
+}
+
+// ClipTrack returns a copy of t restricted to frames in [start, end], or
+// nil if no BBoxes remain. The BBoxes themselves are shared, not copied.
+func ClipTrack(t *Track, start, end FrameIndex) *Track {
+	lo, hi := -1, -1
+	for i, b := range t.Boxes {
+		if b.Frame >= start && b.Frame <= end {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo < 0 {
+		return nil
+	}
+	return &Track{ID: t.ID, Boxes: t.Boxes[lo : hi+1]}
+}

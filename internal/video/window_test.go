@@ -1,0 +1,197 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasic(t *testing.T) {
+	ws := Partition(4000, 2000)
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4", len(ws))
+	}
+	want := []struct{ start, end FrameIndex }{
+		{0, 1999}, {1000, 2999}, {2000, 3999}, {3000, 3999},
+	}
+	for i, w := range ws {
+		if w.Start != want[i].start || w.End != want[i].end {
+			t.Errorf("window %d = [%d, %d], want [%d, %d]", i, w.Start, w.End, want[i].start, want[i].end)
+		}
+		if w.Index != i {
+			t.Errorf("window %d has index %d", i, w.Index)
+		}
+		if w.Nominal != 2000 {
+			t.Errorf("window %d nominal = %d", i, w.Nominal)
+		}
+	}
+	// The clipped tail window's first half extends to the video end.
+	if got := ws[3].FirstHalfEnd(); got != 3999 {
+		t.Errorf("tail FirstHalfEnd = %d, want 3999", got)
+	}
+}
+
+func TestPartitionShortVideo(t *testing.T) {
+	// Video shorter than one window: single clipped window.
+	ws := Partition(500, 2000)
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	if ws[0].Start != 0 || ws[0].End != 499 {
+		t.Errorf("window = [%d, %d]", ws[0].Start, ws[0].End)
+	}
+}
+
+func TestPartitionExactWindow(t *testing.T) {
+	// Tracks starting in the second half of the only full window must
+	// still belong to some Tc, so a clipped second window is emitted.
+	ws := Partition(2000, 2000)
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	if ws[1].Start != 1000 || ws[1].End != 1999 {
+		t.Errorf("tail window = [%d, %d]", ws[1].Start, ws[1].End)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if ws := Partition(0, 2000); ws != nil {
+		t.Errorf("empty video got %d windows", len(ws))
+	}
+}
+
+func TestPartitionPanicsOnOddL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for odd L")
+		}
+	}()
+	Partition(100, 99)
+}
+
+// Property: every frame is covered by at least one window and at most two;
+// consecutive windows overlap by exactly L/2 (except possibly the last).
+func TestPartitionCoverage(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%9000)
+		L := 2 * (1 + int(seed/7%500))
+		ws := Partition(n, L)
+		cover := make([]int, n)
+		firstHalf := make([]int, n)
+		for _, w := range ws {
+			if w.Start < 0 || int(w.End) > n-1 || w.End < w.Start {
+				return false
+			}
+			for f := w.Start; f <= w.End; f++ {
+				cover[f]++
+			}
+			for f := w.Start; f <= w.FirstHalfEnd(); f++ {
+				firstHalf[f]++
+			}
+		}
+		for i := range cover {
+			// Every frame in 1-2 windows; every frame in exactly one
+			// window's first half (so each track joins exactly one Tc).
+			if cover[i] < 1 || cover[i] > 2 || firstHalf[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowFirstHalfEnd(t *testing.T) {
+	w := Window{Start: 1000, End: 2999, Nominal: 2000}
+	if got := w.FirstHalfEnd(); got != 1999 {
+		t.Errorf("FirstHalfEnd = %d", got)
+	}
+	// Whole-video windows (Nominal 0) treat everything as first half.
+	if got := (Window{Start: 0, End: 99}).FirstHalfEnd(); got != 99 {
+		t.Errorf("whole-video FirstHalfEnd = %d", got)
+	}
+	if w.Len() != 2000 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if !w.Contains(1000) || !w.Contains(2999) || w.Contains(3000) || w.Contains(999) {
+		t.Error("Contains is wrong at the boundaries")
+	}
+}
+
+func TestWindowTracks(t *testing.T) {
+	// Track 1 starts in the first half, track 2 in the second half,
+	// track 3 before the window.
+	t1 := mkTrack(1, 1005, 1010, 1020)
+	t2 := mkTrack(2, 1950, 1960)
+	t3 := mkTrack(3, 500, 1100)
+	ts := NewTrackSet([]*Track{t1, t2, t3})
+	w := Window{Start: 1000, End: 2999, Nominal: 2000} // first half ends at 1999
+
+	got := WindowTracks(ts, w)
+	ids := map[TrackID]bool{}
+	for _, tr := range got {
+		ids[tr.ID] = true
+	}
+	if !ids[1] || !ids[2] || ids[3] {
+		t.Errorf("WindowTracks = %v", ids)
+	}
+}
+
+func TestWindowTracksClipping(t *testing.T) {
+	tr := mkTrack(1, 1500, 2500, 3500) // extends past window end
+	ts := NewTrackSet([]*Track{tr})
+	w := Window{Start: 1000, End: 2999, Nominal: 2000}
+	got := WindowTracks(ts, w)
+	if len(got) != 1 {
+		t.Fatalf("got %d tracks", len(got))
+	}
+	if got[0].Len() != 2 {
+		t.Errorf("clipped track has %d boxes, want 2", got[0].Len())
+	}
+	if got[0].EndFrame() != 2500 {
+		t.Errorf("clipped end = %d", got[0].EndFrame())
+	}
+}
+
+func TestClipTrack(t *testing.T) {
+	tr := mkTrack(1, 10, 20, 30, 40)
+	c := ClipTrack(tr, 15, 35)
+	if c == nil || c.Len() != 2 || c.StartFrame() != 20 || c.EndFrame() != 30 {
+		t.Errorf("ClipTrack = %+v", c)
+	}
+	if ClipTrack(tr, 100, 200) != nil {
+		t.Error("fully-outside clip must be nil")
+	}
+	// Clipping shares boxes, does not copy.
+	c2 := ClipTrack(tr, 10, 40)
+	if c2.Len() != 4 {
+		t.Errorf("identity clip = %d boxes", c2.Len())
+	}
+}
+
+// Tc membership is disjoint across windows: each track starts in exactly
+// one window's first half.
+func TestWindowTracksDisjointTc(t *testing.T) {
+	tracks := []*Track{
+		mkTrack(1, 0, 50),
+		mkTrack(2, 999, 1050),
+		mkTrack(3, 1000, 1100),
+		mkTrack(4, 2500, 2600),
+	}
+	ts := NewTrackSet(tracks)
+	seen := map[TrackID]int{}
+	for _, w := range Partition(4000, 2000) {
+		for _, tr := range WindowTracks(ts, w) {
+			seen[tr.ID]++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("track %d appears in %d windows' Tc", id, n)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d tracks assigned", len(seen))
+	}
+}

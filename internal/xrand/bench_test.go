@@ -1,0 +1,24 @@
+package xrand
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkBeta(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Beta(2.5, 7.5)
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.NormFloat64()
+	}
+}

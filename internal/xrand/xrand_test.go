@@ -1,0 +1,245 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(123)
+	b := New(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds agreed on %d of 100 draws", same)
+	}
+}
+
+func TestDeriveStability(t *testing.T) {
+	a := Derive(42, "tracker")
+	b := Derive(42, "tracker")
+	if a.Uint64() != b.Uint64() {
+		t.Error("Derive must be stable for the same (seed, label)")
+	}
+	c := Derive(42, "other")
+	d := Derive(42, "tracker")
+	if c.Uint64() == d.Uint64() {
+		t.Error("different labels must give different streams")
+	}
+}
+
+func TestDeriveNStability(t *testing.T) {
+	if DeriveN(7, "x", 3).Uint64() != DeriveN(7, "x", 3).Uint64() {
+		t.Error("DeriveN must be stable")
+	}
+	if DeriveN(7, "x", 3).Uint64() == DeriveN(7, "x", 4).Uint64() {
+		t.Error("different n must give different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		x := r.Intn(7)
+		if x < 0 || x >= 7 {
+			t.Fatalf("Intn(7) = %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := New(77)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) empirical mean = %v", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(31)
+	const n = 100000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	r := New(8)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gaussian(10, 2)
+	}
+	if got := sum / n; math.Abs(got-10) > 0.05 {
+		t.Errorf("Gaussian(10,2) mean = %v", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want 0.5", got)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(17)
+	for _, shape := range []float64{0.5, 1, 2.5, 7} {
+		const n = 60000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		got := sum / n
+		if math.Abs(got-shape)/shape > 0.05 {
+			t.Errorf("Gamma(%v) mean = %v", shape, got)
+		}
+	}
+}
+
+func TestBetaMeanAndRange(t *testing.T) {
+	r := New(19)
+	for _, sf := range [][2]float64{{1, 1}, {2, 5}, {10, 3}} {
+		a, b := sf[0], sf[1]
+		const n = 60000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Beta(a, b)
+			if x < 0 || x > 1 {
+				t.Fatalf("Beta(%v,%v) out of range: %v", a, b, x)
+			}
+			sum += x
+		}
+		want := a / (a + b)
+		if got := sum / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%50)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleDeterminism(t *testing.T) {
+	mk := func() []int {
+		s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		New(4).Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		return s
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shuffle must be deterministic for the same seed")
+		}
+	}
+}
+
+func TestGammaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestExpPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).Exp(-1)
+}

@@ -1,0 +1,392 @@
+// Package tmerge is a Go implementation of TMerge — "Track Merging for
+// Effective Video Query Processing" (Chao, Chen, Koudas, Yu — ICDE 2023).
+//
+// Object trackers fragment a single physical object's trajectory into
+// several shorter tracks ("polyonymous tracks") under occlusion and
+// glare, which silently breaks downstream video queries that key on track
+// identity. TMerge is a Thompson-sampling multi-armed bandit that, per
+// ingestion window, identifies the track pairs most likely to be
+// fragments of the same object while invoking the expensive ReID distance
+// oracle as few times as possible; confirmed pairs are then merged under
+// one identity.
+//
+// The package re-exports the library's public surface:
+//
+//   - selection algorithms: NewTMerge (the contribution), NewBaseline,
+//     NewPS, NewLCB, and their batched variants;
+//   - the ingestion pipeline RunPipeline (window partitioning per §II of
+//     the paper, candidate selection, identity rewriting);
+//   - the ReID oracle (NewModel, NewOracle) and compute devices (NewCPU,
+//     NewAccelerator) it runs on;
+//   - the tracking substrate (SORT, DeepSORT, Tracktor) and the scene
+//     simulator / dataset profiles used for evaluation;
+//   - evaluation: identity metrics, polyonymous-pair derivation, and the
+//     Count / Co-occurrence query engine of the paper's §V-H.
+//
+// Quickstart:
+//
+//	profile := tmerge.MOT17Like(42)
+//	profile.NumVideos = 1
+//	ds, _ := profile.Generate()
+//	v := ds.Videos[0]
+//
+//	tracks := tmerge.Tracktor().Track(v.Detections)
+//	oracle := tmerge.NewOracle(tmerge.NewModel(7, tmerge.AppearanceDim),
+//		tmerge.NewCPU(tmerge.DefaultCPUCost))
+//	res := tmerge.RunPipeline(tracks, v.NumFrames, oracle, tmerge.PipelineConfig{
+//		K:         0.05,
+//		Algorithm: tmerge.NewTMerge(tmerge.DefaultTMergeConfig(1)),
+//	})
+//	fmt.Println(res.REC, res.Merged.Len())
+//
+// See DESIGN.md for the substitutions that replace the paper's CV stack
+// (real video, deep trackers, OSNet, GPU) with synthetic substrates, and
+// EXPERIMENTS.md for the per-figure reproduction record.
+package tmerge
+
+import (
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/motmetrics"
+	"github.com/tmerge/tmerge/internal/query"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/trackdb"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Core data model.
+type (
+	// BBox is one detection of one object in one frame.
+	BBox = video.BBox
+	// BBoxID uniquely identifies a bounding box (feature-cache key).
+	BBoxID = video.BBoxID
+	// FrameIndex identifies a frame within a video.
+	FrameIndex = video.FrameIndex
+	// ObjectID is a ground-truth object identity (evaluation only).
+	ObjectID = video.ObjectID
+	// ClassID is a detected object class (0 in single-class settings).
+	ClassID = video.ClassID
+	// TrackID is a tracker-assigned track identifier.
+	TrackID = video.TrackID
+	// Track is a sequence of BBoxes under one tracker-assigned ID.
+	Track = video.Track
+	// TrackSet is a collection of tracks indexed by ID.
+	TrackSet = video.TrackSet
+	// Window is one half-overlapping ingestion window.
+	Window = video.Window
+	// PairKey identifies an unordered track pair.
+	PairKey = video.PairKey
+	// Pair is one candidate track pair with its gap features.
+	Pair = video.Pair
+	// PairSet is the candidate pair universe Pc of one window.
+	PairSet = video.PairSet
+	// Rect is an axis-aligned bounding rectangle.
+	Rect = geom.Rect
+	// Point is a 2-D point in frame coordinates.
+	Point = geom.Point
+)
+
+// NewTrackSet builds a TrackSet from tracks (IDs must be unique).
+func NewTrackSet(tracks []*Track) *TrackSet { return video.NewTrackSet(tracks) }
+
+// MakePairKey returns the canonical key for the unordered pair {a, b}.
+func MakePairKey(a, b TrackID) PairKey { return video.MakePairKey(a, b) }
+
+// BuildPairSet constructs Pc per Equation (1) of the paper.
+func BuildPairSet(w Window, cur, prev []*Track) *PairSet { return video.BuildPairSet(w, cur, prev) }
+
+// Partition splits a video into half-overlapping windows of length L.
+func Partition(numFrames, L int) []Window { return video.Partition(numFrames, L) }
+
+// Recall computes REC (Equation 3) of a selection against a truth set.
+func Recall(selected []PairKey, truth map[PairKey]bool) float64 {
+	return video.Recall(selected, truth)
+}
+
+// Selection algorithms.
+type (
+	// Algorithm selects the top-⌈K·|Pc|⌉ polyonymous pair candidates.
+	Algorithm = core.Algorithm
+	// TMerge is the paper's Thompson-sampling algorithm (Algorithm 2).
+	TMerge = core.TMerge
+	// TMergeConfig parameterises TMerge.
+	TMergeConfig = core.TMergeConfig
+	// TMergeDiagnostics reports what happened inside a Select call.
+	TMergeDiagnostics = core.TMergeDiagnostics
+	// Baseline is the exhaustive Algorithm 1.
+	Baseline = core.Baseline
+	// PS is the stratified proportional-sampling baseline.
+	PS = core.PS
+	// LCB is the lower-confidence-bound bandit baseline.
+	LCB = core.LCB
+	// Merger rewrites track identities from confirmed pairs (union-find).
+	Merger = core.Merger
+	// PipelineConfig configures one ingestion pass.
+	PipelineConfig = core.PipelineConfig
+	// PipelineResult is the outcome of an ingestion pass.
+	PipelineResult = core.PipelineResult
+	// WindowReport describes the processing of one window.
+	WindowReport = core.WindowReport
+)
+
+// DefaultTMergeConfig returns the paper's default TMerge configuration
+// (τmax = 10,000, thr_S = 200, BetaInit and ULB enabled).
+func DefaultTMergeConfig(seed uint64) TMergeConfig { return core.DefaultTMergeConfig(seed) }
+
+// NewTMerge returns a TMerge instance.
+func NewTMerge(cfg TMergeConfig) *TMerge { return core.NewTMerge(cfg) }
+
+// NewBaseline returns the exhaustive baseline (BL).
+func NewBaseline() *Baseline { return core.NewBaseline() }
+
+// NewBaselineB returns the batched baseline (BL-B).
+func NewBaselineB(batch int) *Baseline { return core.NewBaselineB(batch) }
+
+// NewPS returns proportional sampling with proportion eta.
+func NewPS(eta float64, seed uint64) *PS { return core.NewPS(eta, seed) }
+
+// NewPSB returns batched proportional sampling (PS-B).
+func NewPSB(eta float64, batch int, seed uint64) *PS { return core.NewPSB(eta, batch, seed) }
+
+// NewLCB returns the lower-confidence-bound bandit.
+func NewLCB(tauMax int, seed uint64) *LCB { return core.NewLCB(tauMax, seed) }
+
+// NewLCBB returns LCB-B (accelerator execution; cannot batch across
+// iterations).
+func NewLCBB(tauMax int, seed uint64) *LCB { return core.NewLCBB(tauMax, seed) }
+
+// NewMerger returns an empty identity merger.
+func NewMerger() *Merger { return core.NewMerger() }
+
+// RunPipeline executes the identify-and-merge ingestion pass of §II.
+func RunPipeline(tracks *TrackSet, numFrames int, oracle *Oracle, cfg PipelineConfig) *PipelineResult {
+	return core.RunPipeline(tracks, numFrames, oracle, cfg)
+}
+
+// ReID oracle and devices.
+type (
+	// Model is the simulated ReID embedder.
+	Model = reid.Model
+	// Oracle computes normalised BBox pair distances with caching and
+	// cost accounting.
+	Oracle = reid.Oracle
+	// OracleStats counts the oracle's work.
+	OracleStats = reid.Stats
+	// Device executes ReID submissions and charges their modeled cost.
+	Device = device.Device
+	// CostModel is the virtual cost charged per submission.
+	CostModel = device.CostModel
+)
+
+// Default cost models (see internal/device for calibration notes).
+var (
+	// DefaultCPUCost is the serial CPU cost model.
+	DefaultCPUCost = device.DefaultCPU
+	// DefaultAcceleratorCost is the batch accelerator cost model.
+	DefaultAcceleratorCost = device.DefaultAccelerator
+)
+
+// NewModel constructs a ReID model with deterministic weights.
+func NewModel(seed uint64, inDim int) *Model { return reid.NewModel(seed, inDim) }
+
+// NewOracle returns a distance oracle executing on dev.
+func NewOracle(model *Model, dev Device) *Oracle { return reid.NewOracle(model, dev) }
+
+// NewCPU returns a serial device with the given cost model.
+func NewCPU(model CostModel) Device { return device.NewCPU(model) }
+
+// NewAccelerator returns a batch device (workers = 0 means GOMAXPROCS).
+func NewAccelerator(model CostModel, workers int) Device {
+	return device.NewAccelerator(model, workers)
+}
+
+// Tracking substrate.
+type (
+	// Tracker converts per-frame detections into tracks.
+	Tracker = track.Tracker
+	// TrackerConfig parameterises the SORT-family engine.
+	TrackerConfig = track.Config
+	// TrackerEngine is the shared SORT-family implementation.
+	TrackerEngine = track.Engine
+)
+
+// SORT returns the classic SORT preset (fragments most).
+func SORT() *TrackerEngine { return track.SORT() }
+
+// DeepSORT returns the appearance-augmented DeepSORT preset.
+func DeepSORT() *TrackerEngine { return track.DeepSORT() }
+
+// Tracktor returns the Tracktor preset (fragments least).
+func Tracktor() *TrackerEngine { return track.Tracktor() }
+
+// NewTrackerEngine returns a tracking engine for a custom configuration.
+func NewTrackerEngine(cfg TrackerConfig) *TrackerEngine { return track.NewEngine(cfg) }
+
+// Scene simulation and datasets.
+type (
+	// SceneConfig parameterises a synthetic scene.
+	SceneConfig = synth.Config
+	// Video is a generated scene: detections plus exact ground truth.
+	Video = synth.Video
+	// DatasetProfile describes how to generate one synthetic dataset.
+	DatasetProfile = dataset.Profile
+	// Dataset is a generated collection of videos.
+	Dataset = dataset.Dataset
+)
+
+// AppearanceDim is the observation dimensionality shared by the dataset
+// profiles and the default ReID model.
+const AppearanceDim = dataset.AppearanceDim
+
+// GenerateScene runs the simulator for one scene configuration.
+func GenerateScene(cfg SceneConfig) (*Video, error) { return synth.Generate(cfg) }
+
+// MOT17Like returns the MOT-17 stand-in dataset profile.
+func MOT17Like(seed uint64) DatasetProfile { return dataset.MOT17Like(seed) }
+
+// KITTILike returns the KITTI stand-in dataset profile.
+func KITTILike(seed uint64) DatasetProfile { return dataset.KITTILike(seed) }
+
+// PathTrackLike returns the PathTrack stand-in dataset profile.
+func PathTrackLike(seed uint64) DatasetProfile { return dataset.PathTrackLike(seed) }
+
+// SaveDataset writes a dataset to disk as gzip-compressed JSON.
+func SaveDataset(ds *Dataset, path string) error { return dataset.Save(ds, path) }
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }
+
+// Evaluation.
+type (
+	// IdentityMetrics holds IDF1/IDP/IDR.
+	IdentityMetrics = motmetrics.IdentityMetrics
+	// CLEARMetrics holds CLEAR-MOT event counts.
+	CLEARMetrics = motmetrics.CLEARMetrics
+	// CountQuery counts long-dwelling objects (§V-H).
+	CountQuery = query.CountQuery
+	// CoOccurQuery finds jointly-present object groups (§V-H).
+	CoOccurQuery = query.CoOccurQuery
+)
+
+// Identity computes IDF1/IDP/IDR between GT and hypothesis tracks.
+func Identity(gt, hyp *TrackSet) IdentityMetrics { return motmetrics.Identity(gt, hyp) }
+
+// CLEARMOT computes CLEAR-MOT event counts.
+func CLEARMOT(gt, hyp *TrackSet) CLEARMetrics { return motmetrics.CLEAR(gt, hyp) }
+
+// PolyonymousPairs derives the ground-truth polyonymous pair set P*c.
+func PolyonymousPairs(ps *PairSet) map[PairKey]bool { return motmetrics.PolyonymousPairs(ps) }
+
+// PolyonymousRate returns |P*c| / |Pc|.
+func PolyonymousRate(ps *PairSet) float64 { return motmetrics.PolyonymousRate(ps) }
+
+// Streaming ingestion (package ingest).
+type (
+	// Ingestor is an online ingestion session: push detections frame by
+	// frame; windows are selected and merged as the stream passes them.
+	Ingestor = ingest.Ingestor
+	// IngestConfig parameterises a streaming session.
+	IngestConfig = ingest.Config
+	// IngestWindowResult reports one processed window.
+	IngestWindowResult = ingest.WindowResult
+	// Inspector filters selected candidates before merging (the paper's
+	// human-inspection step as a callback).
+	Inspector = ingest.Inspector
+)
+
+// NewIngestor returns a streaming ingestion session.
+func NewIngestor(engine *TrackerEngine, oracle *Oracle, cfg IngestConfig) (*Ingestor, error) {
+	return ingest.New(engine, oracle, cfg)
+}
+
+// Track metadata store (package trackdb).
+type (
+	// TrackStore is a queryable track-metadata database with an interval
+	// index and in-place identity merging.
+	TrackStore = trackdb.Store
+	// TrackStoreStats summarises a store's contents.
+	TrackStoreStats = trackdb.Stats
+)
+
+// NewTrackStore returns an empty track store.
+func NewTrackStore() *TrackStore { return trackdb.New() }
+
+// TrackStoreFrom builds a store holding the given tracks.
+func TrackStoreFrom(ts *TrackSet) *TrackStore { return trackdb.FromTrackSet(ts) }
+
+// K calibration (§III).
+type (
+	// LabelledWindow pairs a window's candidates with its ground truth.
+	LabelledWindow = core.LabelledWindow
+	// KCalibration is the outcome of CalibrateK.
+	KCalibration = core.KCalibration
+)
+
+// CalibrateK finds the smallest K achieving the target recall on a
+// labelled sample of windows (§III's calibration procedure).
+func CalibrateK(windows []LabelledWindow, oracle *Oracle, targetREC float64, grid []float64) (KCalibration, error) {
+	return core.CalibrateK(windows, oracle, targetREC, grid)
+}
+
+// SuggestTauMax estimates a TMerge iteration budget from the pair
+// universe size.
+func SuggestTauMax(ps *PairSet) int { return core.SuggestTauMax(ps) }
+
+// Additional temporal queries (package query).
+type (
+	// RegionQuery finds objects dwelling in a frame region.
+	RegionQuery = query.RegionQuery
+	// PrecedesQuery finds sequenced-appearance object pairs.
+	PrecedesQuery = query.PrecedesQuery
+)
+
+// UMA returns the UMA tracker preset.
+func UMA() *TrackerEngine { return track.UMA() }
+
+// CenterTrack returns the CenterTrack tracker preset.
+func CenterTrack() *TrackerEngine { return track.CenterTrack() }
+
+// Hyper-parameter search (§V-F).
+type (
+	// GridSearchConfig parameterises the (L, thr_S) grid search.
+	GridSearchConfig = core.GridSearchConfig
+	// GridSearchResult reports the best point and the full grid.
+	GridSearchResult = core.GridSearchResult
+)
+
+// GridSearch evaluates (L, thr_S) combinations on a labelled sequence and
+// returns the best-recall point, the paper's §V-F calibration procedure.
+func GridSearch(tracks *TrackSet, numFrames int, oracle *Oracle, cfg GridSearchConfig) (GridSearchResult, error) {
+	return core.GridSearch(tracks, numFrames, oracle, cfg)
+}
+
+// SequenceWindow extracts a contiguous run of up to n boxes from a track,
+// centred on index around — the sampling primitive for sequence-input
+// ReID (the paper's footnote 2 variant; see Oracle.SequenceDistance).
+func SequenceWindow(t *Track, around, n int) []BBox { return reid.SequenceWindow(t, around, n) }
+
+// HighwayLike returns a vehicle-surveillance dataset profile (wide scene,
+// fast directional motion — the paper's "cars on highways" motivation).
+func HighwayLike(seed uint64) DatasetProfile { return dataset.HighwayLike(seed) }
+
+// Pair-universe pre-filtering (extension; see internal/video).
+type (
+	// PairFilter decides whether a candidate pair enters the universe.
+	PairFilter = video.PairFilter
+)
+
+// TemporalOverlapFilter rejects pairs whose tracks coexist for more than
+// maxOverlap frames (one object cannot appear twice in a frame).
+func TemporalOverlapFilter(maxOverlap int) PairFilter {
+	return video.TemporalOverlapFilter(maxOverlap)
+}
+
+// BuildPairSetFiltered is BuildPairSet with a pre-filter.
+func BuildPairSetFiltered(w Window, cur, prev []*Track, keep PairFilter) *PairSet {
+	return video.BuildPairSetFiltered(w, cur, prev, keep)
+}

@@ -1,0 +1,260 @@
+package tmerge_test
+
+// Integration tests of the public API surface: a downstream user's view
+// of the library, exercising generation -> tracking -> selection ->
+// merging -> evaluation end to end.
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge"
+)
+
+func generate(t *testing.T) *tmerge.Video {
+	t.Helper()
+	profile := tmerge.KITTILike(42)
+	profile.NumVideos = 1
+	ds, err := profile.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Videos[0]
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	v := generate(t)
+	tracks := tmerge.Tracktor().Track(v.Detections)
+	if tracks.Len() < v.GT.Len() {
+		t.Fatalf("tracker produced %d tracks for %d objects", tracks.Len(), v.GT.Len())
+	}
+
+	oracle := tmerge.NewOracle(
+		tmerge.NewModel(7, tmerge.AppearanceDim),
+		tmerge.NewCPU(tmerge.DefaultCPUCost))
+	res := tmerge.RunPipeline(tracks, v.NumFrames, oracle, tmerge.PipelineConfig{
+		K:         0.05,
+		Algorithm: tmerge.NewTMerge(tmerge.DefaultTMergeConfig(1)),
+		Verify:    true,
+	})
+	if res.REC < 0.5 {
+		t.Errorf("end-to-end REC = %v", res.REC)
+	}
+	before := tmerge.Identity(v.GT, tracks)
+	after := tmerge.Identity(v.GT, res.Merged)
+	if after.IDF1 < before.IDF1 {
+		t.Errorf("IDF1 fell: %v -> %v", before.IDF1, after.IDF1)
+	}
+}
+
+func TestPublicAlgorithmsAgreeOnEasyCases(t *testing.T) {
+	v := generate(t)
+	tracks := tmerge.Tracktor().Track(v.Detections)
+	w := tmerge.Window{Start: 0, End: tmerge.FrameIndex(v.NumFrames - 1)}
+	ps := tmerge.BuildPairSet(w, tracks.Sorted(), nil)
+	truth := tmerge.PolyonymousPairs(ps)
+	if len(truth) == 0 {
+		t.Skip("no polyonymous pairs in this scene")
+	}
+	model := tmerge.NewModel(7, tmerge.AppearanceDim)
+	blSel := tmerge.NewBaseline().Select(ps, tmerge.NewOracle(model, tmerge.NewCPU(tmerge.DefaultCPUCost)), 0.05)
+	tmSel := tmerge.NewTMerge(tmerge.DefaultTMergeConfig(1)).Select(ps, tmerge.NewOracle(model, tmerge.NewCPU(tmerge.DefaultCPUCost)), 0.05)
+	blRec := tmerge.Recall(blSel, truth)
+	tmRec := tmerge.Recall(tmSel, truth)
+	if blRec < 0.9 {
+		t.Errorf("baseline recall = %v", blRec)
+	}
+	if tmRec < blRec-0.35 {
+		t.Errorf("TMerge recall %v far below baseline %v", tmRec, blRec)
+	}
+}
+
+func TestPublicQueriesAndMetrics(t *testing.T) {
+	v := generate(t)
+	tracks := tmerge.Tracktor().Track(v.Detections)
+
+	count := tmerge.CountQuery{MinFrames: 100}
+	if r := count.Recall(v.GT, tracks); r < 0 || r > 1 {
+		t.Errorf("count recall = %v", r)
+	}
+	co := tmerge.CoOccurQuery{GroupSize: 2, MinFrames: 50}
+	if r := co.Recall(v.GT, tracks); r < 0 || r > 1 {
+		t.Errorf("cooccur recall = %v", r)
+	}
+	clear := tmerge.CLEARMOT(v.GT, tracks)
+	if clear.GTBoxes == 0 {
+		t.Error("CLEAR saw no GT boxes")
+	}
+	if rate := tmerge.PolyonymousRate(tmerge.BuildPairSet(
+		tmerge.Window{Start: 0, End: tmerge.FrameIndex(v.NumFrames - 1)},
+		tracks.Sorted(), nil)); rate < 0 || rate > 1 {
+		t.Errorf("polyonymous rate = %v", rate)
+	}
+}
+
+func TestPublicMergerAndPartition(t *testing.T) {
+	m := tmerge.NewMerger()
+	m.Merge(tmerge.MakePairKey(3, 8))
+	if m.Canonical(8) != 3 {
+		t.Error("canonical ID wrong")
+	}
+	ws := tmerge.Partition(4000, 2000)
+	if len(ws) != 4 {
+		t.Errorf("partition = %d windows", len(ws))
+	}
+}
+
+func TestPublicDatasetRoundTrip(t *testing.T) {
+	profile := tmerge.KITTILike(1)
+	profile.NumVideos = 1
+	profile.Template.NumFrames = 100
+	profile.MinPolyPairs = 0 // a 100-frame scene cannot pass curation
+	ds, err := profile.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ds.json.gz"
+	if err := tmerge.SaveDataset(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tmerge.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Videos[0].GT.Len() != ds.Videos[0].GT.Len() {
+		t.Error("round trip lost GT tracks")
+	}
+}
+
+func TestPublicCustomTracker(t *testing.T) {
+	engine := tmerge.NewTrackerEngine(tmerge.TrackerConfig{
+		Name:    "custom",
+		MaxAge:  5,
+		MinIoU:  0.1,
+		MinHits: 1,
+	})
+	if engine.Name() != "custom" {
+		t.Error("custom tracker name")
+	}
+	v := generate(t)
+	ts := engine.Track(v.Detections)
+	if ts.Len() == 0 {
+		t.Error("custom tracker produced no tracks")
+	}
+}
+
+func TestPublicClassesAndFilters(t *testing.T) {
+	scene := tmerge.MOT17Like(5).Template
+	scene.Name = "classes"
+	scene.NumClasses = 2
+	v, err := tmerge.GenerateScene(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := tmerge.Tracktor().Track(v.Detections)
+	for _, tr := range tracks.Tracks() {
+		c := tr.Boxes[0].Class
+		for _, b := range tr.Boxes {
+			if b.Class != c {
+				t.Fatalf("track %d mixes classes", tr.ID)
+			}
+		}
+	}
+	// Temporal-overlap pre-filter: with slack at least the maximum true
+	// pair overlap (fragments can briefly coexist when the tracker spawns
+	// a duplicate while coasting), the universe shrinks without losing
+	// any true pair.
+	w := tmerge.Window{Start: 0, End: tmerge.FrameIndex(v.NumFrames - 1)}
+	full := tmerge.BuildPairSet(w, tracks.Sorted(), nil)
+	truth := tmerge.PolyonymousPairs(full)
+	slack := 10
+	for key := range truth {
+		p := full.Get(key)
+		lo, hi := p.TI.StartFrame(), p.TI.EndFrame()
+		if s := p.TJ.StartFrame(); s > lo {
+			lo = s
+		}
+		if e := p.TJ.EndFrame(); e < hi {
+			hi = e
+		}
+		if ov := int(hi-lo) + 1; ov > slack {
+			slack = ov
+		}
+	}
+	filtered := tmerge.BuildPairSetFiltered(w, tracks.Sorted(), nil, tmerge.TemporalOverlapFilter(slack))
+	if filtered.Len() >= full.Len() {
+		t.Errorf("filter kept %d of %d pairs", filtered.Len(), full.Len())
+	}
+	for key := range truth {
+		if filtered.Get(key) == nil {
+			t.Errorf("filter dropped true pair %v", key)
+		}
+	}
+}
+
+func TestPublicTrackStore(t *testing.T) {
+	v := generate(t)
+	tracks := tmerge.Tracktor().Track(v.Detections)
+	store := tmerge.TrackStoreFrom(tracks)
+	if store.Len() != tracks.Len() {
+		t.Fatalf("store holds %d of %d tracks", store.Len(), tracks.Len())
+	}
+	mid := tmerge.FrameIndex(v.NumFrames / 2)
+	inRange := store.TracksInRange(mid, mid+10)
+	for _, tr := range inRange {
+		if tr.EndFrame() < mid || tr.StartFrame() > mid+10 {
+			t.Errorf("track %d outside queried range", tr.ID)
+		}
+	}
+}
+
+func TestPublicIngestor(t *testing.T) {
+	v := generate(t)
+	oracle := tmerge.NewOracle(
+		tmerge.NewModel(7, tmerge.AppearanceDim),
+		tmerge.NewCPU(tmerge.DefaultCPUCost))
+	cfg := tmerge.DefaultTMergeConfig(3)
+	cfg.TauMax = 2000
+	in, err := tmerge.NewIngestor(tmerge.Tracktor(), oracle, tmerge.IngestConfig{
+		WindowLen: 300,
+		K:         0.05,
+		Algorithm: tmerge.NewTMerge(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dets := range v.Detections {
+		in.Push(dets)
+	}
+	in.Close()
+	if in.FramesSeen() != v.NumFrames {
+		t.Errorf("FramesSeen = %d", in.FramesSeen())
+	}
+	if in.MergedTracks().Len() == 0 {
+		t.Error("no merged tracks")
+	}
+}
+
+func TestPublicCalibrateAndGridSearch(t *testing.T) {
+	v := generate(t)
+	tracks := tmerge.Tracktor().Track(v.Detections)
+	oracle := tmerge.NewOracle(
+		tmerge.NewModel(7, tmerge.AppearanceDim),
+		tmerge.NewCPU(tmerge.DefaultCPUCost))
+	w := tmerge.Window{Start: 0, End: tmerge.FrameIndex(v.NumFrames - 1)}
+	ps := tmerge.BuildPairSet(w, tracks.Sorted(), nil)
+	truth := tmerge.PolyonymousPairs(ps)
+	if len(truth) == 0 {
+		t.Skip("no truth in this scene")
+	}
+	cal, err := tmerge.CalibrateK(
+		[]tmerge.LabelledWindow{{Pairs: ps, Truth: truth}}, oracle, 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.K <= 0 || cal.K > 0.2 {
+		t.Errorf("calibrated K = %v", cal.K)
+	}
+	if tau := tmerge.SuggestTauMax(ps); tau < 2000 {
+		t.Errorf("suggested tau = %d", tau)
+	}
+}
