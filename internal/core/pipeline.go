@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
+	"github.com/tmerge/tmerge/internal/device"
 	"github.com/tmerge/tmerge/internal/motmetrics"
 	"github.com/tmerge/tmerge/internal/reid"
 	"github.com/tmerge/tmerge/internal/video"
@@ -29,6 +31,25 @@ type PipelineConfig struct {
 	Verify bool
 }
 
+// Validate rejects configurations that would otherwise misbehave deep in
+// the pipeline: an odd positive WindowLen (the half-overlap would be
+// inexact; previously a panic inside video.Partition), K outside (0, 1]
+// (previously silently producing an empty or full candidate set), and a
+// nil Algorithm (previously a nil-dereference panic mid-window).
+// WindowLen <= 0 stays legal: it selects whole-video processing.
+func (cfg PipelineConfig) Validate() error {
+	if cfg.WindowLen > 0 && cfg.WindowLen%2 != 0 {
+		return fmt.Errorf("core: window length must be even, got %d", cfg.WindowLen)
+	}
+	if cfg.K <= 0 || cfg.K > 1 {
+		return fmt.Errorf("core: K must be in (0, 1], got %g", cfg.K)
+	}
+	if cfg.Algorithm == nil {
+		return fmt.Errorf("core: nil selection algorithm")
+	}
+	return nil
+}
+
 // WindowReport describes the processing of one window.
 type WindowReport struct {
 	Window   video.Window
@@ -36,6 +57,10 @@ type WindowReport struct {
 	Truth    int             // |P*c| (ground-truth polyonymous pairs)
 	Selected []video.PairKey // P̂*c|K
 	Recall   float64         // REC(P̂*c|K), Equation (3)
+	// Degraded reports that the ReID device was unavailable for this
+	// window (circuit breaker open or retry budget exhausted) and
+	// Selected was ranked by the BetaInit spatial prior alone.
+	Degraded bool
 }
 
 // PipelineResult is the outcome of a full ingestion pass over one video.
@@ -53,6 +78,13 @@ type PipelineResult struct {
 	// figures in the harness are FramesProcessed / Virtual.
 	Virtual         time.Duration
 	FramesProcessed int
+	// DegradedWindows counts the windows selected in degraded mode (see
+	// WindowReport.Degraded).
+	DegradedWindows int
+	// Resilience is this pass's retry/breaker activity — the fault-path
+	// counterpart of Stats. Zero unless the oracle runs on a
+	// device.ResilientDevice.
+	Resilience device.ResilientCounters
 }
 
 // FPS returns the modeled frames-per-second throughput of the pass.
@@ -68,10 +100,35 @@ func (r *PipelineResult) FPS() float64 {
 // per Equation (1), select candidates with cfg.Algorithm, and merge. Truth
 // (P*c, recall) is derived from the GTObject labels carried by the boxes;
 // the selection algorithms never see those labels.
+//
+// RunPipeline panics on an invalid cfg; use TryRunPipeline to get the
+// validation error instead.
 func RunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg PipelineConfig) *PipelineResult {
+	res, err := TryRunPipeline(tracks, numFrames, oracle, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TryRunPipeline is RunPipeline with up-front configuration validation.
+// Windows whose oracle submissions cannot complete (device breaker open,
+// retry budget exhausted) are not dropped: they are selected in degraded
+// mode by the BetaInit spatial prior alone and flagged in their
+// WindowReport. Oracle-backed selection resumes as soon as the device
+// recovers.
+func TryRunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg PipelineConfig) (*PipelineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res := &PipelineResult{FramesProcessed: numFrames}
 	startStats := oracle.Stats()
 	startClock := oracle.Device().Clock().Elapsed()
+	rd, _ := oracle.Device().(*device.ResilientDevice)
+	var startRes device.ResilientCounters
+	if rd != nil {
+		startRes = rd.Counters()
+	}
 
 	merger := NewMerger()
 	var prevTracks []*video.Track
@@ -79,7 +136,10 @@ func RunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg
 	process := func(w video.Window, cur []*video.Track) {
 		ps := video.BuildPairSet(w, cur, prevTracks)
 		truth := motmetrics.PolyonymousPairs(ps)
-		selected := cfg.Algorithm.Select(ps, oracle, cfg.K)
+		selected, degraded := SelectWithFallback(cfg.Algorithm, ps, oracle, cfg.K)
+		if degraded {
+			res.DegradedWindows++
+		}
 		if cfg.Verify {
 			for _, k := range selected {
 				if truth[k] {
@@ -95,6 +155,7 @@ func RunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg
 			Truth:    len(truth),
 			Selected: selected,
 			Recall:   video.Recall(selected, truth),
+			Degraded: degraded,
 		})
 		prevTracks = cur
 	}
@@ -116,6 +177,9 @@ func RunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg
 		CacheHits:   endStats.CacheHits - startStats.CacheHits,
 	}
 	res.Virtual = oracle.Device().Clock().Elapsed() - startClock
+	if rd != nil {
+		res.Resilience = rd.Counters().Sub(startRes)
+	}
 
 	var sum float64
 	n := 0
@@ -130,7 +194,7 @@ func RunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, cfg
 	} else {
 		res.REC = 1
 	}
-	return res
+	return res, nil
 }
 
 // tracksInWhole returns all tracks in the deterministic order used for

@@ -1,0 +1,307 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted is a Fallible test double: attempt i fails iff fail(i) is
+// true. Failed attempts charge failCost to the clock.
+type scripted struct {
+	cpu      Device
+	fail     func(i int64) bool
+	failCost time.Duration
+	attempts int64
+}
+
+var errScripted = errors.New("scripted failure")
+
+func newScripted(fail func(i int64) bool) *scripted {
+	return &scripted{cpu: NewCPU(CostModel{PerExtract: time.Microsecond}), fail: fail}
+}
+
+func (s *scripted) Name() string        { return "scripted" }
+func (s *scripted) Clock() *Clock       { return s.cpu.Clock() }
+func (s *scripted) Submissions() int64  { return s.attempts }
+func (s *scripted) Submit(nE, nD int, run func(i int)) {
+	if err := s.TrySubmit(nE, nD, run); err != nil {
+		panic(&Unavailable{Err: err})
+	}
+}
+func (s *scripted) TrySubmit(nE, nD int, run func(i int)) error {
+	i := s.attempts
+	s.attempts++
+	if s.fail(i) {
+		s.cpu.Clock().Add(s.failCost)
+		return errScripted
+	}
+	s.cpu.Submit(nE, nD, run)
+	return nil
+}
+
+func TestResilientRetriesTransientFailures(t *testing.T) {
+	// Attempts 0 and 1 fail, attempt 2 succeeds: one submission, two
+	// retries, work executed exactly once.
+	inner := newScripted(func(i int64) bool { return i < 2 })
+	d := NewResilientDevice(inner, RetryPolicy{MaxAttempts: 4, Jitter: -1}, BreakerConfig{Threshold: 10}, 1)
+	ran := 0
+	if err := d.TrySubmit(3, 0, func(int) { ran++ }); err != nil {
+		t.Fatalf("TrySubmit: %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d extractions, want 3", ran)
+	}
+	c := d.Counters()
+	want := ResilientCounters{Submissions: 1, Attempts: 3, Retries: 2, Failures: 2}
+	if c != want {
+		t.Errorf("counters = %+v, want %+v", c, want)
+	}
+	if d.State() != BreakerClosed {
+		t.Errorf("state = %v, want closed", d.State())
+	}
+}
+
+func TestResilientBudgetExhausted(t *testing.T) {
+	inner := newScripted(func(int64) bool { return true })
+	d := NewResilientDevice(inner, RetryPolicy{MaxAttempts: 3}, BreakerConfig{Threshold: 100}, 1)
+	err := d.TrySubmit(1, 0, func(int) {})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("error %v should wrap ErrUnavailable", err)
+	}
+	if !errors.Is(err, errScripted) {
+		t.Errorf("error %v should wrap the inner cause", err)
+	}
+	c := d.Counters()
+	if c.Attempts != 3 || c.Failures != 3 || c.Retries != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+	// Threshold not reached: still closed.
+	if d.State() != BreakerClosed {
+		t.Errorf("state = %v, want closed", d.State())
+	}
+}
+
+func TestResilientBreakerTripAndRecovery(t *testing.T) {
+	// Outage covers attempts [0, 5): the first submission trips the
+	// breaker mid-retry, the next is rejected without touching the inner
+	// device, then a probe fails (still in outage) and re-trips, and
+	// finally a probe succeeds and closes the breaker.
+	inner := newScripted(func(i int64) bool { return i < 5 })
+	d := NewResilientDevice(inner,
+		RetryPolicy{MaxAttempts: 10, Jitter: -1},
+		BreakerConfig{Threshold: 4, CooldownRejections: 1},
+		1)
+
+	// Submission 1: attempts 0-3 fail, breaker trips on the 4th.
+	if err := d.TrySubmit(1, 0, func(int) {}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want unavailable, got %v", err)
+	}
+	if d.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", d.State())
+	}
+	if got := d.Counters().Trips; got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// Submission 2: rejected while open (cooldown not over).
+	err := d.TrySubmit(1, 0, func(int) {})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want unavailable, got %v", err)
+	}
+	if got := d.Counters().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := inner.attempts; got != 4 {
+		t.Fatalf("inner attempts = %d, want 4 (rejection must not reach inner)", got)
+	}
+
+	// Submission 3: cooldown over (1 rejection) → probe attempt 4 fails
+	// → re-trip.
+	if err := d.TrySubmit(1, 0, func(int) {}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want unavailable, got %v", err)
+	}
+	if got := d.Counters().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+
+	// Submission 4: rejected again; submission 5: probe attempt 5
+	// succeeds → closed.
+	d.TrySubmit(1, 0, func(int) {})
+	ran := false
+	if err := d.TrySubmit(1, 0, func(int) { ran = true }); err != nil {
+		t.Fatalf("recovered submission failed: %v", err)
+	}
+	if !ran {
+		t.Error("recovered submission did not execute")
+	}
+	if d.State() != BreakerClosed {
+		t.Errorf("state = %v, want closed", d.State())
+	}
+	c := d.Counters()
+	if c.Probes != 2 {
+		t.Errorf("probes = %d, want 2", c.Probes)
+	}
+	if c.Submissions != 5 || c.Rejected != 2 || c.Failures != 5 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestResilientTimeCooldown(t *testing.T) {
+	inner := newScripted(func(i int64) bool { return i < 2 })
+	inner.failCost = 3 * time.Millisecond // failures consume virtual time
+	d := NewResilientDevice(inner,
+		RetryPolicy{MaxAttempts: 1},
+		BreakerConfig{Threshold: 2, Cooldown: 5 * time.Millisecond},
+		1)
+	d.TrySubmit(1, 0, func(int) {}) // attempt 0 fails (clock: 3ms)
+	d.TrySubmit(1, 0, func(int) {}) // attempt 1 fails → trip at 6ms
+	if d.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", d.State())
+	}
+	// Clock has not advanced since the trip: rejected.
+	if err := d.TrySubmit(1, 0, func(int) {}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want rejection, got %v", err)
+	}
+	// Advance virtual time past the cooldown: probe allowed, succeeds.
+	d.Clock().Add(6 * time.Millisecond)
+	if err := d.TrySubmit(1, 0, func(int) {}); err != nil {
+		t.Fatalf("post-cooldown probe failed: %v", err)
+	}
+	if d.State() != BreakerClosed {
+		t.Errorf("state = %v, want closed", d.State())
+	}
+}
+
+func TestResilientBackoffChargesVirtualClock(t *testing.T) {
+	inner := newScripted(func(i int64) bool { return i < 2 })
+	d := NewResilientDevice(inner,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: -1},
+		BreakerConfig{Threshold: 100},
+		1)
+	if err := d.TrySubmit(0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two retries: 1ms + 2ms backoff, plus the successful submission's
+	// distance cost (10 * 0 with zero PerDistance in the scripted CPU).
+	if got := d.Clock().Elapsed(); got != 3*time.Millisecond {
+		t.Errorf("clock = %v, want 3ms of backoff", got)
+	}
+}
+
+func TestResilientJitterDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		inner := newScripted(func(i int64) bool { return i%2 == 0 })
+		d := NewResilientDevice(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.5}, BreakerConfig{Threshold: 100}, 7)
+		for k := 0; k < 5; k++ {
+			d.TrySubmit(0, 1, nil)
+		}
+		return d.Clock().Elapsed()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("jittered backoff not reproducible: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Error("no backoff charged")
+	}
+}
+
+func TestResilientSubmitPanicsTyped(t *testing.T) {
+	inner := newScripted(func(int64) bool { return true })
+	d := NewResilientDevice(inner, RetryPolicy{MaxAttempts: 2}, BreakerConfig{Threshold: 100}, 1)
+	defer func() {
+		r := recover()
+		u, ok := r.(*Unavailable)
+		if !ok {
+			t.Fatalf("panic value %T, want *Unavailable", r)
+		}
+		if !errors.Is(u, ErrUnavailable) {
+			t.Errorf("panic error %v should wrap ErrUnavailable", u)
+		}
+	}()
+	d.Submit(1, 0, func(int) {})
+}
+
+func TestResilientResetBreaker(t *testing.T) {
+	inner := newScripted(func(i int64) bool { return i < 100 })
+	d := NewResilientDevice(inner, RetryPolicy{MaxAttempts: 1}, BreakerConfig{Threshold: 1, CooldownRejections: 1000, Cooldown: time.Hour}, 1)
+	d.TrySubmit(1, 0, func(int) {})
+	if d.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	d.ResetBreaker()
+	if d.State() != BreakerClosed {
+		t.Error("ResetBreaker should close the breaker")
+	}
+}
+
+func TestResilientConcurrentSubmissions(t *testing.T) {
+	// Concurrent retried submissions against the parallel accelerator:
+	// exercised under -race by CI. Every submission must eventually
+	// succeed (failure pattern leaves enough headroom per retry budget).
+	accel := NewAccelerator(CostModel{PerExtract: time.Microsecond}, 4)
+	var mu sync.Mutex
+	n := int64(0)
+	flaky := &concFlaky{inner: AsFallible(accel), mu: &mu, n: &n}
+	d := NewResilientDevice(flaky, RetryPolicy{MaxAttempts: 4, Jitter: -1}, BreakerConfig{Threshold: 50}, 1)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				out := make([]int, 8)
+				if err := d.TrySubmit(8, 4, func(i int) { out[i] = i }); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+	c := d.Counters()
+	if c.Submissions != 16*20 {
+		t.Errorf("submissions = %d, want %d", c.Submissions, 16*20)
+	}
+	if c.Failures == 0 {
+		t.Error("flaky inner never failed; test exercised nothing")
+	}
+}
+
+// concFlaky fails every third attempt; safe for concurrent use.
+type concFlaky struct {
+	inner Fallible
+	mu    *sync.Mutex
+	n     *int64
+}
+
+func (f *concFlaky) Name() string       { return "concflaky" }
+func (f *concFlaky) Clock() *Clock      { return f.inner.Clock() }
+func (f *concFlaky) Submissions() int64 { f.mu.Lock(); defer f.mu.Unlock(); return *f.n }
+func (f *concFlaky) Submit(nE, nD int, run func(i int)) {
+	if err := f.TrySubmit(nE, nD, run); err != nil {
+		panic(&Unavailable{Err: err})
+	}
+}
+func (f *concFlaky) TrySubmit(nE, nD int, run func(i int)) error {
+	f.mu.Lock()
+	i := *f.n
+	*f.n++
+	f.mu.Unlock()
+	if i%3 == 2 {
+		return errScripted
+	}
+	return f.inner.TrySubmit(nE, nD, run)
+}

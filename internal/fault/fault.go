@@ -1,0 +1,199 @@
+// Package fault provides deterministic fault injection for ReID devices.
+//
+// In production the expensive ReID model runs on remote accelerator
+// services that drop requests, stall, and suffer outages. The rest of
+// this repository models devices as infallible; this package supplies
+// the adversary: Flaky wraps any device.Device and injects transient
+// errors, latency spikes, per-submission deadline violations, and
+// crash-until-restore outages — all driven by a seeded xrand stream and
+// an explicit Schedule, so every failure pattern is exactly
+// reproducible. Pair it with device.NewResilientDevice to exercise the
+// retry/backoff/circuit-breaker path, and with core.RunPipeline /
+// ingest.Ingestor to exercise degraded-mode selection.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// Error sentinels for the injected failure classes; match with
+// errors.Is. All of them are transient from the caller's perspective —
+// whether retrying helps depends on the schedule.
+var (
+	// ErrTransient marks a randomly injected per-submission failure.
+	ErrTransient = errors.New("fault: injected transient failure")
+	// ErrTimeout marks a submission whose modeled duration exceeded the
+	// configured deadline; its work is executed but must be discarded.
+	ErrTimeout = errors.New("fault: submission deadline exceeded")
+	// ErrOutage marks a submission made during a scheduled outage or
+	// after Crash and before Restore.
+	ErrOutage = errors.New("fault: device outage")
+)
+
+// Config parameterises the injected fault distribution.
+type Config struct {
+	// Seed drives the transient/spike draws (xrand, deterministic).
+	Seed uint64
+	// TransientRate is the probability that a submission fails with
+	// ErrTransient before executing. Must be in [0, 1].
+	TransientRate float64
+	// SpikeRate is the probability that a successful submission is
+	// charged SpikeLatency of extra virtual time. Must be in [0, 1].
+	SpikeRate float64
+	// SpikeLatency is the extra virtual latency of a spiked submission.
+	SpikeLatency time.Duration
+	// FailureLatency is the virtual time charged for each failed
+	// submission (a dropped RPC still burns its round trip). Also what
+	// lets a time-based breaker cooldown elapse during a dense outage.
+	FailureLatency time.Duration
+	// Timeout is the per-submission deadline: a submission whose
+	// modeled duration (including a spike) exceeds it fails with
+	// ErrTimeout after executing. Zero disables the deadline.
+	Timeout time.Duration
+	// Schedule scripts outage windows by submission index; nil means no
+	// scheduled outages.
+	Schedule *Schedule
+}
+
+// Counters reports what the injector did.
+type Counters struct {
+	Attempts   int64 // submissions offered to the device
+	Successes  int64 // submissions that executed and met the deadline
+	Transients int64 // ErrTransient injections
+	Timeouts   int64 // ErrTimeout injections
+	Outages    int64 // ErrOutage rejections (scheduled or crashed)
+	Spikes     int64 // latency spikes charged
+}
+
+// Flaky is a fault-injecting device wrapper. It implements
+// device.Fallible; its infallible Submit panics with *device.Unavailable
+// on an injected failure, like every fallible device. Flaky is safe for
+// concurrent use.
+type Flaky struct {
+	mu      sync.Mutex
+	inner   device.Fallible
+	cfg     Config
+	rng     *xrand.RNG
+	next    int64 // submission index, schedule cursor
+	crashed bool
+	c       Counters
+}
+
+// NewFlaky wraps inner with the fault model of cfg. It panics when a
+// rate lies outside [0, 1].
+func NewFlaky(inner device.Device, cfg Config) *Flaky {
+	if cfg.TransientRate < 0 || cfg.TransientRate > 1 {
+		panic(fmt.Sprintf("fault: TransientRate %g outside [0, 1]", cfg.TransientRate))
+	}
+	if cfg.SpikeRate < 0 || cfg.SpikeRate > 1 {
+		panic(fmt.Sprintf("fault: SpikeRate %g outside [0, 1]", cfg.SpikeRate))
+	}
+	return &Flaky{
+		inner: device.AsFallible(inner),
+		cfg:   cfg,
+		rng:   xrand.Derive(cfg.Seed, "fault:flaky"),
+	}
+}
+
+// Name implements device.Device.
+func (f *Flaky) Name() string { return "flaky(" + f.inner.Name() + ")" }
+
+// Clock implements device.Device, sharing the inner device's clock.
+func (f *Flaky) Clock() *device.Clock { return f.inner.Clock() }
+
+// Submissions implements device.Device. It counts every offered
+// submission, failed ones included — the index space Schedule outages
+// are expressed in.
+func (f *Flaky) Submissions() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Inner returns the wrapped device.
+func (f *Flaky) Inner() device.Fallible { return f.inner }
+
+// Counters returns a snapshot of the injection counters.
+func (f *Flaky) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.c
+}
+
+// Crash puts the device into a hard outage: every submission fails with
+// ErrOutage until Restore is called. Use it to script outages around
+// streaming sessions where submission indices are awkward to
+// precompute.
+func (f *Flaky) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// Restore ends a Crash outage.
+func (f *Flaky) Restore() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+}
+
+// Crashed reports whether the device is in a Crash outage.
+func (f *Flaky) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Submit implements device.Device, panicking with *device.Unavailable on
+// an injected failure.
+func (f *Flaky) Submit(nExtract, nDistance int, run func(i int)) {
+	if err := f.TrySubmit(nExtract, nDistance, run); err != nil {
+		panic(&device.Unavailable{Err: err})
+	}
+}
+
+// TrySubmit implements device.Fallible: consult the fault model, then
+// delegate to the inner device.
+func (f *Flaky) TrySubmit(nExtract, nDistance int, run func(i int)) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := f.next
+	f.next++
+	f.c.Attempts++
+
+	if f.crashed || f.cfg.Schedule.Covers(idx) {
+		f.c.Outages++
+		f.inner.Clock().Add(f.cfg.FailureLatency)
+		return fmt.Errorf("fault: submission %d: %w", idx, ErrOutage)
+	}
+	if f.cfg.TransientRate > 0 && f.rng.Float64() < f.cfg.TransientRate {
+		f.c.Transients++
+		f.inner.Clock().Add(f.cfg.FailureLatency)
+		return fmt.Errorf("fault: submission %d: %w", idx, ErrTransient)
+	}
+	var spike time.Duration
+	if f.cfg.SpikeRate > 0 && f.rng.Float64() < f.cfg.SpikeRate {
+		spike = f.cfg.SpikeLatency
+		f.c.Spikes++
+	}
+
+	clock := f.inner.Clock()
+	before := clock.Elapsed()
+	if err := f.inner.TrySubmit(nExtract, nDistance, run); err != nil {
+		return err
+	}
+	clock.Add(spike)
+	cost := clock.Elapsed() - before
+	if f.cfg.Timeout > 0 && cost > f.cfg.Timeout {
+		f.c.Timeouts++
+		return fmt.Errorf("fault: submission %d took %v, deadline %v: %w", idx, cost, f.cfg.Timeout, ErrTimeout)
+	}
+	f.c.Successes++
+	return nil
+}

@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/device"
+)
+
+func cpuModel() device.CostModel {
+	return device.CostModel{PerExtract: 100 * time.Microsecond, PerDistance: time.Microsecond}
+}
+
+func TestScheduleCovers(t *testing.T) {
+	s := NewSchedule(Outage{From: 2, To: 5}, Outage{From: 9, To: 10})
+	want := map[int64]bool{0: false, 1: false, 2: true, 4: true, 5: false, 8: false, 9: true, 10: false}
+	for idx, w := range want {
+		if got := s.Covers(idx); got != w {
+			t.Errorf("Covers(%d) = %v, want %v", idx, got, w)
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.Covers(0) {
+		t.Error("nil schedule must cover nothing")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for _, bad := range []Outage{{From: -1, To: 3}, {From: 5, To: 5}, {From: 6, To: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSchedule(%+v) should panic", bad)
+				}
+			}()
+			NewSchedule(bad)
+		}()
+	}
+}
+
+func TestFlakyScheduledOutage(t *testing.T) {
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{
+		Schedule: NewSchedule(Outage{From: 1, To: 3}),
+	})
+	errs := make([]error, 5)
+	for i := range errs {
+		errs[i] = f.TrySubmit(1, 0, func(int) {})
+	}
+	for i, err := range errs {
+		inOutage := i >= 1 && i < 3
+		if inOutage && !errors.Is(err, ErrOutage) {
+			t.Errorf("submission %d: got %v, want ErrOutage", i, err)
+		}
+		if !inOutage && err != nil {
+			t.Errorf("submission %d: unexpected error %v", i, err)
+		}
+	}
+	c := f.Counters()
+	if c.Attempts != 5 || c.Outages != 2 || c.Successes != 3 {
+		t.Errorf("counters = %+v", c)
+	}
+	if f.Submissions() != 5 {
+		t.Errorf("Submissions = %d, want 5 (failures included)", f.Submissions())
+	}
+}
+
+func TestFlakyTransientDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		f := NewFlaky(device.NewCPU(cpuModel()), Config{Seed: 11, TransientRate: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = f.TrySubmit(1, 0, func(int) {}) != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("submission %d: failure pattern not reproducible", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("transient rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestFlakyTransientErrorDoesNotExecute(t *testing.T) {
+	// TransientRate 1: every submission fails before running anything.
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{TransientRate: 1, FailureLatency: time.Millisecond})
+	ran := false
+	err := f.TrySubmit(3, 0, func(int) { ran = true })
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want ErrTransient", err)
+	}
+	if ran {
+		t.Error("failed submission must not execute work")
+	}
+	if got := f.Clock().Elapsed(); got != time.Millisecond {
+		t.Errorf("failure latency not charged: clock = %v", got)
+	}
+}
+
+func TestFlakyTimeout(t *testing.T) {
+	// 50 extractions at 100µs = 5ms > 1ms deadline.
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{Timeout: time.Millisecond})
+	err := f.TrySubmit(50, 0, func(int) {})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	// 5 extractions = 500µs < 1ms: fine.
+	if err := f.TrySubmit(5, 0, func(int) {}); err != nil {
+		t.Fatalf("under-deadline submission failed: %v", err)
+	}
+	c := f.Counters()
+	if c.Timeouts != 1 || c.Successes != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestFlakySpikeChargesLatency(t *testing.T) {
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{Seed: 3, SpikeRate: 1, SpikeLatency: 10 * time.Millisecond})
+	if err := f.TrySubmit(1, 0, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	want := 100*time.Microsecond + 10*time.Millisecond
+	if got := f.Clock().Elapsed(); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+	if f.Counters().Spikes != 1 {
+		t.Errorf("spikes = %d", f.Counters().Spikes)
+	}
+}
+
+func TestFlakyCrashRestore(t *testing.T) {
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{})
+	if err := f.TrySubmit(1, 0, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	if !f.Crashed() {
+		t.Error("Crashed() = false after Crash")
+	}
+	if err := f.TrySubmit(1, 0, func(int) {}); !errors.Is(err, ErrOutage) {
+		t.Fatalf("crashed device returned %v, want ErrOutage", err)
+	}
+	f.Restore()
+	if err := f.TrySubmit(1, 0, func(int) {}); err != nil {
+		t.Fatalf("restored device failed: %v", err)
+	}
+}
+
+func TestFlakySubmitPanicsTyped(t *testing.T) {
+	f := NewFlaky(device.NewCPU(cpuModel()), Config{TransientRate: 1})
+	defer func() {
+		u, ok := recover().(*device.Unavailable)
+		if !ok {
+			t.Fatal("want *device.Unavailable panic")
+		}
+		if !errors.Is(u, ErrTransient) {
+			t.Errorf("panic error %v should wrap ErrTransient", u)
+		}
+	}()
+	f.Submit(1, 0, func(int) {})
+}
+
+func TestFlakyConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{{TransientRate: -0.1}, {TransientRate: 1.1}, {SpikeRate: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFlaky(%+v) should panic", cfg)
+				}
+			}()
+			NewFlaky(device.NewCPU(cpuModel()), cfg)
+		}()
+	}
+}
+
+func TestResilientOverFlakyMasksTransients(t *testing.T) {
+	// A resilient wrapper over a flaky accelerator: with a 20% transient
+	// rate and 5 attempts per submission, a long run of submissions
+	// completes without a single surfaced failure, and the retry
+	// counters tie out against the injector's.
+	flaky := NewFlaky(device.NewAccelerator(cpuModel(), 4), Config{Seed: 5, TransientRate: 0.2})
+	d := device.NewResilientDevice(flaky, device.RetryPolicy{MaxAttempts: 5}, device.BreakerConfig{Threshold: 5}, 9)
+	for i := 0; i < 200; i++ {
+		if err := d.TrySubmit(4, 2, func(int) {}); err != nil {
+			t.Fatalf("submission %d surfaced %v", i, err)
+		}
+	}
+	rc, fc := d.Counters(), flaky.Counters()
+	if rc.Failures == 0 {
+		t.Fatal("no transients injected; test exercised nothing")
+	}
+	if rc.Failures != fc.Transients {
+		t.Errorf("resilient failures %d != injected transients %d", rc.Failures, fc.Transients)
+	}
+	if rc.Attempts != fc.Attempts {
+		t.Errorf("resilient attempts %d != flaky attempts %d", rc.Attempts, fc.Attempts)
+	}
+	if rc.Retries != rc.Attempts-rc.Submissions {
+		t.Errorf("retries %d inconsistent with attempts %d / submissions %d", rc.Retries, rc.Attempts, rc.Submissions)
+	}
+}
+
+func TestResilientOverFlakyConcurrent(t *testing.T) {
+	// The -race target of the issue: concurrent retried submissions
+	// through the full resilient → flaky → accelerator stack.
+	flaky := NewFlaky(device.NewAccelerator(cpuModel(), 4), Config{Seed: 21, TransientRate: 0.15, SpikeRate: 0.1, SpikeLatency: time.Millisecond})
+	d := device.NewResilientDevice(flaky, device.RetryPolicy{MaxAttempts: 6}, device.BreakerConfig{Threshold: 8}, 2)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				out := make([]int, 6)
+				if err := d.TrySubmit(6, 3, func(i int) { out[i] = i + 1 }); err != nil {
+					errCh <- err
+					return
+				}
+				for i, v := range out {
+					if v != i+1 {
+						errCh <- errors.New("submission executed partially")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("concurrent submission: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package fault
+
+import "fmt"
+
+// Outage is a scripted outage window: every device submission whose
+// index (0-based, counted across all attempts, failed ones included)
+// falls in the half-open interval [From, To) fails with ErrOutage.
+// Indexing by submission attempt rather than wall time keeps scripted
+// runs exactly reproducible regardless of retry policy or batch size.
+type Outage struct {
+	From, To int64
+}
+
+// Covers reports whether submission idx falls inside the outage.
+func (o Outage) Covers(idx int64) bool { return idx >= o.From && idx < o.To }
+
+// Schedule scripts outage windows for a Flaky device, so tests and
+// benchmarks can stage mid-stream failures deterministically.
+type Schedule struct {
+	Outages []Outage
+}
+
+// NewSchedule builds a schedule from outage windows. It panics on an
+// empty or negative window (From must be >= 0 and < To).
+func NewSchedule(outages ...Outage) *Schedule {
+	for _, o := range outages {
+		if o.From < 0 || o.To <= o.From {
+			panic(fmt.Sprintf("fault: invalid outage window [%d, %d)", o.From, o.To))
+		}
+	}
+	return &Schedule{Outages: outages}
+}
+
+// Covers reports whether submission idx falls inside any scheduled
+// outage. A nil schedule covers nothing.
+func (s *Schedule) Covers(idx int64) bool {
+	if s == nil {
+		return false
+	}
+	for _, o := range s.Outages {
+		if o.Covers(idx) {
+			return true
+		}
+	}
+	return false
+}

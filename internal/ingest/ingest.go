@@ -36,12 +36,33 @@ type Config struct {
 	Inspect Inspector
 }
 
+// Validate reports whether the configuration is usable: WindowLen must be
+// positive and even (streams have no whole-video mode), K in (0, 1], and
+// Algorithm non-nil. New rejects invalid configurations with this error.
+func (cfg Config) Validate() error {
+	if cfg.WindowLen <= 0 || cfg.WindowLen%2 != 0 {
+		return fmt.Errorf("ingest: window length must be positive and even, got %d", cfg.WindowLen)
+	}
+	if cfg.Algorithm == nil {
+		return fmt.Errorf("ingest: nil selection algorithm")
+	}
+	if cfg.K <= 0 || cfg.K > 1 {
+		return fmt.Errorf("ingest: K must be in (0, 1], got %g", cfg.K)
+	}
+	return nil
+}
+
 // WindowResult reports one processed window.
 type WindowResult struct {
 	Window   video.Window
 	Pairs    int
 	Selected []video.PairKey
 	Merged   []video.PairKey // selected pairs that passed inspection
+	// Degraded reports that the ReID device was unavailable while this
+	// window was selected and Selected was ranked by the spatial prior
+	// alone (see core.SelectWithFallback). The stream keeps flowing; the
+	// next window retries the oracle path.
+	Degraded bool
 }
 
 // Ingestor is an online ingestion session. It is not safe for concurrent
@@ -61,14 +82,8 @@ type Ingestor struct {
 // New returns an ingestion session over the given tracker engine, oracle,
 // and configuration.
 func New(engine *track.Engine, oracle *reid.Oracle, cfg Config) (*Ingestor, error) {
-	if cfg.WindowLen <= 0 || cfg.WindowLen%2 != 0 {
-		return nil, fmt.Errorf("ingest: window length must be positive and even, got %d", cfg.WindowLen)
-	}
-	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("ingest: nil selection algorithm")
-	}
-	if cfg.K <= 0 || cfg.K > 1 {
-		return nil, fmt.Errorf("ingest: K must be in (0, 1], got %g", cfg.K)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &Ingestor{
 		cfg:    cfg,
@@ -146,7 +161,7 @@ func (in *Ingestor) processWindow(w video.Window) WindowResult {
 
 	res := WindowResult{Window: w, Pairs: ps.Len()}
 	if ps.Len() > 0 {
-		res.Selected = in.cfg.Algorithm.Select(ps, in.oracle, in.cfg.K)
+		res.Selected, res.Degraded = core.SelectWithFallback(in.cfg.Algorithm, ps, in.oracle, in.cfg.K)
 		for _, key := range res.Selected {
 			if in.cfg.Inspect != nil && !in.cfg.Inspect(ps.Get(key)) {
 				continue

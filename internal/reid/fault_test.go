@@ -1,0 +1,206 @@
+package reid
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+const faultDim = 8
+
+func faultBox(id int64, seed uint64) video.BBox {
+	r := xrand.Derive(seed, "reid-fault-box")
+	obs := make([]float64, faultDim)
+	for i := range obs {
+		obs[i] = r.Gaussian(0, 1)
+	}
+	return video.BBox{ID: video.BBoxID(id), Obs: obs}
+}
+
+func faultPairs(n int, seed uint64) [][2]video.BBox {
+	out := make([][2]video.BBox, n)
+	for i := range out {
+		out[i] = [2]video.BBox{
+			faultBox(int64(2*i), seed+uint64(i)),
+			faultBox(int64(2*i+1), seed+uint64(i)+1000),
+		}
+	}
+	return out
+}
+
+// TestOracleStatsUntouchedByFailedSubmission: a submission abandoned by
+// the resilient wrapper (outage, breaker trip) must leave the oracle's
+// counters and cache exactly as they were.
+func TestOracleStatsUntouchedByFailedSubmission(t *testing.T) {
+	flaky := fault.NewFlaky(device.NewCPU(device.DefaultCPU), fault.Config{})
+	dev := device.NewResilientDevice(flaky, device.RetryPolicy{MaxAttempts: 2}, device.BreakerConfig{Threshold: 10}, 1)
+	o := NewOracle(NewModel(7, faultDim), dev)
+
+	pairs := faultPairs(3, 1)
+	o.DistanceBatch(pairs)
+	before := o.Stats()
+
+	flaky.Crash()
+	func() {
+		defer func() {
+			if _, ok := recover().(*device.Unavailable); !ok {
+				t.Fatal("want *device.Unavailable panic")
+			}
+		}()
+		o.DistanceBatch(faultPairs(4, 99))
+	}()
+	if got := o.Stats(); got != before {
+		t.Errorf("stats changed across failed submission: %+v -> %+v", before, got)
+	}
+
+	// After restore the oracle works again, and the earlier batch is
+	// still fully cached.
+	flaky.Restore()
+	o.DistanceBatch(pairs)
+	after := o.Stats()
+	if after.Extractions != before.Extractions {
+		t.Errorf("re-querying cached pairs extracted %d new features", after.Extractions-before.Extractions)
+	}
+	if after.CacheHits != before.CacheHits+int64(2*len(pairs)) {
+		t.Errorf("cache hits = %d, want %d", after.CacheHits, before.CacheHits+int64(2*len(pairs)))
+	}
+}
+
+// TestOracleResetsWithRetriedSubmissions: ResetStats and ResetCache must
+// compose with a device that retries — counters reflect only completed
+// work after the reset, and a cache reset forces re-extraction even
+// though earlier attempts of the same boxes were retried.
+func TestOracleResetsWithRetriedSubmissions(t *testing.T) {
+	// Transient rate 0.3 with 6 attempts: every logical submission
+	// eventually succeeds, via a deterministic retry pattern.
+	flaky := fault.NewFlaky(device.NewCPU(device.DefaultCPU), fault.Config{Seed: 4, TransientRate: 0.3})
+	dev := device.NewResilientDevice(flaky, device.RetryPolicy{MaxAttempts: 6}, device.BreakerConfig{Threshold: 12}, 3)
+	o := NewOracle(NewModel(7, faultDim), dev)
+
+	pairs := faultPairs(5, 7)
+	o.DistanceBatch(pairs)
+	s1 := o.Stats()
+	if s1.Extractions != int64(2*len(pairs)) || s1.Distances != int64(len(pairs)) {
+		t.Fatalf("first batch stats = %+v", s1)
+	}
+
+	o.ResetStats()
+	if s := o.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+
+	// Same pairs again: all cached (cache survives ResetStats), and the
+	// counters count only the post-reset work — regardless of how many
+	// device-level retries happened.
+	d1 := o.DistanceBatch(pairs)
+	s2 := o.Stats()
+	if s2.Extractions != 0 || s2.CacheHits != int64(2*len(pairs)) || s2.Distances != int64(len(pairs)) {
+		t.Errorf("post-reset stats = %+v", s2)
+	}
+
+	// ResetCache forces re-extraction; distances must agree with the
+	// cached run (the model is deterministic).
+	o.ResetCache()
+	d2 := o.DistanceBatch(pairs)
+	s3 := o.Stats()
+	if s3.Extractions != int64(2*len(pairs)) {
+		t.Errorf("extractions after cache reset = %d, want %d", s3.Extractions, 2*len(pairs))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("pair %d: distance changed across cache reset: %g vs %g", i, d1[i], d2[i])
+		}
+	}
+	// Drive enough further submissions that the deterministic transient
+	// stream provably forced retries, then confirm the oracle's counters
+	// still tie out: retried device attempts never double-count work.
+	o.ResetStats()
+	for k := 0; k < 30; k++ {
+		o.DistanceBatch(faultPairs(2, uint64(500+k)))
+	}
+	if rc := dev.Counters(); rc.Retries == 0 {
+		t.Error("no retries happened; test exercised nothing")
+	}
+	if s := o.Stats(); s.Distances != 60 {
+		t.Errorf("distances = %d, want 60 despite retries", s.Distances)
+	}
+}
+
+// TestOracleConcurrentDistanceBatch drives the oracle from parallel
+// workers — the accelerator scenario of the issue — and checks both
+// race-freedom (via -race in CI) and counter coherence.
+func TestOracleConcurrentDistanceBatch(t *testing.T) {
+	flaky := fault.NewFlaky(device.NewAccelerator(device.DefaultAccelerator, 4), fault.Config{Seed: 8, TransientRate: 0.1})
+	dev := device.NewResilientDevice(flaky, device.RetryPolicy{MaxAttempts: 6}, device.BreakerConfig{Threshold: 12}, 5)
+	o := NewOracle(NewModel(7, faultDim), dev)
+
+	const workers = 8
+	const perWorker = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				// Overlapping box IDs across workers exercise the cache.
+				pairs := faultPairs(3, uint64(w%3)*100+uint64(k))
+				out := o.DistanceBatch(pairs)
+				for _, d := range out {
+					if d < 0 || d > 1 {
+						t.Errorf("distance %g outside [0, 1]", d)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := o.Stats()
+	wantDist := int64(workers * perWorker * 3)
+	if s.Distances != wantDist {
+		t.Errorf("distances = %d, want %d", s.Distances, wantDist)
+	}
+	// Every extraction is either fresh or a hit; totals must tie out.
+	if s.Extractions+s.CacheHits != int64(workers*perWorker*3*2) {
+		t.Errorf("extractions %d + hits %d != total box references %d",
+			s.Extractions, s.CacheHits, workers*perWorker*3*2)
+	}
+}
+
+// TestOracleSequencePathsLocked exercises the remaining execution paths
+// (TrackPairMeans, SampledMeans, SequenceDistance) concurrently so -race
+// covers the extractPlan machinery too.
+func TestOracleSequencePathsLocked(t *testing.T) {
+	o := NewOracle(NewModel(7, faultDim), device.NewAccelerator(device.DefaultAccelerator, 4))
+	mkTrack := func(id int64, base int64) *video.Track {
+		tr := &video.Track{ID: video.TrackID(id)}
+		for i := int64(0); i < 4; i++ {
+			b := faultBox(base+i, uint64(base+i))
+			b.Frame = video.FrameIndex(i)
+			tr.Boxes = append(tr.Boxes, b)
+		}
+		return tr
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := mkTrack(int64(2*w+1), int64(1000+10*w))
+			b := mkTrack(int64(2*w+2), int64(2000+10*w))
+			p := video.NewPair(a, b)
+			o.TrackPairMeans([]*video.Pair{p})
+			o.SampledMeans([]SampleSpec{{Pair: p, Indices: []int{0, 3, 5}}})
+			o.SequenceDistance(a.Boxes, b.Boxes)
+		}(w)
+	}
+	wg.Wait()
+	if s := o.Stats(); s.Distances == 0 || s.Extractions == 0 {
+		t.Errorf("no work recorded: %+v", s)
+	}
+}

@@ -1,6 +1,8 @@
 package reid
 
 import (
+	"sync"
+
 	"github.com/tmerge/tmerge/internal/device"
 	"github.com/tmerge/tmerge/internal/vecmath"
 	"github.com/tmerge/tmerge/internal/video"
@@ -18,9 +20,22 @@ type Stats struct {
 // embeddings by BBox identity (the paper's feature-reuse optimisation:
 // "if either of the BBoxes' feature vectors has been extracted in previous
 // iterations it can be reused").
+//
+// Oracle is safe for concurrent use: the cache and the work counters are
+// guarded by a mutex held for the duration of each distance call, so
+// concurrent submissions serialise at the oracle (the device beneath
+// still parallelises each submission's extractions). If a submission
+// fails mid-call — a fallible device's Submit panics with
+// *device.Unavailable — the counters and the cache are left exactly as
+// they were before the call, so retried and abandoned submissions never
+// double-count work.
 type Oracle struct {
 	model *Model
 	dev   device.Device
+	// mu guards cache, cacheEnabled, and stats across every execution
+	// path (DistanceBatch, TrackPairMeans, SampledMeans,
+	// SequenceDistance).
+	mu    sync.Mutex
 	cache map[video.BBoxID]vecmath.Vec
 	// Caching can be disabled for the ablation benchmarks.
 	cacheEnabled bool
@@ -38,7 +53,11 @@ func NewOracle(model *Model, dev device.Device) *Oracle {
 }
 
 // SetCacheEnabled toggles the feature cache (ablation).
-func (o *Oracle) SetCacheEnabled(on bool) { o.cacheEnabled = on }
+func (o *Oracle) SetCacheEnabled(on bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cacheEnabled = on
+}
 
 // Model returns the underlying embedder.
 func (o *Oracle) Model() *Model { return o.model }
@@ -47,13 +66,25 @@ func (o *Oracle) Model() *Model { return o.model }
 func (o *Oracle) Device() device.Device { return o.dev }
 
 // Stats returns a snapshot of the oracle's work counters.
-func (o *Oracle) Stats() Stats { return o.stats }
+func (o *Oracle) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
 
 // ResetStats zeroes the counters (the cache is retained).
-func (o *Oracle) ResetStats() { o.stats = Stats{} }
+func (o *Oracle) ResetStats() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats = Stats{}
+}
 
 // ResetCache clears the feature cache.
-func (o *Oracle) ResetCache() { o.cache = make(map[video.BBoxID]vecmath.Vec) }
+func (o *Oracle) ResetCache() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cache = make(map[video.BBoxID]vecmath.Vec)
+}
 
 // Distance computes the normalised distance d~(b1, b2) in [0, 1] as a
 // single device submission.
@@ -66,17 +97,23 @@ func (o *Oracle) Distance(b1, b2 video.BBox) float64 {
 // amortise launch costs over. Uncached embeddings across the whole batch
 // are extracted jointly.
 func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
-	// Collect distinct uncached boxes across the batch.
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	// Collect distinct uncached boxes across the batch. Cache hits are
+	// tallied locally and committed only after the submission succeeds,
+	// so a failed (panicking) submission leaves the stats untouched.
 	type job struct {
 		id  video.BBoxID
 		obs vecmath.Vec
 	}
 	var jobs []job
+	var hits int64
 	seen := make(map[video.BBoxID]bool)
 	need := func(b video.BBox) {
 		if o.cacheEnabled {
 			if _, ok := o.cache[b.ID]; ok {
-				o.stats.CacheHits++
+				hits++
 				return
 			}
 		}
@@ -97,6 +134,7 @@ func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
 		run = nil
 	}
 	o.dev.Submit(len(jobs), len(pairs), run)
+	o.stats.CacheHits += hits
 	o.stats.Extractions += int64(len(jobs))
 	o.stats.Distances += int64(len(pairs))
 

@@ -22,6 +22,8 @@ func (o *Oracle) SequenceDistance(a, b []video.BBox) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		panic(fmt.Sprintf("reid: empty sequence (%d, %d boxes)", len(a), len(b)))
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	plan := newExtractPlan(o)
 	for _, box := range a {
 		plan.addBox(box)

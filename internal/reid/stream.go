@@ -12,6 +12,9 @@ import (
 // exhaustive baseline (and BL-B), whose cross products reach millions of
 // BBox pairs per window.
 func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
 	// Plan: distinct uncached boxes across the batch.
 	plan := newExtractPlan(o)
 	totalDistances := 0
@@ -54,6 +57,9 @@ type SampleSpec struct {
 // estimate (Equation 8) for each spec. It is the execution path of PS and
 // PS-B.
 func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
 	plan := newExtractPlan(o)
 	totalDistances := 0
 	for _, s := range specs {
@@ -88,9 +94,12 @@ func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 // extractPlan accumulates the distinct boxes a submission must embed and
 // provides feature lookup afterwards. When the oracle cache is enabled,
 // features land in the shared cache; otherwise they live only in the plan.
+// Callers must hold o.mu for the plan's lifetime; stats are committed only
+// by a successful execute, so a failed submission leaves them untouched.
 type extractPlan struct {
 	o     *Oracle
 	boxes []video.BBox
+	hits  int64 // cache hits observed while planning
 	local map[video.BBoxID]vecmath.Vec
 	seen  map[video.BBoxID]bool
 	// trackFeat memoises per-track feature slices so the baseline's inner
@@ -113,7 +122,7 @@ func (p *extractPlan) addBox(b video.BBox) {
 	}
 	if p.o.cacheEnabled {
 		if _, ok := p.o.cache[b.ID]; ok {
-			p.o.stats.CacheHits++
+			p.hits++
 			p.seen[b.ID] = true
 			return
 		}
@@ -141,6 +150,7 @@ func (p *extractPlan) execute(nDistances int) {
 		run = nil
 	}
 	p.o.dev.Submit(len(p.boxes), nDistances, run)
+	p.o.stats.CacheHits += p.hits
 	p.o.stats.Extractions += int64(len(p.boxes))
 	for i, b := range p.boxes {
 		p.local[b.ID] = results[i]

@@ -68,6 +68,49 @@ func TestPartitionPanicsOnOddL(t *testing.T) {
 	Partition(100, 99)
 }
 
+func TestPartitionPanicsOnNonpositiveL(t *testing.T) {
+	for _, L := range []int{0, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for L = %d", L)
+				}
+			}()
+			Partition(100, L)
+		}()
+	}
+}
+
+// The minimum legal window length L=2 degenerates to one window per
+// frame (half-overlap step 1) and must still satisfy the coverage
+// invariants.
+func TestPartitionMinimumWindowLen(t *testing.T) {
+	ws := Partition(4, 2)
+	want := []struct{ start, end FrameIndex }{
+		{0, 1}, {1, 2}, {2, 3}, {3, 3},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(ws), len(want))
+	}
+	for i, w := range ws {
+		if w.Start != want[i].start || w.End != want[i].end {
+			t.Errorf("window %d = [%d, %d], want [%d, %d]", i, w.Start, w.End, want[i].start, want[i].end)
+		}
+		if w.Nominal != 2 {
+			t.Errorf("window %d nominal = %d", i, w.Nominal)
+		}
+	}
+
+	// Single-frame video, L=2: one clipped window covering the frame.
+	ws = Partition(1, 2)
+	if len(ws) != 1 || ws[0].Start != 0 || ws[0].End != 0 {
+		t.Fatalf("Partition(1, 2) = %+v", ws)
+	}
+	if got := ws[0].FirstHalfEnd(); got != 0 {
+		t.Errorf("FirstHalfEnd = %d, want 0", got)
+	}
+}
+
 // Property: every frame is covered by at least one window and at most two;
 // consecutive windows overlap by exactly L/2 (except possibly the last).
 func TestPartitionCoverage(t *testing.T) {

@@ -48,6 +48,7 @@ import (
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/dataset"
 	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
 	"github.com/tmerge/tmerge/internal/geom"
 	"github.com/tmerge/tmerge/internal/ingest"
 	"github.com/tmerge/tmerge/internal/motmetrics"
@@ -389,4 +390,89 @@ func TemporalOverlapFilter(maxOverlap int) PairFilter {
 // BuildPairSetFiltered is BuildPairSet with a pre-filter.
 func BuildPairSetFiltered(w Window, cur, prev []*Track, keep PairFilter) *PairSet {
 	return video.BuildPairSetFiltered(w, cur, prev, keep)
+}
+
+// Fault tolerance (packages device and fault). Real ReID backends fail —
+// transient errors, latency spikes, outages — and the paper's cost model
+// assumes they don't. This layer lets a deployment (and the test suite)
+// run the pipeline over an unreliable device without stalling or dropping
+// windows: retries with backoff mask transient faults, a circuit breaker
+// stops hammering a dead backend, and windows that still cannot reach the
+// oracle degrade to the BetaInit spatial prior instead of failing.
+type (
+	// FallibleDevice is a Device whose submissions can fail (TrySubmit).
+	FallibleDevice = device.Fallible
+	// ResilientDevice wraps a fallible device with retry, exponential
+	// backoff with jitter, and a circuit breaker.
+	ResilientDevice = device.ResilientDevice
+	// RetryPolicy bounds the per-submission retry loop.
+	RetryPolicy = device.RetryPolicy
+	// BreakerConfig parameterises the circuit breaker.
+	BreakerConfig = device.BreakerConfig
+	// BreakerState is the breaker's closed / open / half-open state.
+	BreakerState = device.BreakerState
+	// ResilientCounters counts retries, failures, trips, and probes.
+	ResilientCounters = device.ResilientCounters
+	// Unavailable is the panic payload carried through the infallible
+	// Submit path when a submission cannot be completed.
+	Unavailable = device.Unavailable
+	// FaultConfig parameterises a fault-injecting device wrapper.
+	FaultConfig = fault.Config
+	// Flaky is a deterministic fault-injecting Device wrapper.
+	Flaky = fault.Flaky
+	// FaultCounters counts injected faults by kind.
+	FaultCounters = fault.Counters
+	// FaultSchedule scripts outage windows by submission index.
+	FaultSchedule = fault.Schedule
+	// Outage is one scripted outage window [From, To).
+	Outage = fault.Outage
+	// Spatial ranks candidates by the BetaInit spatial prior alone — the
+	// degraded-mode fallback, also usable as a zero-cost baseline.
+	Spatial = core.Spatial
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = device.BreakerClosed
+	BreakerOpen     = device.BreakerOpen
+	BreakerHalfOpen = device.BreakerHalfOpen
+)
+
+// Fault sentinels: ErrDeviceUnavailable is wrapped by every ResilientDevice
+// failure; the fault package's sentinels classify injected faults.
+var (
+	ErrDeviceUnavailable = device.ErrUnavailable
+	ErrFaultTransient    = fault.ErrTransient
+	ErrFaultTimeout      = fault.ErrTimeout
+	ErrFaultOutage       = fault.ErrOutage
+)
+
+// NewResilientDevice wraps inner with retry + breaker fault handling.
+// Zero-valued config fields take documented defaults; seed drives the
+// backoff jitter.
+func NewResilientDevice(inner Device, retry RetryPolicy, breaker BreakerConfig, seed uint64) *ResilientDevice {
+	return device.NewResilientDevice(inner, retry, breaker, seed)
+}
+
+// DefaultRetryPolicy returns the default retry policy.
+func DefaultRetryPolicy() RetryPolicy { return device.DefaultRetryPolicy() }
+
+// DefaultBreakerConfig returns the default breaker configuration.
+func DefaultBreakerConfig() BreakerConfig { return device.DefaultBreakerConfig() }
+
+// NewFlaky wraps inner with deterministic seeded fault injection.
+func NewFlaky(inner Device, cfg FaultConfig) *Flaky { return fault.NewFlaky(inner, cfg) }
+
+// NewFaultSchedule builds an outage schedule; outages are half-open
+// [From, To) ranges of device submission indices.
+func NewFaultSchedule(outages ...Outage) *FaultSchedule { return fault.NewSchedule(outages...) }
+
+// NewSpatial returns the spatial-prior ranker — the zero-cost algorithm
+// used for degraded-mode selection, also usable as a baseline.
+func NewSpatial() *Spatial { return core.NewSpatial() }
+
+// TryRunPipeline is RunPipeline with configuration validation and
+// degraded-mode reporting instead of panics.
+func TryRunPipeline(tracks *TrackSet, numFrames int, oracle *Oracle, cfg PipelineConfig) (*PipelineResult, error) {
+	return core.TryRunPipeline(tracks, numFrames, oracle, cfg)
 }
