@@ -11,13 +11,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/dataset"
 	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/ingest"
 	"github.com/tmerge/tmerge/internal/motmetrics"
 	"github.com/tmerge/tmerge/internal/query"
 	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/synth"
 	"github.com/tmerge/tmerge/internal/track"
 )
 
@@ -33,6 +36,11 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "master seed")
 		nVideos = flag.Int("videos", 2, "number of videos to process")
 		verify  = flag.Bool("verify", true, "merge only inspected (true) candidates")
+		stream  = flag.Bool("stream", false, "stream the first video frame-by-frame through the durable ingestor")
+		window  = flag.Int("window", 0, "streaming: window length L (0: dataset default, else 1000)")
+		ckpt    = flag.String("checkpoint", "", "streaming: checkpoint file to write (and resume from with -resume)")
+		ckptN   = flag.Int("checkpoint-every", 1, "streaming: auto-checkpoint interval in windows")
+		resume  = flag.Bool("resume", false, "streaming: restore session state from -checkpoint before ingesting")
 	)
 	flag.Parse()
 
@@ -50,22 +58,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	var tr track.Tracker
+	var eng *track.Engine
 	switch *trName {
 	case "sort":
-		tr = track.SORT()
+		eng = track.SORT()
 	case "deepsort":
-		tr = track.DeepSORT()
+		eng = track.DeepSORT()
 	case "tracktor":
-		tr = track.Tracktor()
+		eng = track.Tracktor()
 	case "uma":
-		tr = track.UMA()
+		eng = track.UMA()
 	case "centertrack":
-		tr = track.CenterTrack()
+		eng = track.CenterTrack()
 	default:
 		fmt.Fprintf(os.Stderr, "tmerge: unknown tracker %q\n", *trName)
 		os.Exit(2)
 	}
+	var tr track.Tracker = eng
 
 	var alg core.Algorithm
 	switch *algo {
@@ -105,6 +114,22 @@ func main() {
 		dev = device.NewCPU(device.DefaultCPU)
 	}
 
+	if *stream {
+		wl := *window
+		if wl == 0 {
+			wl = ds.WindowLen
+		}
+		if wl == 0 {
+			wl = 1000 // streams have no whole-video mode
+		}
+		cfg := ingest.Config{WindowLen: wl, K: *k, Algorithm: alg}
+		if err := runStream(ds.Videos[0], eng, reid.NewOracle(model, dev), cfg, *ckpt, *ckptN, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "tmerge:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	countQ := query.CountQuery{MinFrames: 200}
 	for _, v := range ds.Videos {
 		ts := tr.Track(v.Detections)
@@ -126,4 +151,89 @@ func main() {
 		fmt.Printf("  Count query recall %.3f -> %.3f\n",
 			countQ.Recall(v.GT, ts), countQ.Recall(v.GT, res.Merged))
 	}
+}
+
+// runStream pushes one video frame-by-frame through the durable
+// ingestor, optionally resuming from — and periodically writing —
+// a checkpoint file.
+func runStream(v *synth.Video, eng *track.Engine, oracle *reid.Oracle, cfg ingest.Config, ckptPath string, every int, resume bool) error {
+	sink := func(data []byte) error {
+		// Write-then-rename so a crash mid-write can never destroy the
+		// previous good checkpoint.
+		tmp := ckptPath + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, ckptPath)
+	}
+	if ckptPath != "" {
+		cfg.AutoCheckpointEvery = every
+		cfg.CheckpointSink = sink
+	}
+
+	var in *ingest.Ingestor
+	if resume {
+		if ckptPath == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		data, err := os.ReadFile(ckptPath)
+		if err != nil {
+			return err
+		}
+		in, err = ingest.Restore(eng, oracle, cfg, data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: resumed at frame %d (window %d)\n", v.Name, in.FramesSeen(), len(in.Results()))
+	} else {
+		var err error
+		in, err = ingest.New(eng, oracle, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	for f := in.FramesSeen(); f < v.NumFrames; f++ {
+		in.Push(v.Detections[f])
+		if err := in.CheckpointErr(); err != nil {
+			return fmt.Errorf("checkpointing failed: %w", err)
+		}
+	}
+	in.Close()
+	if ckptPath != "" {
+		// Close can flush trailing windows without another Push, so the
+		// auto-checkpoint hook never sees them; seal a final checkpoint
+		// explicitly so the file always reflects the finished session.
+		data, err := in.Checkpoint()
+		if err == nil {
+			err = sink(data)
+		}
+		if err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
+
+	merged := in.MergedTracks()
+	totalMerged := 0
+	for _, res := range in.Results() {
+		totalMerged += len(res.Merged)
+	}
+	after := motmetrics.Identity(v.GT, merged)
+	fmt.Printf("%s: streamed %d frames, %d windows, %d pairs merged -> %d tracks (IDF1 %.3f)\n",
+		v.Name, in.FramesSeen(), len(in.Results()), totalMerged, merged.Len(), after.IDF1)
+	if q := in.Quarantine(); q.TotalRejected > 0 {
+		reasons := make([]string, 0, len(q.Counts))
+		for r := range q.Counts {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Printf("  quarantined %d inputs (%d retained, %d dropped)\n", q.TotalRejected, len(q.Rejected), q.Dropped)
+		for _, r := range reasons {
+			fmt.Printf("    %-24s %d\n", r, q.Counts[r])
+		}
+	}
+	if ckptPath != "" {
+		fmt.Printf("  checkpoint: %s\n", ckptPath)
+	}
+	return nil
 }

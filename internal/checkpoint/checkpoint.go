@@ -1,0 +1,172 @@
+// Package checkpoint implements the durability format for streaming
+// ingestion sessions: a versioned, checksummed JSON envelope (Seal/Open)
+// and the SessionState payload that captures everything an interrupted
+// ingest.Ingestor needs to resume deterministically — tracker hypotheses
+// with their Kalman filters and appearance EMAs, the identity map, the
+// ReID feature cache and work counters, device resilience state (circuit
+// breaker, jitter RNG, fault-injection cursor), the virtual clock, the
+// quarantine ledger, and the frame/window cursors.
+//
+// The format guarantee is all-or-nothing: Open either yields the exact
+// payload Seal wrote or a descriptive error. A truncated file fails JSON
+// decoding; a bit flip anywhere in the payload fails the SHA-256
+// checksum; an envelope from a future (or unknown) format version is
+// refused before the payload is looked at. Restore code therefore never
+// sees — and can never apply — a partially valid session.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Format is the envelope's format discriminator.
+const Format = "tmerge/checkpoint"
+
+// Version is the current payload schema version. Readers refuse
+// envelopes with a different version: the schema carries Kalman filter
+// internals and RNG states whose meaning is pinned to the code that
+// wrote them, so silent cross-version reads would break the replay
+// guarantee in ways no checksum can catch.
+const Version = 1
+
+// envelope is the on-disk wrapper. Payload keeps the exact bytes the
+// checksum was computed over, so verification is byte-precise regardless
+// of how the outer JSON was formatted or re-encoded.
+type envelope struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"` // hex SHA-256 of Payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Seal marshals payload and wraps it in a versioned, checksummed
+// envelope. The result is self-contained: Open needs nothing but the
+// bytes.
+func Seal(payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: seal: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	out, err := json.Marshal(envelope{
+		Format:   Format,
+		Version:  Version,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  raw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: seal: %w", err)
+	}
+	return out, nil
+}
+
+// Open verifies the envelope around data — format, version, checksum —
+// and unmarshals the payload into out. Any failure returns a descriptive
+// error with out untouched by meaningful data; callers must not use out
+// unless Open returns nil.
+func Open(data []byte, out any) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("checkpoint: open: malformed envelope (truncated or not a checkpoint): %w", err)
+	}
+	if env.Format != Format {
+		return fmt.Errorf("checkpoint: open: format %q, want %q", env.Format, Format)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("checkpoint: open: unsupported version %d (this build reads version %d)", env.Version, Version)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.Checksum {
+		return fmt.Errorf("checkpoint: open: payload checksum mismatch (got %s, recorded %s): checkpoint is corrupt", got, env.Checksum)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("checkpoint: open: payload does not decode: %w", err)
+	}
+	return nil
+}
+
+// WindowRecord mirrors ingest.WindowResult in a package that the ingest
+// package can depend on without a cycle.
+type WindowRecord struct {
+	Window      video.Window    `json:"window"`
+	Pairs       int             `json:"pairs"`
+	Selected    []video.PairKey `json:"selected,omitempty"`
+	Merged      []video.PairKey `json:"merged,omitempty"`
+	Degraded    bool            `json:"degraded,omitempty"`
+	Quarantined int             `json:"quarantined,omitempty"`
+}
+
+// RejectedRecord is one quarantined detection in the dead-letter buffer.
+type RejectedRecord struct {
+	// Frame is the stream frame at which the detection was rejected (for
+	// frame-level rejects, the offending frame index itself).
+	Frame  video.FrameIndex `json:"frame"`
+	Det    video.BBox       `json:"det"`
+	Reason string           `json:"reason"`
+}
+
+// QuarantineState is the serialisable quarantine ledger: per-reason
+// counters plus the capped dead-letter buffer.
+type QuarantineState struct {
+	Cap           int              `json:"cap"`
+	TotalRejected int              `json:"total_rejected"`
+	Dropped       int              `json:"dropped"`
+	Counts        map[string]int   `json:"counts,omitempty"`
+	Rejected      []RejectedRecord `json:"rejected,omitempty"`
+}
+
+// SessionState is the full checkpoint payload of one streaming ingestion
+// session. The config/model echoes exist so Restore can verify the
+// caller reassembled an equivalent pipeline (same windowing, same
+// algorithm, same tracker preset, same ReID model) before any state is
+// applied — restoring against a different pipeline would not fail, it
+// would silently diverge, which is worse.
+type SessionState struct {
+	// Configuration echoes.
+	WindowLen  int     `json:"window_len"`
+	K          float64 `json:"k"`
+	Algorithm  string  `json:"algorithm"`
+	ModelInDim int     `json:"model_in_dim"`
+	ModelScale float64 `json:"model_scale"`
+
+	// Cursors.
+	NextFrame  video.FrameIndex `json:"next_frame"`
+	NextWindow int              `json:"next_window"`
+
+	// Component states.
+	Stream  track.StreamState `json:"stream"`
+	PrevTc  []*video.Track    `json:"prev_tc,omitempty"`
+	Merger  core.MergerState  `json:"merger"`
+	Oracle  reid.OracleState  `json:"oracle"`
+	Results []WindowRecord    `json:"results,omitempty"`
+
+	// QuarantineMark is the TotalRejected reading at the last window
+	// close, from which per-window quarantine deltas continue.
+	Quarantine     QuarantineState `json:"quarantine"`
+	QuarantineMark int             `json:"quarantine_mark"`
+
+	// Device chain state. ClockNS is the shared virtual clock; the
+	// resilient and fault-injection snapshots are present only when the
+	// session's oracle ran on the corresponding wrappers.
+	ClockNS   int64                  `json:"clock_ns"`
+	Resilient *device.ResilientState `json:"resilient,omitempty"`
+	Flaky     *fault.FlakyState      `json:"flaky,omitempty"`
+
+	// CreatedAtFrame duplicates NextFrame for human inspection of
+	// checkpoint files (the cursor names are internal).
+	CreatedAtFrame video.FrameIndex `json:"created_at_frame"`
+}
+
+// Elapsed returns the snapshotted virtual clock reading.
+func (s *SessionState) Elapsed() time.Duration { return time.Duration(s.ClockNS) }

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type testPayload struct {
+	Name  string    `json:"name"`
+	Vals  []float64 `json:"vals"`
+	Count int       `json:"count"`
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	in := testPayload{Name: "session", Vals: []float64{1.5, -2.25, 0.1}, Count: 42}
+	data, err := Seal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testPayload
+	if err := Open(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Vals) != len(in.Vals) {
+		t.Fatalf("round trip mangled payload: %+v vs %+v", out, in)
+	}
+	for i := range in.Vals {
+		if out.Vals[i] != in.Vals[i] {
+			t.Fatalf("float %d not bit-identical: %v vs %v", i, out.Vals[i], in.Vals[i])
+		}
+	}
+}
+
+func TestOpenRejectsTruncation(t *testing.T) {
+	data, err := Seal(testPayload{Name: "x", Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(data) / 4, len(data) / 2, len(data) - 1} {
+		var out testPayload
+		if err := Open(data[:cut], &out); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	var out testPayload
+	if err := Open(nil, &out); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestOpenRejectsBitFlips(t *testing.T) {
+	orig := testPayload{Name: "abcdef", Vals: []float64{3.25}, Count: 7}
+	data, err := Seal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-bit flip must either be rejected or (for flips in
+	// envelope metadata that Go's case-insensitive JSON field matching
+	// tolerates, e.g. "format" -> "Format") decode to the exact original
+	// payload. What may never happen is a flip that silently yields
+	// different state.
+	rejected := 0
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			var out testPayload
+			if err := Open(mut, &out); err != nil {
+				rejected++
+				continue
+			}
+			if out.Name != orig.Name || out.Count != orig.Count ||
+				len(out.Vals) != 1 || out.Vals[0] != orig.Vals[0] {
+				t.Fatalf("bit flip at byte %d bit %d silently changed the payload: %+v", i, bit, out)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no flip was rejected; checksum is not engaged")
+	}
+	// Flips inside the payload region specifically must all be caught by
+	// the checksum: locate the payload bytes and flip each of them.
+	pi := bytes.Index(data, []byte(`"payload":`))
+	if pi < 0 {
+		t.Fatal("payload field not found")
+	}
+	for i := pi + len(`"payload":`); i < len(data)-1; i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			var out testPayload
+			if err := Open(mut, &out); err == nil {
+				t.Fatalf("payload bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestOpenRejectsWrongFormatAndVersion(t *testing.T) {
+	payload, _ := json.Marshal(testPayload{Name: "x"})
+	mk := func(format string, version int, sum string) []byte {
+		b, err := json.Marshal(map[string]any{
+			"format": format, "version": version, "checksum": sum, "payload": json.RawMessage(payload),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var out testPayload
+	if err := Open(mk("other/format", Version, strings.Repeat("0", 64)), &out); err == nil ||
+		!strings.Contains(err.Error(), "format") {
+		t.Errorf("wrong format: err = %v", err)
+	}
+	if err := Open(mk(Format, Version+1, strings.Repeat("0", 64)), &out); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: err = %v", err)
+	}
+	if err := Open(mk(Format, Version, strings.Repeat("0", 64)), &out); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Errorf("bad checksum: err = %v", err)
+	}
+}
+
+func TestSealIsDeterministic(t *testing.T) {
+	p := testPayload{Name: "det", Vals: []float64{0.5, 0.25}, Count: 3}
+	a, err := Seal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Seal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two seals of the same payload differ")
+	}
+}
+
+func TestOpenRejectsNaNPayloadAtSeal(t *testing.T) {
+	// JSON cannot carry NaN: sealing a payload containing one must fail
+	// rather than write an unreadable checkpoint.
+	type bad struct {
+		V float64 `json:"v"`
+	}
+	nan := 0.0
+	nan = nan / nan
+	if _, err := Seal(bad{V: nan}); err == nil {
+		t.Error("NaN payload sealed")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/tmerge/tmerge/internal/video"
@@ -98,6 +99,68 @@ func (m *Merger) Apply(ts *video.TrackSet) *video.TrackSet {
 		out = append(out, &video.Track{ID: c, Boxes: boxes})
 	}
 	return video.NewTrackSet(out)
+}
+
+// MergerEntry is one serialised union-find record.
+type MergerEntry struct {
+	ID     video.TrackID `json:"id"`
+	Parent video.TrackID `json:"parent"`
+	Rank   int           `json:"rank,omitempty"`
+}
+
+// MergerState is the serialisable form of a Merger: the union-find
+// entries sorted by ID. Canonical roots are smallest-member by
+// construction, so restoring the entries reproduces every future
+// Canonical/Apply result bit-identically regardless of tree shape.
+type MergerState struct {
+	Entries []MergerEntry `json:"entries,omitempty"`
+}
+
+// State snapshots the merger's identity map.
+func (m *Merger) State() MergerState {
+	ids := make([]video.TrackID, 0, len(m.parent))
+	for id := range m.parent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st := MergerState{}
+	for _, id := range ids {
+		st.Entries = append(st.Entries, MergerEntry{ID: id, Parent: m.parent[id], Rank: m.rank[id]})
+	}
+	return st
+}
+
+// RestoreMerger reconstructs a Merger from a snapshot taken by State. A
+// snapshot whose parent pointers do not resolve (an entry's parent is not
+// itself recorded) is rejected.
+func RestoreMerger(st MergerState) (*Merger, error) {
+	m := NewMerger()
+	for _, e := range st.Entries {
+		m.parent[e.ID] = e.Parent
+		if e.Rank != 0 {
+			m.rank[e.ID] = e.Rank
+		}
+	}
+	// Every chain must terminate at a self-root within |entries| steps:
+	// rejects dangling parents and cycles, either of which would corrupt
+	// (or hang) find().
+	for _, e := range st.Entries {
+		id := e.ID
+		for steps := 0; ; steps++ {
+			p, ok := m.parent[id]
+			if !ok {
+				return nil, fmt.Errorf("core: merger snapshot entry %d points at unknown parent %d", e.ID, id)
+			}
+			if p == id {
+				break
+			}
+			if steps >= len(st.Entries) {
+				return nil, fmt.Errorf("core: merger snapshot has a parent cycle through %d", e.ID)
+			}
+			id = p
+		}
+	}
+	return m, nil
 }
 
 func (m *Merger) find(id video.TrackID) video.TrackID {

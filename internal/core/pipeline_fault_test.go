@@ -196,8 +196,8 @@ func TestPipelineConfigValidation(t *testing.T) {
 		}
 	}
 	good := []PipelineConfig{
-		{WindowLen: 0, K: 0.05, Algorithm: algo},  // whole video
-		{WindowLen: -1, K: 1, Algorithm: algo},    // whole video, K at edge
+		{WindowLen: 0, K: 0.05, Algorithm: algo}, // whole video
+		{WindowLen: -1, K: 1, Algorithm: algo},   // whole video, K at edge
 		{WindowLen: 200, K: 0.05, Algorithm: algo},
 	}
 	for i, cfg := range good {

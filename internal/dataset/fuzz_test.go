@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// fuzzSeedDataset builds a small, valid dataset for the fuzz corpus.
+func fuzzSeedDataset() *Dataset {
+	mkBox := func(id video.BBoxID, f video.FrameIndex, x float64) video.BBox {
+		return video.BBox{
+			ID: id, Frame: f,
+			Rect:     geom.Rect{X: x, Y: 10, W: 20, H: 30},
+			Obs:      vecmath.Vec{0.25, -0.5, 1.0},
+			GTObject: 0,
+		}
+	}
+	gt := &video.Track{ID: 1, Boxes: []video.BBox{
+		{ID: 100, Frame: 0, Rect: geom.Rect{X: 4, Y: 10, W: 20, H: 30}, GTObject: 0},
+		{ID: 101, Frame: 1, Rect: geom.Rect{X: 5, Y: 10, W: 20, H: 30}, GTObject: 0},
+	}}
+	return &Dataset{
+		Name:      "fuzz-seed",
+		WindowLen: 2,
+		Videos: []*synth.Video{{
+			Name:      "v0",
+			NumFrames: 2,
+			Bounds:    geom.Rect{W: 100, H: 100},
+			Detections: [][]video.BBox{
+				{mkBox(1, 0, 4)},
+				{mkBox(2, 1, 5)},
+			},
+			GT: video.NewTrackSet([]*video.Track{gt}),
+		}},
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the dataset decoder. The decoder
+// must never panic, never allocate proportionally to an unvalidated
+// length field, and any dataset it accepts must hold only validated,
+// finite, internally consistent records.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(fuzzSeedDataset(), &valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"videos":[{"name":"x","num_frames":-5}]}`))
+	f.Add([]byte(`{"videos":[{"name":"x","num_frames":99999999999,"detections":[]}]}`))
+	f.Add([]byte(`{"videos":[{"name":"x","num_frames":1,"detections":[[{"id":1,"frame":0,"x":1e999,"y":0,"w":1,"h":1}]]}]}`))
+	f.Add([]byte(`{"videos":[{"name":"x","num_frames":1,"detections":[[{"id":1,"frame":0,"x":0,"y":0,"w":0,"h":1}]]}]}`))
+	f.Add([]byte(`{"videos":[{"name":"x","num_frames":1,"width":100,"height":100,"detections":[[]],"gt":[{"id":1,"boxes":[]},{"id":1,"boxes":[]}]}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, v := range ds.Videos {
+			if v.NumFrames != len(v.Detections) {
+				t.Fatalf("accepted video %q: %d frames, %d detection rows", v.Name, v.NumFrames, len(v.Detections))
+			}
+			for fi, dets := range v.Detections {
+				for _, b := range dets {
+					if err := b.Validate(); err != nil {
+						t.Fatalf("accepted invalid detection: %v", err)
+					}
+					if b.Frame != video.FrameIndex(fi) {
+						t.Fatalf("accepted detection in row %d claiming frame %d", fi, b.Frame)
+					}
+				}
+			}
+			for _, tr := range v.GT.Tracks() {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("accepted invalid GT track: %v", err)
+				}
+				for _, b := range tr.Boxes {
+					if err := b.Validate(); err != nil {
+						t.Fatalf("accepted invalid GT box: %v", err)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestDecodeRoundTripsSeed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(fuzzSeedDataset(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Videos) != 1 || ds.Videos[0].NumFrames != 2 || ds.Videos[0].GT.Len() != 1 {
+		t.Fatalf("round trip mangled dataset: %+v", ds)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
 	"github.com/tmerge/tmerge/internal/geom"
@@ -73,8 +75,17 @@ func Save(ds *Dataset, path string) error {
 	}
 	defer f.Close()
 	gz := gzip.NewWriter(f)
-	enc := json.NewEncoder(gz)
+	if err := Encode(ds, gz); err != nil {
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return f.Close()
+}
 
+// Encode writes the dataset to w as (uncompressed) JSON.
+func Encode(ds *Dataset, w io.Writer) error {
 	out := jsonDataset{Name: ds.Name, WindowLen: ds.WindowLen}
 	for _, v := range ds.Videos {
 		jv := jsonVideo{
@@ -100,13 +111,10 @@ func Save(ds *Dataset, path string) error {
 		}
 		out.Videos = append(out.Videos, jv)
 	}
-	if err := enc.Encode(out); err != nil {
-		return fmt.Errorf("dataset: save: %w", err)
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
 	}
-	if err := gz.Close(); err != nil {
-		return fmt.Errorf("dataset: save: %w", err)
-	}
-	return f.Close()
+	return nil
 }
 
 // Load reads a dataset previously written by Save.
@@ -121,35 +129,75 @@ func Load(path string) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: load: %w", err)
 	}
 	defer gz.Close()
+	return Decode(gz)
+}
+
+// Decode reads a dataset from (uncompressed) JSON. It is the hardened
+// half of the format: every record of an untrusted file is validated —
+// frame counts against the detection table, every box against
+// video.BBox.Validate (finite geometry, positive size, finite
+// observations), detections against their frame slot, ground-truth
+// tracks against their invariants — and the first violation aborts the
+// load with a descriptive error. A hostile file can therefore be
+// rejected but can never panic the decoder, force a huge allocation
+// (every allocation is sized by decoded content, not by a length field),
+// or smuggle a NaN into the pipeline.
+func Decode(r io.Reader) (*Dataset, error) {
 	var in jsonDataset
-	if err := json.NewDecoder(gz).Decode(&in); err != nil {
-		return nil, fmt.Errorf("dataset: load: %w", err)
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
 	}
 
 	ds := &Dataset{Name: in.Name, WindowLen: in.WindowLen}
 	for _, jv := range in.Videos {
+		if jv.NumFrames < 0 {
+			return nil, fmt.Errorf("dataset: decode: video %q has negative frame count %d", jv.Name, jv.NumFrames)
+		}
+		if len(jv.Detections) != jv.NumFrames {
+			return nil, fmt.Errorf("dataset: decode: video %q declares %d frames but carries %d detection rows",
+				jv.Name, jv.NumFrames, len(jv.Detections))
+		}
+		for _, dim := range [...]float64{jv.Width, jv.Height} {
+			if math.IsNaN(dim) || math.IsInf(dim, 0) || dim < 0 {
+				return nil, fmt.Errorf("dataset: decode: video %q has invalid bounds %gx%g", jv.Name, jv.Width, jv.Height)
+			}
+		}
 		v := &synth.Video{
 			Name:       jv.Name,
 			NumFrames:  jv.NumFrames,
 			Bounds:     geom.Rect{W: jv.Width, H: jv.Height},
-			Detections: make([][]video.BBox, jv.NumFrames),
+			Detections: make([][]video.BBox, len(jv.Detections)),
 		}
 		for fi := range jv.Detections {
-			if fi >= jv.NumFrames {
-				return nil, fmt.Errorf("dataset: load: frame index %d out of range in %s", fi, jv.Name)
-			}
 			for _, jb := range jv.Detections[fi] {
-				v.Detections[fi] = append(v.Detections[fi], fromJSONBox(jb))
+				b := fromJSONBox(jb)
+				if b.Frame != video.FrameIndex(fi) {
+					return nil, fmt.Errorf("dataset: decode: video %q: box %d in frame row %d claims frame %d",
+						jv.Name, b.ID, fi, b.Frame)
+				}
+				if err := b.Validate(); err != nil {
+					return nil, fmt.Errorf("dataset: decode: video %q: %w", jv.Name, err)
+				}
+				v.Detections[fi] = append(v.Detections[fi], b)
 			}
 		}
 		var gtTracks []*video.Track
+		seen := make(map[video.TrackID]bool)
 		for _, jt := range jv.GT {
+			if seen[jt.ID] {
+				return nil, fmt.Errorf("dataset: decode: video %q has duplicate GT track %d", jv.Name, jt.ID)
+			}
+			seen[jt.ID] = true
 			t := &video.Track{ID: jt.ID}
 			for _, jb := range jt.Boxes {
-				t.Boxes = append(t.Boxes, fromJSONBox(jb))
+				b := fromJSONBox(jb)
+				if err := b.Validate(); err != nil {
+					return nil, fmt.Errorf("dataset: decode: video %q GT track %d: %w", jv.Name, jt.ID, err)
+				}
+				t.Boxes = append(t.Boxes, b)
 			}
 			if err := t.Validate(); err != nil {
-				return nil, fmt.Errorf("dataset: load: %w", err)
+				return nil, fmt.Errorf("dataset: decode: %w", err)
 			}
 			gtTracks = append(gtTracks, t)
 		}

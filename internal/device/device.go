@@ -72,6 +72,15 @@ func (c *Clock) Reset() {
 	c.mu.Unlock()
 }
 
+// SetElapsed overwrites the accumulated virtual time — used when
+// restoring a checkpointed session so replayed work is charged against
+// the same clock reading the interrupted run had.
+func (c *Clock) SetElapsed(d time.Duration) {
+	c.mu.Lock()
+	c.elapsed = d
+	c.mu.Unlock()
+}
+
 // Device executes submissions of ReID work and charges their virtual cost.
 type Device interface {
 	// Name identifies the device in reports ("cpu", "accel").

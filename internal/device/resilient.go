@@ -214,6 +214,52 @@ func (d *ResilientDevice) Counters() ResilientCounters {
 	return d.c
 }
 
+// ResilientState is a serialisable snapshot of a ResilientDevice's
+// mutable state: breaker position, failure streak, cooldown bookkeeping,
+// counters, and the jitter RNG. Together with the inner device's clock it
+// is everything needed to resume the device deterministically after a
+// process restart.
+type ResilientState struct {
+	Breaker     BreakerState      `json:"breaker"`
+	Consecutive int               `json:"consecutive"`
+	OpenedAtNS  int64             `json:"opened_at_ns"`
+	Rejects     int               `json:"rejects"`
+	Counters    ResilientCounters `json:"counters"`
+	RNG         xrand.State       `json:"rng"`
+}
+
+// ExportState snapshots the device's mutable state for checkpointing.
+func (d *ResilientDevice) ExportState() ResilientState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ResilientState{
+		Breaker:     d.state,
+		Consecutive: d.consecutive,
+		OpenedAtNS:  int64(d.openedAt),
+		Rejects:     d.rejects,
+		Counters:    d.c,
+		RNG:         d.rng.State(),
+	}
+}
+
+// ImportState overwrites the device's mutable state with a snapshot taken
+// by ExportState. It returns an error for snapshots naming an impossible
+// breaker state, leaving the device untouched.
+func (d *ResilientDevice) ImportState(st ResilientState) error {
+	if st.Breaker < BreakerClosed || st.Breaker > BreakerHalfOpen {
+		return fmt.Errorf("device: resilient snapshot has invalid breaker state %d", int(st.Breaker))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = st.Breaker
+	d.consecutive = st.Consecutive
+	d.openedAt = time.Duration(st.OpenedAtNS)
+	d.rejects = st.Rejects
+	d.c = st.Counters
+	d.rng.SetState(st.RNG)
+	return nil
+}
+
 // ResetBreaker force-closes the breaker and clears the failure streak,
 // e.g. after an operator has restored the backing service.
 func (d *ResilientDevice) ResetBreaker() {

@@ -22,9 +22,9 @@ func newScripted(fail func(i int64) bool) *scripted {
 	return &scripted{cpu: NewCPU(CostModel{PerExtract: time.Microsecond}), fail: fail}
 }
 
-func (s *scripted) Name() string        { return "scripted" }
-func (s *scripted) Clock() *Clock       { return s.cpu.Clock() }
-func (s *scripted) Submissions() int64  { return s.attempts }
+func (s *scripted) Name() string       { return "scripted" }
+func (s *scripted) Clock() *Clock      { return s.cpu.Clock() }
+func (s *scripted) Submissions() int64 { return s.attempts }
 func (s *scripted) Submit(nE, nD int, run func(i int)) {
 	if err := s.TrySubmit(nE, nD, run); err != nil {
 		panic(&Unavailable{Err: err})

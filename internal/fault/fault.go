@@ -126,6 +126,42 @@ func (f *Flaky) Counters() Counters {
 	return f.c
 }
 
+// FlakyState is a serialisable snapshot of a Flaky injector's mutable
+// state: the submission cursor (the index space Schedule outages are
+// expressed in), the crash flag, the counters, and the injection RNG.
+// Restoring it resumes the exact fault sequence an interrupted run was
+// experiencing, which checkpointed ingestion sessions need for
+// deterministic replay under injected faults.
+type FlakyState struct {
+	Next     int64       `json:"next"`
+	Crashed  bool        `json:"crashed"`
+	Counters Counters    `json:"counters"`
+	RNG      xrand.State `json:"rng"`
+}
+
+// ExportState snapshots the injector's mutable state.
+func (f *Flaky) ExportState() FlakyState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlakyState{Next: f.next, Crashed: f.crashed, Counters: f.c, RNG: f.rng.State()}
+}
+
+// ImportState overwrites the injector's mutable state with a snapshot
+// taken by ExportState. A negative submission cursor is rejected, leaving
+// the injector untouched.
+func (f *Flaky) ImportState(st FlakyState) error {
+	if st.Next < 0 {
+		return fmt.Errorf("fault: snapshot has negative submission cursor %d", st.Next)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next = st.Next
+	f.crashed = st.Crashed
+	f.c = st.Counters
+	f.rng.SetState(st.RNG)
+	return nil
+}
+
 // Crash puts the device into a hard outage: every submission fails with
 // ErrOutage until Restore is called. Use it to script outages around
 // streaming sessions where submission indices are awkward to

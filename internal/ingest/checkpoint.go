@@ -1,0 +1,237 @@
+package ingest
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/checkpoint"
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Checkpoint seals the session's full mutable state — tracker
+// hypotheses, identity map, ReID cache and counters, device resilience
+// state, quarantine ledger, window results, and cursors — into a
+// self-contained, versioned, checksummed byte slice. A session restored
+// from it and fed the same subsequent frames produces bit-identical
+// window results and merged tracks to the uninterrupted session.
+//
+// Call it between pushes only: the snapshot is taken at a frame
+// boundary, which is the unit of replay.
+func (in *Ingestor) Checkpoint() ([]byte, error) {
+	st := checkpoint.SessionState{
+		WindowLen:  in.cfg.WindowLen,
+		K:          in.cfg.K,
+		Algorithm:  in.cfg.Algorithm.Name(),
+		ModelInDim: in.oracle.Model().InDim,
+		ModelScale: in.oracle.Model().Scale(),
+
+		NextFrame:  in.nextFrame,
+		NextWindow: in.nextWindow,
+
+		Stream: in.stream.State(),
+		Merger: in.merger.State(),
+		Oracle: in.oracle.State(),
+
+		Quarantine:     in.quar.state(),
+		QuarantineMark: in.quarMark,
+
+		CreatedAtFrame: in.nextFrame,
+	}
+	for _, t := range in.prevTc {
+		st.PrevTc = append(st.PrevTc, copyTrack(t))
+	}
+	for _, r := range in.results {
+		st.Results = append(st.Results, toRecord(r))
+	}
+
+	// Walk the device chain from the oracle outwards, snapshotting each
+	// wrapper that carries replay-relevant state. The virtual clock is
+	// shared by the whole chain.
+	dev := in.oracle.Device()
+	st.ClockNS = int64(dev.Clock().Elapsed())
+	for d := dev; d != nil; {
+		switch v := d.(type) {
+		case *device.ResilientDevice:
+			s := v.ExportState()
+			st.Resilient = &s
+			d = v.Inner()
+		case *fault.Flaky:
+			s := v.ExportState()
+			st.Flaky = &s
+			d = v.Inner()
+		default:
+			d = nil
+		}
+	}
+
+	return checkpoint.Seal(&st)
+}
+
+// Restore reconstructs an ingestion session from checkpoint bytes. The
+// caller supplies a freshly assembled pipeline — tracker engine, oracle
+// (with its device chain), and configuration — equivalent to the one the
+// checkpoint was taken from; Restore verifies the config and model
+// echoes and the device-chain shape before applying any state, so a
+// checkpoint from a different pipeline fails loudly instead of silently
+// diverging. Corrupt bytes are rejected wholesale by the envelope
+// checksum; a semantically invalid snapshot (inconsistent hypothesis,
+// dangling merger parent, mismatched cache dimensionality) is rejected
+// before the oracle or devices are mutated.
+func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte) (*Ingestor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var st checkpoint.SessionState
+	if err := checkpoint.Open(data, &st); err != nil {
+		return nil, err
+	}
+
+	// Pipeline-equivalence echoes.
+	if st.WindowLen != cfg.WindowLen {
+		return nil, fmt.Errorf("ingest: restore: checkpoint has window length %d, config has %d", st.WindowLen, cfg.WindowLen)
+	}
+	if st.K != cfg.K {
+		return nil, fmt.Errorf("ingest: restore: checkpoint has K=%g, config has K=%g", st.K, cfg.K)
+	}
+	if got := cfg.Algorithm.Name(); st.Algorithm != got {
+		return nil, fmt.Errorf("ingest: restore: checkpoint was taken under algorithm %q, config has %q", st.Algorithm, got)
+	}
+	if m := oracle.Model(); st.ModelInDim != m.InDim || st.ModelScale != m.Scale() {
+		return nil, fmt.Errorf("ingest: restore: checkpoint model (in_dim=%d scale=%g) does not match oracle model (in_dim=%d scale=%g)",
+			st.ModelInDim, st.ModelScale, m.InDim, m.Scale())
+	}
+
+	// Cursor sanity.
+	if st.NextFrame < 0 || st.NextWindow < 0 {
+		return nil, fmt.Errorf("ingest: restore: negative cursors (frame %d, window %d)", st.NextFrame, st.NextWindow)
+	}
+	if st.ClockNS < 0 {
+		return nil, fmt.Errorf("ingest: restore: negative clock %d ns", st.ClockNS)
+	}
+
+	// Reconstruct the side-effect-free components first; their
+	// validation failures leave the caller's pipeline untouched.
+	stream, err := engine.RestoreStream(st.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: restore: %w", err)
+	}
+	merger, err := core.RestoreMerger(st.Merger)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: restore: %w", err)
+	}
+	var prevTc []*video.Track
+	for _, t := range st.PrevTc {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: restore: carried window track invalid: %w", err)
+		}
+		prevTc = append(prevTc, copyTrack(t))
+	}
+	if st.Quarantine.Cap <= 0 {
+		return nil, fmt.Errorf("ingest: restore: quarantine cap %d must be positive", st.Quarantine.Cap)
+	}
+
+	// Locate the device wrappers the snapshot claims. A snapshot/chain
+	// shape mismatch means the caller assembled a different pipeline.
+	var resilient *device.ResilientDevice
+	var flaky *fault.Flaky
+	for d := oracle.Device(); d != nil; {
+		switch v := d.(type) {
+		case *device.ResilientDevice:
+			resilient = v
+			d = v.Inner()
+		case *fault.Flaky:
+			flaky = v
+			d = v.Inner()
+		default:
+			d = nil
+		}
+	}
+	if (st.Resilient != nil) != (resilient != nil) {
+		return nil, fmt.Errorf("ingest: restore: checkpoint resilient-device state present=%v, pipeline has resilient device=%v",
+			st.Resilient != nil, resilient != nil)
+	}
+	if (st.Flaky != nil) != (flaky != nil) {
+		return nil, fmt.Errorf("ingest: restore: checkpoint fault-injection state present=%v, pipeline has fault injector=%v",
+			st.Flaky != nil, flaky != nil)
+	}
+
+	// Pre-validate the mutating restores so the apply phase below cannot
+	// fail partway: each Import/Restore call also validates internally,
+	// but by then earlier components would already be mutated.
+	if st.Resilient != nil {
+		if b := st.Resilient.Breaker; b < device.BreakerClosed || b > device.BreakerHalfOpen {
+			return nil, fmt.Errorf("ingest: restore: invalid breaker state %d", b)
+		}
+	}
+	if st.Flaky != nil && st.Flaky.Next < 0 {
+		return nil, fmt.Errorf("ingest: restore: negative fault-injection cursor %d", st.Flaky.Next)
+	}
+	for _, cf := range st.Oracle.Cache {
+		if len(cf.Vec) != oracle.Model().OutDim {
+			return nil, fmt.Errorf("ingest: restore: cached feature %d has dim %d, model outputs %d",
+				cf.ID, len(cf.Vec), oracle.Model().OutDim)
+		}
+	}
+
+	// Apply.
+	if err := oracle.RestoreState(st.Oracle); err != nil {
+		return nil, fmt.Errorf("ingest: restore: %w", err)
+	}
+	if st.Resilient != nil {
+		if err := resilient.ImportState(*st.Resilient); err != nil {
+			return nil, fmt.Errorf("ingest: restore: %w", err)
+		}
+	}
+	if st.Flaky != nil {
+		if err := flaky.ImportState(*st.Flaky); err != nil {
+			return nil, fmt.Errorf("ingest: restore: %w", err)
+		}
+	}
+	oracle.Device().Clock().SetElapsed(st.Elapsed())
+
+	in := &Ingestor{
+		cfg:        cfg,
+		stream:     stream,
+		oracle:     oracle,
+		merger:     merger,
+		nextFrame:  st.NextFrame,
+		nextWindow: st.NextWindow,
+		prevTc:     prevTc,
+		quar:       quarantineFromState(st.Quarantine),
+		quarMark:   st.QuarantineMark,
+	}
+	for _, r := range st.Results {
+		in.results = append(in.results, fromRecord(r))
+	}
+	return in, nil
+}
+
+func copyTrack(t *video.Track) *video.Track {
+	return &video.Track{ID: t.ID, Boxes: append([]video.BBox(nil), t.Boxes...)}
+}
+
+func toRecord(r WindowResult) checkpoint.WindowRecord {
+	return checkpoint.WindowRecord{
+		Window:      r.Window,
+		Pairs:       r.Pairs,
+		Selected:    append([]video.PairKey(nil), r.Selected...),
+		Merged:      append([]video.PairKey(nil), r.Merged...),
+		Degraded:    r.Degraded,
+		Quarantined: r.Quarantined,
+	}
+}
+
+func fromRecord(r checkpoint.WindowRecord) WindowResult {
+	return WindowResult{
+		Window:      r.Window,
+		Pairs:       r.Pairs,
+		Selected:    append([]video.PairKey(nil), r.Selected...),
+		Merged:      append([]video.PairKey(nil), r.Merged...),
+		Degraded:    r.Degraded,
+		Quarantined: r.Quarantined,
+	}
+}

@@ -34,6 +34,20 @@ type Config struct {
 	// Inspect, when non-nil, filters candidates before merging. Nil
 	// merges every selected candidate.
 	Inspect Inspector
+	// QuarantineCap bounds the dead-letter buffer of rejected
+	// detections. Zero selects DefaultQuarantineCap; counters are never
+	// capped, only the retained detections.
+	QuarantineCap int
+	// AutoCheckpointEvery, when positive, seals a checkpoint after every
+	// N processed windows and hands the bytes to CheckpointSink. Zero
+	// disables automatic checkpointing (Checkpoint can still be called
+	// explicitly at any time).
+	AutoCheckpointEvery int
+	// CheckpointSink receives automatic checkpoints (typically writing
+	// them to durable storage). Required when AutoCheckpointEvery is
+	// positive. A sink error does not stop the stream; it is retained
+	// and reported by CheckpointErr.
+	CheckpointSink func([]byte) error
 }
 
 // Validate reports whether the configuration is usable: WindowLen must be
@@ -49,6 +63,15 @@ func (cfg Config) Validate() error {
 	if cfg.K <= 0 || cfg.K > 1 {
 		return fmt.Errorf("ingest: K must be in (0, 1], got %g", cfg.K)
 	}
+	if cfg.QuarantineCap < 0 {
+		return fmt.Errorf("ingest: quarantine cap must be >= 0, got %d", cfg.QuarantineCap)
+	}
+	if cfg.AutoCheckpointEvery < 0 {
+		return fmt.Errorf("ingest: auto-checkpoint interval must be >= 0, got %d", cfg.AutoCheckpointEvery)
+	}
+	if cfg.AutoCheckpointEvery > 0 && cfg.CheckpointSink == nil {
+		return fmt.Errorf("ingest: auto-checkpointing every %d windows needs a CheckpointSink", cfg.AutoCheckpointEvery)
+	}
 	return nil
 }
 
@@ -63,6 +86,9 @@ type WindowResult struct {
 	// alone (see core.SelectWithFallback). The stream keeps flowing; the
 	// next window retries the oracle path.
 	Degraded bool
+	// Quarantined counts detections (and frame-level rejects) quarantined
+	// since the previous window closed.
+	Quarantined int
 }
 
 // Ingestor is an online ingestion session. It is not safe for concurrent
@@ -77,6 +103,12 @@ type Ingestor struct {
 	nextWindow int
 	prevTc     []*video.Track
 	results    []WindowResult
+
+	quar     *quarantine
+	quarMark int // quarantine total at the last window close
+
+	windowsSinceCkpt int
+	ckptErr          error
 }
 
 // New returns an ingestion session over the given tracker engine, oracle,
@@ -90,16 +122,53 @@ func New(engine *track.Engine, oracle *reid.Oracle, cfg Config) (*Ingestor, erro
 		stream: engine.NewStream(),
 		oracle: oracle,
 		merger: core.NewMerger(),
+		quar:   newQuarantine(cfg.QuarantineCap),
 	}, nil
 }
 
 // Push consumes the next frame of detections and returns the results of
 // any windows the stream just closed (usually zero or one). Frames are
-// implicitly numbered 0, 1, 2, ...
+// implicitly numbered 0, 1, 2, ...; Push(dets) is PushAt(FramesSeen(),
+// dets).
 func (in *Ingestor) Push(dets []video.BBox) []WindowResult {
-	f := in.nextFrame
-	in.nextFrame++
-	in.stream.Step(f, dets)
+	return in.PushAt(in.nextFrame, dets)
+}
+
+// PushAt consumes the detections of frame f and returns the results of
+// any windows the stream just closed (usually zero or one).
+//
+// Frame index semantics: the stream cursor only moves forward. A frame
+// index equal to the last accepted one is a duplicate — the whole frame
+// is quarantined (first write wins) and the cursor stays put. An index
+// before the last accepted one has regressed — likewise quarantined
+// whole. An index beyond the cursor is a gap: it is accepted, the
+// skipped frames count as misses for every open track hypothesis, and
+// the cursor jumps past it. Within an accepted frame, each detection is
+// vetted individually (finite geometry, positive size, matching frame
+// index, finite observation); hostile detections are quarantined with a
+// per-reason counter while the rest of the frame proceeds, so one broken
+// detector output cannot poison tracker state or stall the stream.
+func (in *Ingestor) PushAt(f video.FrameIndex, dets []video.BBox) []WindowResult {
+	switch {
+	case f < 0 || f < in.nextFrame-1:
+		in.quar.addFrame(f, dets, ReasonFrameRegressed)
+		return nil
+	case in.nextFrame > 0 && f == in.nextFrame-1:
+		in.quar.addFrame(f, dets, ReasonFrameDuplicate)
+		return nil
+	}
+
+	accepted := make([]video.BBox, 0, len(dets))
+	for _, b := range dets {
+		if reason, ok := classifyDetection(f, b); !ok {
+			in.quar.add(f, b, reason)
+		} else {
+			accepted = append(accepted, b)
+		}
+	}
+
+	in.nextFrame = f + 1
+	in.stream.Step(f, accepted)
 
 	var closed []WindowResult
 	for {
@@ -110,8 +179,35 @@ func (in *Ingestor) Push(dets []video.BBox) []WindowResult {
 		closed = append(closed, in.processWindow(w))
 		in.nextWindow++
 	}
+	in.maybeAutoCheckpoint(len(closed))
 	return closed
 }
+
+// maybeAutoCheckpoint seals and emits a checkpoint when enough windows
+// have closed since the last one. It runs after the window loop, so a
+// checkpoint always captures a consistent between-frames state.
+func (in *Ingestor) maybeAutoCheckpoint(closed int) {
+	if in.cfg.AutoCheckpointEvery <= 0 || closed == 0 {
+		return
+	}
+	in.windowsSinceCkpt += closed
+	if in.windowsSinceCkpt < in.cfg.AutoCheckpointEvery {
+		return
+	}
+	in.windowsSinceCkpt = 0
+	data, err := in.Checkpoint()
+	if err == nil {
+		err = in.cfg.CheckpointSink(data)
+	}
+	if err != nil {
+		in.ckptErr = err
+	}
+}
+
+// CheckpointErr returns the most recent automatic-checkpoint failure
+// (sealing or sink), or nil. Checkpoint failures do not stop the stream;
+// callers that care about durability should poll this.
+func (in *Ingestor) CheckpointErr() error { return in.ckptErr }
 
 // Close flushes the final partial window (if any frames remain beyond the
 // last processed window's first half) and returns its results.
@@ -159,7 +255,8 @@ func (in *Ingestor) processWindow(w video.Window) WindowResult {
 	ps := video.BuildPairSet(w, cur, in.prevTc)
 	in.prevTc = cur
 
-	res := WindowResult{Window: w, Pairs: ps.Len()}
+	res := WindowResult{Window: w, Pairs: ps.Len(), Quarantined: in.quar.total - in.quarMark}
+	in.quarMark = in.quar.total
 	if ps.Len() > 0 {
 		res.Selected, res.Degraded = core.SelectWithFallback(in.cfg.Algorithm, ps, in.oracle, in.cfg.K)
 		for _, key := range res.Selected {
@@ -180,14 +277,22 @@ func (in *Ingestor) Results() []WindowResult { return in.results }
 // Merger exposes the accumulated identity map.
 func (in *Ingestor) Merger() *core.Merger { return in.merger }
 
+// Oracle exposes the session's ReID oracle (for work accounting).
+func (in *Ingestor) Oracle() *reid.Oracle { return in.oracle }
+
 // MergedTracks returns the current track state with merged identities
 // applied — the metadata a downstream query engine would consume.
 func (in *Ingestor) MergedTracks() *video.TrackSet {
 	return in.merger.Apply(video.NewTrackSet(sortTracks(in.stream.Snapshot())))
 }
 
-// FramesSeen returns how many frames have been pushed.
+// FramesSeen returns how many frames the stream cursor has passed (the
+// next expected frame index; gaps count as seen).
 func (in *Ingestor) FramesSeen() int { return int(in.nextFrame) }
+
+// Quarantine returns a detached snapshot of the quarantine ledger:
+// per-reason reject counters and the retained dead-letter buffer.
+func (in *Ingestor) Quarantine() QuarantineReport { return in.quar.report() }
 
 func sortTracks(ts []*video.Track) []*video.Track {
 	// Snapshot order is already deterministic (finished then active, in

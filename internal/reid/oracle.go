@@ -1,6 +1,8 @@
 package reid
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/tmerge/tmerge/internal/device"
@@ -84,6 +86,59 @@ func (o *Oracle) ResetCache() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.cache = make(map[video.BBoxID]vecmath.Vec)
+}
+
+// CachedFeature is one serialised feature-cache entry.
+type CachedFeature struct {
+	ID  video.BBoxID `json:"id"`
+	Vec []float64    `json:"vec"`
+}
+
+// OracleState is the serialisable form of an Oracle's mutable state: the
+// work counters and the feature cache, entries sorted by BBox ID for a
+// deterministic encoding. Restoring it makes a fresh oracle's cache-hit /
+// extraction accounting continue exactly where an interrupted session's
+// left off.
+type OracleState struct {
+	Stats        Stats           `json:"stats"`
+	CacheEnabled bool            `json:"cache_enabled"`
+	Cache        []CachedFeature `json:"cache,omitempty"`
+}
+
+// State snapshots the oracle's counters and feature cache.
+func (o *Oracle) State() OracleState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := OracleState{Stats: o.stats, CacheEnabled: o.cacheEnabled}
+	ids := make([]video.BBoxID, 0, len(o.cache))
+	for id := range o.cache {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.Cache = append(st.Cache, CachedFeature{ID: id, Vec: append([]float64(nil), o.cache[id]...)})
+	}
+	return st
+}
+
+// RestoreState overwrites the oracle's counters and cache with a snapshot
+// taken by State. Cached vectors must match the model's output
+// dimensionality; a mismatched snapshot is rejected before any mutation.
+func (o *Oracle) RestoreState(st OracleState) error {
+	for _, cf := range st.Cache {
+		if len(cf.Vec) != o.model.OutDim {
+			return fmt.Errorf("reid: cached feature %d has dim %d, model outputs %d", cf.ID, len(cf.Vec), o.model.OutDim)
+		}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats = st.Stats
+	o.cacheEnabled = st.CacheEnabled
+	o.cache = make(map[video.BBoxID]vecmath.Vec, len(st.Cache))
+	for _, cf := range st.Cache {
+		o.cache[cf.ID] = vecmath.Vec(append([]float64(nil), cf.Vec...))
+	}
+	return nil
 }
 
 // Distance computes the normalised distance d~(b1, b2) in [0, 1] as a

@@ -1,0 +1,64 @@
+package trackdb
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func fuzzSeedStore(t testing.TB) *Store {
+	s := New()
+	tr := &video.Track{ID: 3, Boxes: []video.BBox{
+		{ID: 30, Frame: 5, Rect: geom.Rect{X: 1, Y: 2, W: 10, H: 12}, GTObject: 1},
+		{ID: 31, Frame: 6, Rect: geom.Rect{X: 2, Y: 2, W: 10, H: 12}, GTObject: 1},
+	}}
+	if err := s.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// FuzzDecode throws arbitrary bytes at the track-store decoder: it must
+// never panic, and any store it accepts must hold only validated tracks
+// with finite geometry.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedStore(f).Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"tracks":[{"id":1,"boxes":[]}]}`))
+	f.Add([]byte(`{"tracks":[{"id":1,"boxes":[{"id":1,"frame":0,"x":0,"y":0,"w":-1,"h":1}]}]}`))
+	f.Add([]byte(`{"tracks":[{"id":1,"boxes":[{"id":1,"frame":2,"x":0,"y":0,"w":1,"h":1},{"id":2,"frame":1,"x":0,"y":0,"w":1,"h":1}]}]}`))
+	f.Add([]byte(`{"tracks":[{"id":1,"boxes":[{"id":1,"frame":0,"x":1e999,"y":0,"w":1,"h":1}]}]}`))
+	f.Add([]byte(`garbage`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, tr := range s.TrackSet().Tracks() {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("accepted invalid track: %v", err)
+			}
+			for _, b := range tr.Boxes {
+				if err := b.Validate(); err != nil {
+					t.Fatalf("accepted invalid box: %v", err)
+				}
+			}
+		}
+	})
+}
+
+func TestDecodeRejectsDuplicateTracks(t *testing.T) {
+	data := []byte(`{"tracks":[
+		{"id":7,"boxes":[{"id":1,"frame":0,"x":0,"y":0,"w":1,"h":1}]},
+		{"id":7,"boxes":[{"id":2,"frame":0,"x":0,"y":0,"w":1,"h":1}]}]}`)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Error("duplicate track IDs accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -44,7 +45,18 @@ func (s *Store) Save(path string) error {
 	}
 	defer f.Close()
 	gz := gzip.NewWriter(f)
+	if err := s.Encode(gz); err != nil {
+		return err
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("trackdb: save: %w", err)
+	}
+	return f.Close()
+}
 
+// Encode writes the store to w as (uncompressed) JSON, tracks ordered by
+// ID for stable output.
+func (s *Store) Encode(w io.Writer) error {
 	var out jsonStore
 	ids := make([]video.TrackID, 0, len(s.byID))
 	for id := range s.byID {
@@ -63,13 +75,10 @@ func (s *Store) Save(path string) error {
 		}
 		out.Tracks = append(out.Tracks, jt)
 	}
-	if err := json.NewEncoder(gz).Encode(out); err != nil {
-		return fmt.Errorf("trackdb: save: %w", err)
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("trackdb: encode: %w", err)
 	}
-	if err := gz.Close(); err != nil {
-		return fmt.Errorf("trackdb: save: %w", err)
-	}
-	return f.Close()
+	return nil
 }
 
 // Load reads a store previously written by Save.
@@ -84,24 +93,41 @@ func Load(path string) (*Store, error) {
 		return nil, fmt.Errorf("trackdb: load: %w", err)
 	}
 	defer gz.Close()
+	return Decode(gz)
+}
+
+// Decode reads a store from (uncompressed) JSON. Untrusted input is
+// validated record by record: every box must pass video.BBox.Validate
+// (finite geometry, positive size), every track its own invariants, and
+// track IDs must be unique. A hostile file is rejected with a
+// descriptive error; it can never panic the decoder or plant a
+// non-finite value in the store.
+func Decode(r io.Reader) (*Store, error) {
 	var in jsonStore
-	if err := json.NewDecoder(gz).Decode(&in); err != nil {
-		return nil, fmt.Errorf("trackdb: load: %w", err)
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trackdb: decode: %w", err)
 	}
 	s := New()
 	for _, jt := range in.Tracks {
+		if s.Get(jt.ID) != nil {
+			return nil, fmt.Errorf("trackdb: decode: duplicate track %d", jt.ID)
+		}
 		t := &video.Track{ID: jt.ID}
 		for _, jb := range jt.Boxes {
-			t.Boxes = append(t.Boxes, video.BBox{
+			b := video.BBox{
 				ID:       jb.ID,
 				Frame:    jb.Frame,
 				Rect:     geom.Rect{X: jb.X, Y: jb.Y, W: jb.W, H: jb.H},
 				Class:    jb.Class,
 				GTObject: jb.GT,
-			})
+			}
+			if err := b.Validate(); err != nil {
+				return nil, fmt.Errorf("trackdb: decode: track %d: %w", jt.ID, err)
+			}
+			t.Boxes = append(t.Boxes, b)
 		}
 		if err := s.Put(t); err != nil {
-			return nil, fmt.Errorf("trackdb: load: %w", err)
+			return nil, fmt.Errorf("trackdb: decode: %w", err)
 		}
 	}
 	return s, nil

@@ -6,6 +6,7 @@ package video
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/tmerge/tmerge/internal/geom"
@@ -50,6 +51,39 @@ type BBox struct {
 	// GTObject is the ground-truth object identity, used for evaluation
 	// only (computing P*c, MOT metrics, query recall). -1 when unknown.
 	GTObject ObjectID
+}
+
+// MaxFrameIndex bounds the frame indices Validate accepts. At 30 fps,
+// 2^40 frames is over a thousand years of footage — anything beyond it is
+// a corrupt or hostile record, not a long stream.
+const MaxFrameIndex FrameIndex = 1 << 40
+
+// Validate reports whether the box is structurally usable: finite
+// geometry, strictly positive width and height, a frame index in
+// [0, MaxFrameIndex], and a finite appearance observation. It is the
+// shared input-hardening gate: the dataset and trackdb loaders apply it
+// to every record they accept, and the streaming ingestor quarantines
+// detections that fail it instead of letting them corrupt tracker state
+// (a NaN coordinate would poison every Kalman filter and IoU it touches).
+func (b BBox) Validate() error {
+	for _, f := range [...]float64{b.Rect.X, b.Rect.Y, b.Rect.W, b.Rect.H} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("video: bbox %d has non-finite geometry (%g, %g, %g, %g)",
+				b.ID, b.Rect.X, b.Rect.Y, b.Rect.W, b.Rect.H)
+		}
+	}
+	if b.Rect.W <= 0 || b.Rect.H <= 0 {
+		return fmt.Errorf("video: bbox %d has non-positive size %gx%g", b.ID, b.Rect.W, b.Rect.H)
+	}
+	if b.Frame < 0 || b.Frame > MaxFrameIndex {
+		return fmt.Errorf("video: bbox %d has frame index %d outside [0, %d]", b.ID, b.Frame, MaxFrameIndex)
+	}
+	for i, v := range b.Obs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("video: bbox %d has non-finite observation component %d", b.ID, i)
+		}
+	}
+	return nil
 }
 
 // Track is a sequence of BBoxes with a single tracker-assigned ID, ordered

@@ -28,6 +28,37 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State is a serialisable snapshot of an RNG's full internal state — the
+// SplitMix64 counter plus the cached Box-Muller spare. Restoring it with
+// SetState resumes the stream bit-identically, which the checkpoint layer
+// relies on for deterministic replay of interrupted ingestion sessions.
+type State struct {
+	S        uint64  `json:"s"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+	Spare    float64 `json:"spare,omitempty"`
+}
+
+// State returns a snapshot of the generator's state.
+func (r *RNG) State() State {
+	return State{S: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState overwrites the generator's state with a snapshot taken by
+// State. The next draws continue exactly where the snapshotted stream
+// left off.
+func (r *RNG) SetState(st State) {
+	r.state = st.S
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
+// FromState returns a new RNG resuming from the snapshot.
+func FromState(st State) *RNG {
+	r := &RNG{}
+	r.SetState(st)
+	return r
+}
+
 // golden gamma increment of SplitMix64.
 const gamma = 0x9E3779B97F4A7C15
 

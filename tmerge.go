@@ -45,6 +45,7 @@
 package tmerge
 
 import (
+	"github.com/tmerge/tmerge/internal/checkpoint"
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/dataset"
 	"github.com/tmerge/tmerge/internal/device"
@@ -475,4 +476,51 @@ func NewSpatial() *Spatial { return core.NewSpatial() }
 // degraded-mode reporting instead of panics.
 func TryRunPipeline(tracks *TrackSet, numFrames int, oracle *Oracle, cfg PipelineConfig) (*PipelineResult, error) {
 	return core.TryRunPipeline(tracks, numFrames, oracle, cfg)
+}
+
+// Durability (packages checkpoint and ingest). A streaming session can be
+// checkpointed between frames — tracker hypotheses, identity map, ReID
+// cache and counters, device resilience state, quarantine ledger, and
+// cursors — into a versioned, checksummed, self-contained byte slice,
+// and later restored into a freshly assembled pipeline. Replay is
+// deterministic: a session killed at any frame and restored from its
+// last checkpoint produces, after replaying the remaining frames,
+// bit-identical window results and merged tracks to one that never
+// crashed. Hostile detections (non-finite geometry, mis-indexed frames)
+// never reach tracker state; they are quarantined into a capped
+// dead-letter buffer with per-reason counters.
+type (
+	// RejectedDetection is one quarantined input with its reject reason.
+	RejectedDetection = ingest.RejectedDetection
+	// QuarantineReport is a snapshot of the quarantine ledger.
+	QuarantineReport = ingest.QuarantineReport
+)
+
+// Checkpoint envelope identity: bytes whose format/version do not match
+// are refused before any state is touched.
+const (
+	CheckpointFormat  = checkpoint.Format
+	CheckpointVersion = checkpoint.Version
+)
+
+// Quarantine reject reasons (Ingestor.Quarantine().Counts keys).
+const (
+	RejectNonFiniteGeometry    = ingest.ReasonNonFiniteGeometry
+	RejectNonPositiveSize      = ingest.ReasonNonPositiveSize
+	RejectNonFiniteObservation = ingest.ReasonNonFiniteObservation
+	RejectFrameMismatch        = ingest.ReasonFrameMismatch
+	RejectFrameRegressed       = ingest.ReasonFrameRegressed
+	RejectFrameDuplicate       = ingest.ReasonFrameDuplicate
+)
+
+// DefaultQuarantineCap bounds the dead-letter buffer when IngestConfig
+// does not choose a cap.
+const DefaultQuarantineCap = ingest.DefaultQuarantineCap
+
+// RestoreIngestor reconstructs a streaming session from bytes produced
+// by Ingestor.Checkpoint. The supplied engine, oracle, and configuration
+// must assemble a pipeline equivalent to the checkpointed one; mismatches
+// and corrupt bytes are rejected with descriptive errors.
+func RestoreIngestor(engine *TrackerEngine, oracle *Oracle, cfg IngestConfig, data []byte) (*Ingestor, error) {
+	return ingest.Restore(engine, oracle, cfg, data)
 }

@@ -1,0 +1,142 @@
+package tmerge_test
+
+// Integration test of the exported durability surface: a downstream user
+// streaming a video through a flaky, resiliently wrapped backend, taking
+// periodic checkpoints, crashing mid-outage, and restoring — the merged
+// output and every resilience counter must match a run that never
+// crashed.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/tmerge/tmerge"
+)
+
+// faultyStack assembles the flaky-device pipeline used by both the
+// reference and the crash/restore runs. Determinism across assemblies
+// is the point: same seeds, same schedule, same presets.
+func faultyStack() (*tmerge.Flaky, *tmerge.ResilientDevice, *tmerge.Oracle, tmerge.IngestConfig) {
+	flaky := tmerge.NewFlaky(tmerge.NewCPU(tmerge.DefaultCPUCost), tmerge.FaultConfig{
+		Seed:          3,
+		TransientRate: 0.05,
+		Schedule:      tmerge.NewFaultSchedule(tmerge.Outage{From: 400, To: 460}),
+	})
+	dev := tmerge.NewResilientDevice(flaky,
+		tmerge.RetryPolicy{MaxAttempts: 6}, tmerge.BreakerConfig{Threshold: 20}, 9)
+	oracle := tmerge.NewOracle(tmerge.NewModel(7, tmerge.AppearanceDim), dev)
+	cfg := tmerge.IngestConfig{
+		WindowLen: 200,
+		K:         0.05,
+		Algorithm: tmerge.NewTMerge(tmerge.DefaultTMergeConfig(1)),
+	}
+	return flaky, dev, oracle, cfg
+}
+
+func TestPublicCheckpointRestoreUnderFaults(t *testing.T) {
+	v := generate(t)
+
+	type outcome struct {
+		results    []tmerge.IngestWindowResult
+		mergedJSON []byte
+		stats      tmerge.OracleStats
+		resilience tmerge.ResilientCounters
+		faults     tmerge.FaultCounters
+	}
+	observe := func(in *tmerge.Ingestor, dev *tmerge.ResilientDevice, flaky *tmerge.Flaky) outcome {
+		merged, err := json.Marshal(in.MergedTracks().Sorted())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			results:    in.Results(),
+			mergedJSON: merged,
+			stats:      in.Oracle().Stats(),
+			resilience: dev.Counters(),
+			faults:     flaky.Counters(),
+		}
+	}
+
+	// Reference: uninterrupted streaming run over the faulty stack.
+	refFlaky, refDev, refOracle, refCfg := faultyStack()
+	ref, err := tmerge.NewIngestor(tmerge.Tracktor(), refOracle, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dets := range v.Detections {
+		ref.Push(dets)
+	}
+	ref.Close()
+	want := observe(ref, refDev, refFlaky)
+
+	// Crash run: auto-checkpoint every window, crash mid-stream, restore
+	// from the last surviving checkpoint into a fresh stack, replay.
+	var last []byte
+	crashFlaky, crashDev, crashOracle, crashCfg := faultyStack()
+	crashCfg.AutoCheckpointEvery = 1
+	crashCfg.CheckpointSink = func(b []byte) error {
+		last = append([]byte(nil), b...)
+		return nil
+	}
+	in, err := tmerge.NewIngestor(tmerge.Tracktor(), crashOracle, crashCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAt := len(v.Detections) * 2 / 3
+	for f, dets := range v.Detections {
+		if f == killAt {
+			break
+		}
+		in.Push(dets)
+	}
+	if err := in.CheckpointErr(); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint survived the crash")
+	}
+	_, _ = crashFlaky, crashDev // the crashed stack dies with the process
+
+	resFlaky, resDev, resOracle, resCfg := faultyStack()
+	resumed, err := tmerge.RestoreIngestor(tmerge.Tracktor(), resOracle, resCfg, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := resumed.FramesSeen()
+	if from == 0 || from > killAt {
+		t.Fatalf("restored cursor %d outside (0, %d]", from, killAt)
+	}
+	for _, dets := range v.Detections[from:] {
+		resumed.Push(dets)
+	}
+	resumed.Close()
+	got := observe(resumed, resDev, resFlaky)
+
+	if !reflect.DeepEqual(want.results, got.results) {
+		t.Error("window results diverged after crash/restore")
+	}
+	if string(want.mergedJSON) != string(got.mergedJSON) {
+		t.Error("merged tracks diverged after crash/restore")
+	}
+	if want.stats != got.stats {
+		t.Errorf("oracle stats diverged: %+v vs %+v", want.stats, got.stats)
+	}
+	if want.resilience != got.resilience {
+		t.Errorf("resilience counters diverged: %+v vs %+v", want.resilience, got.resilience)
+	}
+	if want.faults != got.faults {
+		t.Errorf("fault counters diverged: %+v vs %+v", want.faults, got.faults)
+	}
+	// The scripted outage actually fired somewhere in the combined run.
+	if got.faults.Outages == 0 {
+		t.Error("scripted outage never fired; fixture is not exercising the fault path")
+	}
+
+	// A checkpoint is refused by a differently assembled pipeline.
+	_, _, otherOracle, otherCfg := faultyStack()
+	otherCfg.K = 0.1
+	if _, err := tmerge.RestoreIngestor(tmerge.Tracktor(), otherOracle, otherCfg, last); err == nil {
+		t.Error("checkpoint accepted by a pipeline with different K")
+	}
+}
