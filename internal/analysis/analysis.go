@@ -1,0 +1,256 @@
+// Package analysis is tmergevet's engine: a project-specific static
+// analyzer built purely on the standard library's go/parser, go/ast, and
+// go/types (the module is dependency-free and must stay that way).
+//
+// It enforces the invariants that PR 2's bit-identical checkpoint/replay
+// guarantee turned from style preferences into correctness requirements:
+//
+//   - determinism: no wall-clock reads or globally-seeded randomness in
+//     replayed code, and no map-iteration order leaking into emitted
+//     results (see CheckDeterminism);
+//   - lock-discipline: no blocking device I/O (Submit/TrySubmit) while a
+//     mutex is held (see CheckLockDiscipline);
+//   - error-hygiene: no silently dropped errors from checkpoint
+//     Seal/Open, write-path Close, or the Try* contract (see
+//     CheckErrorHygiene);
+//   - api-doc: every exported identifier of the root tmerge package is
+//     documented (see CheckAPIDoc).
+//
+// A finding can be suppressed in place with a directive comment
+//
+//	//tmerge:allow <check-name> <reason>
+//
+// on the flagged line or the line above it. The reason is mandatory and
+// the check name must exist; a malformed directive is itself reported as
+// a finding (check name "allow") and suppresses nothing.
+package analysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Check names, in the order checkers run. These are the names findings
+// carry, the names //tmerge:allow directives must use, and the catalog
+// DESIGN.md §9 documents.
+const (
+	CheckDeterminismName   = "determinism"
+	CheckLockName          = "lock-discipline"
+	CheckErrorHygieneName  = "error-hygiene"
+	CheckAPIDocName        = "api-doc"
+	checkAllowName         = "allow" // malformed-directive findings; not suppressible
+	allowDirectivePrefix   = "//tmerge:allow"
+	allowDirectiveSpelling = "//tmerge:allow <check-name> <reason>"
+)
+
+// KnownChecks lists every valid check name for //tmerge:allow directives.
+var KnownChecks = []string{
+	CheckDeterminismName,
+	CheckLockName,
+	CheckErrorHygieneName,
+	CheckAPIDocName,
+}
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	File    string `json:"file"` // module-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the tool's line format:
+// file:line: [check-name] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// sortFindings orders findings by file, line, column, then check name.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// WriteText writes findings one per line in the file:line: [check] message
+// format.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes findings as line-delimited JSON, one object per line —
+// the -json output mode consumed by CI annotation tooling.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range fs {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeJSON reads findings written by WriteJSON (one JSON object per
+// line; blank lines are skipped).
+func DecodeJSON(r io.Reader) ([]Finding, error) {
+	var out []Finding
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f Finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			return nil, fmt.Errorf("analysis: bad finding line %q: %w", line, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run executes every checker over every package, applies //tmerge:allow
+// suppressions, reports malformed directives, and returns the surviving
+// findings sorted by position. CheckAPIDoc runs only on the module's root
+// package (where the public surface lives).
+func Run(pkgs []*Package) []Finding {
+	var all []Finding
+	for _, p := range pkgs {
+		var fs []Finding
+		fs = append(fs, CheckDeterminism(p)...)
+		fs = append(fs, CheckLockDiscipline(p)...)
+		fs = append(fs, CheckErrorHygiene(p)...)
+		if p.IsModuleRoot() {
+			fs = append(fs, CheckAPIDoc(p)...)
+		}
+		allowed, malformed := p.directives()
+		fs = filterAllowed(fs, allowed)
+		fs = append(fs, malformed...)
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all
+}
+
+// directiveKey identifies one suppressible (file, line, check) site.
+type directiveKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directives scans the package's comments for //tmerge:allow directives.
+// It returns the set of valid suppressions and a finding for every
+// malformed directive (missing reason, unknown check name).
+func (p *Package) directives() (map[directiveKey]bool, []Finding) {
+	allowed := make(map[directiveKey]bool)
+	var malformed []Finding
+	known := make(map[string]bool, len(KnownChecks))
+	for _, c := range KnownChecks {
+		known[c] = true
+	}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirectivePrefix) {
+					continue
+				}
+				pos := p.Position(c.Slash)
+				rest := strings.TrimPrefix(c.Text, allowDirectivePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   checkAllowName,
+						Message: fmt.Sprintf("directive names no check: want %s", allowDirectiveSpelling),
+					})
+				case !known[fields[0]]:
+					malformed = append(malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check: checkAllowName,
+						Message: fmt.Sprintf("directive names unknown check %q (known: %s)",
+							fields[0], strings.Join(KnownChecks, ", ")),
+					})
+				case len(fields) == 1:
+					malformed = append(malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   checkAllowName,
+						Message: fmt.Sprintf("directive for %q gives no reason: a suppression must say why the invariant holds anyway", fields[0]),
+					})
+				default:
+					allowed[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allowed, malformed
+}
+
+// filterAllowed drops findings covered by a valid directive on the same
+// line or the line directly above.
+func filterAllowed(fs []Finding, allowed map[directiveKey]bool) []Finding {
+	if len(allowed) == 0 {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if allowed[directiveKey{f.File, f.Line, f.Check}] ||
+			allowed[directiveKey{f.File, f.Line - 1, f.Check}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// finding builds a Finding at a node's position.
+func (p *Package) finding(pos token.Pos, check, format string, args ...any) Finding {
+	ps := p.Position(pos)
+	return Finding{
+		File: ps.Filename, Line: ps.Line, Col: ps.Column,
+		Check: check, Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// inspectFunctions applies fn to every function body in the package —
+// top-level declarations and, through ast.Inspect, the function literals
+// nested inside them. decl is the enclosing declaration (for receiver
+// context); it is the same *ast.FuncDecl for a literal nested within one.
+func (p *Package) inspectFunctions(fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, fd.Body)
+		}
+	}
+}

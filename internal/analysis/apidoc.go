@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CheckAPIDoc requires a doc comment on every exported identifier of the
+// package it runs on (the driver applies it to the module root only —
+// the public tmerge surface). For grouped const/var/type declarations
+// with more than one spec, each spec carrying an exported name needs its
+// own doc comment or trailing line comment; a single-spec declaration
+// may be documented on the declaration itself.
+func CheckAPIDoc(p *Package) []Finding {
+	var fs []Finding
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					fs = append(fs, p.finding(d.Name.Pos(), CheckAPIDocName,
+						"exported %s %s has no doc comment", kind, d.Name.Name))
+				}
+			case *ast.GenDecl:
+				fs = append(fs, p.checkGenDecl(d)...)
+			}
+		}
+	}
+	return fs
+}
+
+// checkGenDecl enforces docs on the exported names of one const, var, or
+// type declaration.
+func (p *Package) checkGenDecl(d *ast.GenDecl) []Finding {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return nil
+	}
+	var fs []Finding
+	grouped := len(d.Specs) > 1
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && s.Comment == nil && (grouped || d.Doc == nil) {
+				fs = append(fs, p.finding(s.Name.Pos(), CheckAPIDocName,
+					"exported type %s has no doc comment", s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			documented := s.Doc != nil || s.Comment != nil || (!grouped && d.Doc != nil)
+			if documented {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					fs = append(fs, p.finding(name.Pos(), CheckAPIDocName,
+						"exported %s %s has no doc comment (document the spec, or each name in the group)",
+						d.Tok, name.Name))
+				}
+			}
+		}
+	}
+	return fs
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismAllowlist holds import-path suffixes of packages that are
+// allowed to read wall clocks or global randomness: the module's seeded
+// RNG wrapper, the virtual-clock device plumbing, and the benchmark
+// harness (which reports real elapsed time by design).
+var determinismAllowlist = []string{
+	"internal/xrand",
+	"internal/device",
+	"cmd/benchrunner",
+}
+
+// seededRandConstructors are the math/rand functions that build an
+// explicitly seeded generator rather than consuming the global one.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// sortFuncs recognises the stdlib calls that establish a deterministic
+// order over a slice collected from a map range.
+var sortFuncs = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true,
+	"slices.Sort":   true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true, "slices.Sorted": true,
+	"slices.SortedFunc": true, "slices.SortedStableFunc": true,
+}
+
+// CheckDeterminism flags nondeterminism that would break bit-identical
+// checkpoint/replay: wall-clock reads (time.Now/time.Since), globally
+// seeded math/rand calls, and range-over-map loops whose iteration order
+// escapes — by appending to an outer slice that is never subsequently
+// sorted, by printing inside the loop, or by sending on a channel.
+func CheckDeterminism(p *Package) []Finding {
+	for _, suffix := range determinismAllowlist {
+		if strings.HasSuffix(p.ImportPath, suffix) {
+			return nil
+		}
+	}
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if f := p.nondeterministicCall(n); f != nil {
+					fs = append(fs, *f)
+				}
+			case *ast.RangeStmt:
+				fs = append(fs, p.checkMapRange(file, n)...)
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// nondeterministicCall reports a banned clock or global-rand call, or nil.
+func (p *Package) nondeterministicCall(call *ast.CallExpr) *Finding {
+	fn := p.callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			f := p.finding(call.Pos(), CheckDeterminismName,
+				"time.%s reads the wall clock; replayed code must use the injected virtual clock", fn.Name())
+			return &f
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions draw from the shared global
+		// source; methods on an explicit *rand.Rand are fine.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return nil
+		}
+		if seededRandConstructors[fn.Name()] {
+			return nil
+		}
+		f := p.finding(call.Pos(), CheckDeterminismName,
+			"rand.%s uses the global generator; seed an explicit source via internal/xrand instead", fn.Name())
+		return &f
+	}
+	return nil
+}
+
+// checkMapRange flags order leaks out of a range over a map: appends to
+// an outer slice with no later sort of that slice, ordered output (fmt
+// printing), and channel sends inside the loop body.
+func (p *Package) checkMapRange(file *ast.File, rng *ast.RangeStmt) []Finding {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var fs []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !p.isBuiltinAppend(call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				if !p.outerTarget(target, rng) {
+					continue
+				}
+				if p.keyedByRangeKey(target, rng) {
+					// m[k] = append(m[k], ...) with k the range key
+					// partitions the appends per key; no order leaks.
+					continue
+				}
+				if p.sortedAfter(file, rng, target) {
+					continue
+				}
+				fs = append(fs, p.finding(n.Pos(), CheckDeterminismName,
+					"append to %q inside range over map leaks iteration order; sort the keys first or sort %q before it is used",
+					p.render(target), p.render(target)))
+			}
+		case *ast.CallExpr:
+			if fn := p.callee(n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				fs = append(fs, p.finding(n.Pos(), CheckDeterminismName,
+					"fmt.%s inside range over map emits output in iteration order; collect and sort before printing", fn.Name()))
+			}
+		case *ast.SendStmt:
+			fs = append(fs, p.finding(n.Pos(), CheckDeterminismName,
+				"channel send inside range over map publishes values in iteration order; sort the keys first"))
+		case *ast.FuncLit:
+			return false // deferred/escaping work is out of scope here
+		}
+		return true
+	})
+	return fs
+}
+
+// outerTarget reports whether the append target lives outside the range
+// body. Non-identifier targets (map entries, struct fields) are treated
+// as outer.
+func (p *Package) outerTarget(target ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := p.objectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Body.Pos() || obj.Pos() >= rng.Body.End()
+}
+
+// keyedByRangeKey reports whether the append target is an index
+// expression whose index is the loop's own key variable: each key's
+// bucket then receives exactly its own iteration's appends, so map
+// order cannot influence any single bucket's contents.
+func (p *Package) keyedByRangeKey(target ast.Expr, rng *ast.RangeStmt) bool {
+	idx, ok := ast.Unparen(target).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	idxID, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj, idxObj := p.objectOf(keyID), p.objectOf(idxID)
+	return keyObj != nil && keyObj == idxObj
+}
+
+// sortedAfter reports whether, later in the enclosing function, the
+// append target is passed to a recognised sort call — the idiom
+// "collect keys from the map, then sort, then emit".
+func (p *Package) sortedAfter(file *ast.File, rng *ast.RangeStmt, target ast.Expr) bool {
+	body := enclosingFuncBody(file, rng.Pos())
+	if body == nil {
+		return false
+	}
+	want := p.render(target)
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := p.callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sortFuncs[fn.Pkg().Path()+"."+fn.Name()] && p.render(call.Args[0]) == want {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckErrorHygiene flags silently dropped errors from the calls whose
+// failure must never pass unnoticed:
+//
+//   - checkpoint.Seal / checkpoint.Open — a dropped error here means a
+//     corrupt or partial checkpoint is treated as durable;
+//   - Close() on write paths (a *Writer type, or a handle obtained from
+//     os.Create in the same function) — buffered data may be lost;
+//   - the Try* contract — any function named Try... returning an error
+//     exists precisely so the caller can observe failure.
+//
+// Both statement-level drops (expression statements, defer, go) and a
+// blank identifier in the error result position are reported. Close on
+// read paths (os.Open handles, *Reader types) is deliberately exempt.
+func CheckErrorHygiene(p *Package) []Finding {
+	var fs []Finding
+	p.inspectFunctions(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		created := p.createdFiles(body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if why := p.watchedCall(call, created); why != "" {
+						fs = append(fs, p.finding(call.Pos(), CheckErrorHygieneName,
+							"%s: error result dropped", why))
+					}
+				}
+			case *ast.DeferStmt:
+				if why := p.watchedCall(n.Call, created); why != "" {
+					fs = append(fs, p.finding(n.Call.Pos(), CheckErrorHygieneName,
+						"%s: error result dropped by defer; use a named return and check it in a deferred closure", why))
+				}
+			case *ast.GoStmt:
+				if why := p.watchedCall(n.Call, created); why != "" {
+					fs = append(fs, p.finding(n.Call.Pos(), CheckErrorHygieneName,
+						"%s: error result dropped by go statement", why))
+				}
+			case *ast.AssignStmt:
+				fs = append(fs, p.blankErrorAssign(n, created)...)
+			}
+			return true
+		})
+	})
+	return fs
+}
+
+// createdFiles collects identifiers assigned from os.Create within the
+// body: Close on these handles is a write-path Close.
+func (p *Package) createdFiles(body *ast.BlockStmt) map[types.Object]bool {
+	created := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asgn, ok := n.(*ast.AssignStmt)
+		if !ok || len(asgn.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asgn.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.callee(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || fn.Name() != "Create" {
+			return true
+		}
+		if id, ok := ast.Unparen(asgn.Lhs[0]).(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil {
+				created[obj] = true
+			}
+		}
+		return true
+	})
+	return created
+}
+
+// watchedCall reports why a call's error result must be checked, or ""
+// if the call is not subject to the hygiene rules.
+func (p *Package) watchedCall(call *ast.CallExpr, created map[types.Object]bool) string {
+	fn := p.callee(call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return ""
+	}
+	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/checkpoint") &&
+		(fn.Name() == "Seal" || fn.Name() == "Open") {
+		return "checkpoint." + fn.Name()
+	}
+	if strings.HasPrefix(fn.Name(), "Try") {
+		return fn.Name()
+	}
+	if fn.Name() == "Close" && sig.Recv() != nil && p.writePathClose(call, sig, created) {
+		return "write-path Close"
+	}
+	return ""
+}
+
+// writePathClose reports whether a Close call targets a writer: the
+// receiver's named type contains "Writer", or the receiver identifier
+// was obtained from os.Create in this function.
+func (p *Package) writePathClose(call *ast.CallExpr, sig *types.Signature, created map[types.Object]bool) bool {
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok && strings.Contains(named.Obj().Name(), "Writer") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := p.objectOf(id); obj != nil && created[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// blankErrorAssign flags `..., _ = watchedCall()` where the blank lands
+// in the error result position.
+func (p *Package) blankErrorAssign(asgn *ast.AssignStmt, created map[types.Object]bool) []Finding {
+	if len(asgn.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(asgn.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	why := p.watchedCall(call, created)
+	if why == "" {
+		return nil
+	}
+	// The error is the last result, so the last LHS receives it.
+	last := asgn.Lhs[len(asgn.Lhs)-1]
+	if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "_" {
+		return []Finding{p.finding(asgn.Pos(), CheckErrorHygieneName,
+			"%s: error result assigned to _; handle or return it", why)}
+	}
+	return nil
+}
+
+// lastResultIsError reports whether the function's final result is the
+// built-in error type.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

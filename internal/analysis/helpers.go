@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// callee resolves a call expression to the *types.Func it invokes, or nil
+// for builtins, conversions, and calls through function-typed values.
+func (p *Package) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltinAppend reports whether the call is the predeclared append.
+func (p *Package) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// render prints an expression back to source text, the key used to match
+// an append target against a later sort call on the same expression.
+func (p *Package) render(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, p.Fset, e)
+	return buf.String()
+}
+
+// enclosingFuncBody returns the body of the smallest function declaration
+// or literal in file that contains pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Nodes not containing pos can still have siblings that do.
+			return n.Pos() <= pos
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil && fn.Body.Pos() <= pos && pos < fn.Body.End() {
+				best = fn.Body
+			}
+		case *ast.FuncLit:
+			if fn.Body.Pos() <= pos && pos < fn.Body.End() {
+				best = fn.Body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// objectOf resolves an identifier to its object via Defs or Uses.
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the module.
+type Package struct {
+	ImportPath string
+	ModulePath string
+	ModuleDir  string
+	Dir        string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// IsModuleRoot reports whether this is the module's root package — the
+// public tmerge surface CheckAPIDoc applies to.
+func (p *Package) IsModuleRoot() bool {
+	return p.ModulePath != "" && p.ImportPath == p.ModulePath
+}
+
+// Position resolves pos and rewrites the filename relative to the module
+// root, so findings print stable repo paths regardless of where the tool
+// runs.
+func (p *Package) Position(pos token.Pos) token.Position {
+	ps := p.Fset.Position(pos)
+	if p.ModuleDir != "" {
+		if rel, err := filepath.Rel(p.ModuleDir, ps.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			ps.Filename = filepath.ToSlash(rel)
+		}
+	}
+	return ps
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// goList invokes the go tool from dir and decodes its JSON stream.
+func goList(dir string, args ...string) ([]listPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads, parses, and type-checks the packages matching the patterns
+// (relative to dir; "" means the current directory). It shells out to the
+// go tool twice: once to resolve the target packages and once, with
+// -deps -export, to obtain compiled export data for every import — the
+// standard-library way to type-check against dependencies without
+// re-checking their sources.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	targetArgs := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Module"}, patterns...)
+	targets, err := goList(dir, targetArgs...)
+	if err != nil {
+		return nil, err
+	}
+
+	depArgs := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export,Standard"}, patterns...)
+	deps, err := goList(dir, depArgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for import %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
+		}
+		p := &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}
+		if t.Module != nil {
+			p.ModulePath = t.Module.Path
+			p.ModuleDir = t.Module.Dir
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CheckLockDiscipline flags blocking device I/O performed while a mutex
+// is held. Device Submit/TrySubmit block on modeled transfer and compute
+// latency (and, for resilient devices, on retry backoff), so holding a
+// lock across them serialises every concurrent caller behind one
+// submission. The checker walks each function body in source order,
+// tracking which sync.Mutex/RWMutex receivers are locked, and reports
+// any call that is "submit-ish" — directly a Submit/TrySubmit method, or
+// a package-local function that transitively performs one — while a
+// mutex is held.
+func CheckLockDiscipline(p *Package) []Finding {
+	submitish := p.submitishFuncs()
+	var fs []Finding
+	p.inspectFunctions(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		fs = append(fs, p.scanLocks(body, submitish)...)
+	})
+	return fs
+}
+
+// mutexMethod resolves a call to a sync.Mutex/RWMutex method and returns
+// the rendered receiver expression (e.g. "o.mu") and the method name, or
+// "" if the call is not a mutex operation.
+func (p *Package) mutexMethod(call *ast.CallExpr) (recv, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return p.render(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// isSubmitCall reports whether the call performs device submission:
+// either a method literally named Submit/TrySubmit, or a package-local
+// function in the transitive submit-ish set.
+func (p *Package) isSubmitCall(call *ast.CallExpr, submitish map[*types.Func]bool) (string, bool) {
+	fn := p.callee(call)
+	if fn == nil {
+		return "", false
+	}
+	if name := fn.Name(); name == "Submit" || name == "TrySubmit" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return name, true
+		}
+	}
+	if submitish[fn] {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// submitishFuncs computes the fixed point of package-local functions that
+// directly or transitively call a Submit/TrySubmit method. Function
+// literals are excluded: work captured in a closure runs when the
+// closure runs, which the intra-procedural scan cannot place.
+func (p *Package) submitishFuncs() map[*types.Func]bool {
+	type fnBody struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var local []fnBody
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				local = append(local, fnBody{fn, fd.Body})
+			}
+		}
+	}
+	submitish := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range local {
+			if submitish[fb.fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, ok := p.isSubmitCall(call, submitish); ok {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				submitish[fb.fn] = true
+				changed = true
+			}
+		}
+	}
+	return submitish
+}
+
+// scanLocks walks one function body in source order, maintaining the set
+// of held mutexes, and reports submit-ish calls made while any is held.
+// Deferred Unlocks keep the mutex held for the rest of the body. The
+// scan is a linear over-approximation: it does not model branches, so a
+// Lock in one arm of an if is treated as held afterwards — acceptable
+// for this codebase, where lock regions are straight-line.
+func (p *Package) scanLocks(body *ast.BlockStmt, submitish map[*types.Func]bool) []Finding {
+	held := make(map[string]bool)     // receiver render -> locked
+	deferred := make(map[string]bool) // receiver render -> unlock deferred
+	var fs []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run later, under their own discipline
+		case *ast.DeferStmt:
+			if recv, method := p.mutexMethod(n.Call); method == "Unlock" || method == "RUnlock" {
+				deferred[recv] = true
+			}
+			return false // the deferred call itself runs at return
+		case *ast.CallExpr:
+			if recv, method := p.mutexMethod(n); method != "" {
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					if !deferred[recv] {
+						delete(held, recv)
+					}
+				}
+				return true
+			}
+			if name, ok := p.isSubmitCall(n, submitish); ok && len(held) > 0 {
+				fs = append(fs, p.finding(n.Pos(), CheckLockName,
+					"%s called while %s is held; device submission blocks on modeled latency — plan under the lock, submit outside it",
+					name, heldList(held)))
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// heldList renders the held-mutex set deterministically for the message.
+func heldList(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,36 @@
+// Package allow exercises //tmerge:allow suppression semantics: valid
+// directives suppress, malformed directives are themselves findings and
+// suppress nothing.
+package allow
+
+import "time"
+
+// Suppressed is covered by a well-formed directive on the line above.
+func Suppressed() time.Time {
+	//tmerge:allow determinism golden test exercising a valid suppression
+	return time.Now()
+}
+
+// SuppressedSameLine is covered by a directive trailing the line.
+func SuppressedSameLine() time.Time {
+	return time.Now() //tmerge:allow determinism golden test, same-line form
+}
+
+// MissingReason has a directive without a reason: the directive is a
+// finding and the time.Now beneath it stays flagged.
+func MissingReason() time.Time {
+	//tmerge:allow determinism
+	return time.Now() // want determinism (directive above is malformed)
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() time.Time {
+	//tmerge:allow speling mistake in the check name
+	return time.Now() // want determinism (directive above is malformed)
+}
+
+// WrongCheck suppresses a different check than the one that fires.
+func WrongCheck() time.Time {
+	//tmerge:allow api-doc valid directive, but for the wrong check
+	return time.Now() // want determinism
+}

@@ -1,0 +1,43 @@
+// Package apidoc seeds api-doc violations for the analyzer's golden
+// tests. The driver applies CheckAPIDoc only to the module root, so the
+// test invokes the checker on this package directly. Expectations are
+// by identifier name (not marker comments): a trailing line comment is
+// itself valid documentation for a grouped spec, so markers would
+// change what the checker sees.
+package apidoc
+
+// Documented has a doc comment.
+func Documented() {}
+
+func Undocumented() {}
+
+// DocumentedType has a doc comment.
+type DocumentedType struct{}
+
+type UndocumentedType struct{}
+
+// SingleConst rides on the declaration doc, which single-spec
+// declarations may.
+const SingleConst = 1
+
+// Grouped specs need per-spec docs; the group doc is not enough.
+const (
+	// GroupedDocumented has one.
+	GroupedDocumented   = 1
+	GroupedUndocumented = 2
+)
+
+var (
+	// GroupedVarDocumented has one.
+	GroupedVarDocumented   = 1
+	GroupedVarUndocumented = 2
+
+	unexportedVar = 3
+)
+
+// TrailingDocumented is allowed to document grouped specs with trailing
+// line comments.
+const (
+	TrailingA = 1 // TrailingA is documented in trailing form.
+	TrailingB = 2 // TrailingB likewise.
+)

@@ -1,0 +1,81 @@
+// Package determ seeds known determinism violations for the analyzer's
+// golden tests. Each "want" comment marks a line the checker must flag.
+package determ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Timestamps reads the wall clock twice.
+func Timestamps() time.Duration {
+	start := time.Now()      // want determinism
+	return time.Since(start) // want determinism
+}
+
+// GlobalRand draws from the global generator.
+func GlobalRand() int {
+	return rand.Intn(6) // want determinism
+}
+
+// SeededRand draws from an explicit source and is fine.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+// Keys leaks map order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want determinism
+	}
+	return out
+}
+
+// SortedKeys collects then sorts — the blessed idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Buckets appends to the entry keyed by the loop's own key variable,
+// which partitions the appends per key and is order-independent.
+func Buckets(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[k] = append(out[k], v*2)
+		}
+	}
+	return out
+}
+
+// Dump prints in map iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want determinism
+	}
+}
+
+// Feed sends map values in iteration order.
+func Feed(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want determinism
+	}
+}
+
+// Reduce is a pure order-independent reduction and is fine.
+func Reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,69 @@
+// Package errhygiene seeds known error-hygiene violations for the
+// analyzer's golden tests.
+package errhygiene
+
+import (
+	"compress/gzip"
+	"os"
+
+	"github.com/tmerge/tmerge/internal/checkpoint"
+)
+
+// DropSeal discards checkpoint.Seal's error via the blank identifier.
+func DropSeal(payload any) []byte {
+	data, _ := checkpoint.Seal(payload) // want error-hygiene
+	return data
+}
+
+// DropOpen ignores checkpoint.Open entirely.
+func DropOpen(data []byte, out any) {
+	checkpoint.Open(data, out) // want error-hygiene
+}
+
+// HandleSeal checks the error and is fine.
+func HandleSeal(payload any) ([]byte, error) {
+	return checkpoint.Seal(payload)
+}
+
+// DropWriterClose defers Close on a *gzip.Writer without checking it.
+func DropWriterClose(f *os.File) {
+	gz := gzip.NewWriter(f)
+	defer gz.Close() // want error-hygiene
+	_, _ = gz.Write([]byte("x"))
+}
+
+// DropCreateClose defers Close on an os.Create handle.
+func DropCreateClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want error-hygiene
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// ReadClose defers Close on a read-only handle, which is fine.
+func ReadClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return err
+}
+
+// TryThing models the Try* contract.
+func TryThing() error { return nil }
+
+// DropTry discards a Try* error.
+func DropTry() {
+	TryThing() // want error-hygiene
+}
+
+// HandleTry propagates the Try* error and is fine.
+func HandleTry() error {
+	return TryThing()
+}

@@ -1,0 +1,68 @@
+// Package locks seeds known lock-discipline violations for the
+// analyzer's golden tests.
+package locks
+
+import "sync"
+
+// Device stands in for the real device interface.
+type Device struct{}
+
+// Submit models a blocking submission.
+func (Device) Submit(n int) {}
+
+// TrySubmit models a fallible blocking submission.
+func (Device) TrySubmit(n int) error { return nil }
+
+// Holder owns a mutex and a device.
+type Holder struct {
+	mu  sync.Mutex
+	dev Device
+}
+
+// Bad submits under a deferred unlock.
+func (h *Holder) Bad() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dev.Submit(1) // want lock-discipline
+}
+
+// BadExplicit submits before the explicit unlock.
+func (h *Holder) BadExplicit() {
+	h.mu.Lock()
+	h.dev.Submit(1) // want lock-discipline
+	h.mu.Unlock()
+}
+
+// BadTry drops into TrySubmit under the lock.
+func (h *Holder) BadTry() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dev.TrySubmit(1) // want lock-discipline
+}
+
+// Good unlocks before submitting.
+func (h *Holder) Good() {
+	h.mu.Lock()
+	n := 1
+	h.mu.Unlock()
+	h.dev.Submit(n)
+}
+
+// indirect performs a submission one call away.
+func (h *Holder) indirect() {
+	h.dev.Submit(1)
+}
+
+// BadIndirect reaches Submit transitively while locked.
+func (h *Holder) BadIndirect() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.indirect() // want lock-discipline
+}
+
+// GoodIndirect calls the submitting helper after unlocking.
+func (h *Holder) GoodIndirect() {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.indirect()
+}

@@ -48,17 +48,29 @@ func (m *Merger) Canonical(id video.TrackID) video.TrackID {
 // Groups returns the merged groups with at least two members, each sorted
 // ascending, in deterministic order.
 func (m *Merger) Groups() [][]video.TrackID {
-	byRoot := make(map[video.TrackID][]video.TrackID)
+	// Sort the IDs before grouping so every downstream structure is
+	// assembled in a map-order-independent sequence.
+	ids := make([]video.TrackID, 0, len(m.parent))
 	for id := range m.parent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	byRoot := make(map[video.TrackID][]video.TrackID, len(ids))
+	var roots []video.TrackID
+	for _, id := range ids {
 		root := m.find(id)
+		if _, seen := byRoot[root]; !seen {
+			roots = append(roots, root)
+		}
 		byRoot[root] = append(byRoot[root], id)
 	}
 	var groups [][]video.TrackID
-	for _, g := range byRoot {
+	for _, root := range roots {
+		g := byRoot[root]
 		if len(g) < 2 {
 			continue
 		}
-		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
 		groups = append(groups, g)
 	}
 	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })

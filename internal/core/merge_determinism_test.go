@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// shuffledKeys returns the same merge set in a permuted insertion order,
+// which also permutes the merger's internal map layout.
+func shuffledKeys(keys []video.PairKey, seed uint64) []video.PairKey {
+	out := make([]video.PairKey, len(keys))
+	copy(out, keys)
+	rng := xrand.New(seed)
+	for i := len(out) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TestMergerGroupsOrderIndependent asserts that Groups, Canonical, and
+// State do not leak map-insertion (and hence map-iteration) order: every
+// shuffled insertion of the same merge set yields identical output.
+func TestMergerGroupsOrderIndependent(t *testing.T) {
+	rng := xrand.New(99)
+	var keys []video.PairKey
+	for i := 0; i < 60; i++ {
+		a := video.TrackID(rng.Intn(40))
+		b := video.TrackID(rng.Intn(40))
+		if a == b {
+			continue
+		}
+		keys = append(keys, video.MakePairKey(a, b))
+	}
+
+	ref := NewMerger()
+	ref.MergeAll(keys)
+	refGroups := ref.Groups()
+	if len(refGroups) == 0 {
+		t.Fatal("fixture produced no merged groups")
+	}
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		m := NewMerger()
+		m.MergeAll(shuffledKeys(keys, seed))
+		if got := m.Groups(); !reflect.DeepEqual(got, refGroups) {
+			t.Fatalf("seed %d: groups diverge:\n got %v\nwant %v", seed, got, refGroups)
+		}
+		for _, g := range refGroups {
+			for _, id := range g {
+				if m.Canonical(id) != ref.Canonical(id) {
+					t.Fatalf("seed %d: Canonical(%d) = %d, want %d",
+						seed, id, m.Canonical(id), ref.Canonical(id))
+				}
+			}
+		}
+	}
+}
+
+// TestMergerApplyOrderIndependent asserts the rewritten track set is
+// identical across shuffled merge insertion orders.
+func TestMergerApplyOrderIndependent(t *testing.T) {
+	v, ts := pipelineScene(t)
+	_ = v
+
+	rng := xrand.New(7)
+	sorted := ts.Sorted()
+	var keys []video.PairKey
+	for i := 0; i < 30 && len(sorted) >= 2; i++ {
+		a := sorted[rng.Intn(len(sorted))].ID
+		b := sorted[rng.Intn(len(sorted))].ID
+		if a == b {
+			continue
+		}
+		keys = append(keys, video.MakePairKey(a, b))
+	}
+
+	ref := NewMerger()
+	ref.MergeAll(keys)
+	want := ref.Apply(ts)
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		m := NewMerger()
+		m.MergeAll(shuffledKeys(keys, seed))
+		got := m.Apply(ts)
+		if !reflect.DeepEqual(got.Sorted(), want.Sorted()) {
+			t.Fatalf("seed %d: Apply output diverges", seed)
+		}
+	}
+}
+
+// TestPipelineResultRepeatable runs the full pipeline twice on the same
+// inputs and demands identical result assembly — windows, merged tracks,
+// and counters — so no map-iteration order leaks anywhere downstream.
+func TestPipelineResultRepeatable(t *testing.T) {
+	v, ts := pipelineScene(t)
+
+	run := func() *PipelineResult {
+		res, err := TryRunPipeline(ts, v.NumFrames, newFixtureOracle(7), PipelineConfig{
+			WindowLen: 200,
+			K:         0.05,
+			Algorithm: NewTMerge(DefaultTMergeConfig(3)),
+			Verify:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Windows, b.Windows) {
+		t.Error("window results diverge between identical runs")
+	}
+	if !reflect.DeepEqual(a.Merged.Sorted(), b.Merged.Sorted()) {
+		t.Error("merged tracks diverge between identical runs")
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats diverge: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.REC != b.REC {
+		t.Errorf("REC diverges: %v vs %v", a.REC, b.REC)
+	}
+}

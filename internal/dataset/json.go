@@ -68,12 +68,16 @@ func fromJSONBox(j jsonBox) video.BBox {
 }
 
 // Save writes the dataset to path as gzip-compressed JSON.
-func Save(ds *Dataset, path string) error {
+func Save(ds *Dataset, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: save: %w", cerr)
+		}
+	}()
 	gz := gzip.NewWriter(f)
 	if err := Encode(ds, gz); err != nil {
 		return err
@@ -81,7 +85,7 @@ func Save(ds *Dataset, path string) error {
 	if err := gz.Close(); err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
 // Encode writes the dataset to w as (uncompressed) JSON.

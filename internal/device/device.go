@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,7 +103,9 @@ type Device interface {
 type cpu struct {
 	model CostModel
 	clock Clock
-	subs  int64
+	// subs is atomic: concurrent oracle callers submit without holding
+	// any shared lock.
+	subs atomic.Int64
 }
 
 // NewCPU returns a serial device with the given cost model.
@@ -118,11 +121,11 @@ func (d *cpu) Submit(nExtract, nDistance int, run func(i int)) {
 	d.clock.Add(d.model.Launch +
 		time.Duration(nExtract)*d.model.PerExtract +
 		time.Duration(nDistance)*d.model.PerDistance)
-	d.subs++
+	d.subs.Add(1)
 }
 
 func (d *cpu) Clock() *Clock      { return &d.clock }
-func (d *cpu) Submissions() int64 { return d.subs }
+func (d *cpu) Submissions() int64 { return d.subs.Load() }
 
 // accelerator executes extraction items across a worker pool and charges a
 // launch cost per submission.
@@ -130,7 +133,9 @@ type accelerator struct {
 	model   CostModel
 	workers int
 	clock   Clock
-	subs    int64
+	// subs is atomic: concurrent oracle callers submit without holding
+	// any shared lock.
+	subs atomic.Int64
 }
 
 // NewAccelerator returns a batch device executing submissions with the
@@ -171,11 +176,11 @@ func (d *accelerator) Submit(nExtract, nDistance int, run func(i int)) {
 	d.clock.Add(d.model.Launch +
 		time.Duration(nExtract)*d.model.PerExtract +
 		time.Duration(nDistance)*d.model.PerDistance)
-	d.subs++
+	d.subs.Add(1)
 }
 
 func (d *accelerator) Clock() *Clock      { return &d.clock }
-func (d *accelerator) Submissions() int64 { return d.subs }
+func (d *accelerator) Submissions() int64 { return d.subs.Load() }
 
 func validateSubmission(nExtract, nDistance int, run func(i int)) {
 	if nExtract < 0 || nDistance < 0 {

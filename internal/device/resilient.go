@@ -315,6 +315,7 @@ func (d *ResilientDevice) TrySubmit(nExtract, nDistance int, run func(i int)) er
 		if probing {
 			d.c.Probes++
 		}
+		//tmerge:allow lock-discipline breaker state machine requires single-flight submissions; the inner device blocks only on modeled virtual time
 		err := d.inner.TrySubmit(nExtract, nDistance, run)
 		if err == nil {
 			d.consecutive = 0

@@ -221,6 +221,7 @@ func (f *Flaky) TrySubmit(nExtract, nDistance int, run func(i int)) error {
 
 	clock := f.inner.Clock()
 	before := clock.Elapsed()
+	//tmerge:allow lock-discipline injector draws from a seeded RNG and numbers submissions; single-flight keeps the fault schedule deterministic
 	if err := f.inner.TrySubmit(nExtract, nDistance, run); err != nil {
 		return err
 	}

@@ -23,11 +23,15 @@ type Stats struct {
 // "if either of the BBoxes' feature vectors has been extracted in previous
 // iterations it can be reused").
 //
-// Oracle is safe for concurrent use: the cache and the work counters are
-// guarded by a mutex held for the duration of each distance call, so
-// concurrent submissions serialise at the oracle (the device beneath
-// still parallelises each submission's extractions). If a submission
-// fails mid-call — a fallible device's Submit panics with
+// Oracle is safe for concurrent use. Every distance call runs in three
+// phases: plan under the mutex (snapshot cached features, collect the
+// uncached boxes), submit to the device with the mutex released (device
+// submission blocks on modeled latency, so holding the lock across it
+// would serialise every concurrent caller), then commit counters and
+// fresh embeddings back under the mutex. Concurrent callers racing on
+// the same uncached box may therefore each extract it once — the usual
+// cache-stampede trade — but single-threaded accounting is exact. If a
+// submission fails mid-call — a fallible device's Submit panics with
 // *device.Unavailable — the counters and the cache are left exactly as
 // they were before the call, so retried and abandoned submissions never
 // double-count work.
@@ -152,23 +156,25 @@ func (o *Oracle) Distance(b1, b2 video.BBox) float64 {
 // amortise launch costs over. Uncached embeddings across the whole batch
 // are extracted jointly.
 func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-
-	// Collect distinct uncached boxes across the batch. Cache hits are
-	// tallied locally and committed only after the submission succeeds,
-	// so a failed (panicking) submission leaves the stats untouched.
+	// Phase 1 (under the lock): plan. Snapshot cached features and
+	// collect the distinct uncached boxes. Cache hits are tallied
+	// locally and committed only after the submission succeeds, so a
+	// failed (panicking) submission leaves the stats untouched.
 	type job struct {
 		id  video.BBoxID
 		obs vecmath.Vec
 	}
 	var jobs []job
 	var hits int64
+	features := make(map[video.BBoxID]vecmath.Vec, 2*len(pairs))
 	seen := make(map[video.BBoxID]bool)
+	o.mu.Lock()
+	cacheEnabled := o.cacheEnabled
 	need := func(b video.BBox) {
-		if o.cacheEnabled {
-			if _, ok := o.cache[b.ID]; ok {
+		if cacheEnabled {
+			if f, ok := o.cache[b.ID]; ok {
 				hits++
+				features[b.ID] = f
 				return
 			}
 		}
@@ -182,36 +188,34 @@ func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
 		need(p[0])
 		need(p[1])
 	}
+	o.mu.Unlock()
 
+	// Phase 2 (no lock): submit. The device blocks on modeled transfer
+	// and compute latency; holding the mutex here would serialise every
+	// concurrent caller behind one submission.
 	results := make([]vecmath.Vec, len(jobs))
 	run := func(i int) { results[i] = o.model.Embed(jobs[i].obs) }
 	if len(jobs) == 0 {
 		run = nil
 	}
 	o.dev.Submit(len(jobs), len(pairs), run)
+
+	// Phase 3 (under the lock): commit counters and cache.
+	o.mu.Lock()
 	o.stats.CacheHits += hits
 	o.stats.Extractions += int64(len(jobs))
 	o.stats.Distances += int64(len(pairs))
-
-	fresh := make(map[video.BBoxID]vecmath.Vec, len(jobs))
 	for i, j := range jobs {
-		fresh[j.id] = results[i]
-		if o.cacheEnabled {
+		features[j.id] = results[i]
+		if cacheEnabled {
 			o.cache[j.id] = results[i]
 		}
 	}
-	feature := func(b video.BBox) vecmath.Vec {
-		if o.cacheEnabled {
-			if f, ok := o.cache[b.ID]; ok {
-				return f
-			}
-		}
-		return fresh[b.ID]
-	}
+	o.mu.Unlock()
 
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {
-		d := o.model.Distance(feature(p[0]), feature(p[1]))
+		d := o.model.Distance(features[p[0].ID], features[p[1].ID])
 		out[i] = o.model.Normalize(d)
 	}
 	return out

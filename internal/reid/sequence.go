@@ -23,7 +23,6 @@ func (o *Oracle) SequenceDistance(a, b []video.BBox) float64 {
 		panic(fmt.Sprintf("reid: empty sequence (%d, %d boxes)", len(a), len(b)))
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	plan := newExtractPlan(o)
 	for _, box := range a {
 		plan.addBox(box)
@@ -31,8 +30,8 @@ func (o *Oracle) SequenceDistance(a, b []video.BBox) float64 {
 	for _, box := range b {
 		plan.addBox(box)
 	}
+	o.mu.Unlock()
 	plan.execute(1)
-	o.stats.Distances++
 
 	pa := o.pool(plan, a)
 	pb := o.pool(plan, b)

@@ -12,10 +12,8 @@ import (
 // exhaustive baseline (and BL-B), whose cross products reach millions of
 // BBox pairs per window.
 func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
+	// Plan under the lock: distinct uncached boxes across the batch.
 	o.mu.Lock()
-	defer o.mu.Unlock()
-
-	// Plan: distinct uncached boxes across the batch.
 	plan := newExtractPlan(o)
 	totalDistances := 0
 	for _, p := range pairs {
@@ -23,6 +21,9 @@ func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
 		plan.addTrack(p.TJ)
 		totalDistances += p.NumBBoxPairs()
 	}
+	o.mu.Unlock()
+
+	// Submit outside the lock; execute re-acquires it to commit.
 	plan.execute(totalDistances)
 
 	out := make([]float64, len(pairs))
@@ -42,7 +43,6 @@ func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
 		}
 		out[k] = sum / float64(n)
 	}
-	o.stats.Distances += int64(totalDistances)
 	return out
 }
 
@@ -58,8 +58,6 @@ type SampleSpec struct {
 // PS-B.
 func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-
 	plan := newExtractPlan(o)
 	totalDistances := 0
 	for _, s := range specs {
@@ -70,6 +68,8 @@ func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 		}
 		totalDistances += len(s.Indices)
 	}
+	o.mu.Unlock()
+
 	plan.execute(totalDistances)
 
 	out := make([]float64, len(specs))
@@ -87,43 +87,51 @@ func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 		}
 		out[k] = sum / float64(len(s.Indices))
 	}
-	o.stats.Distances += int64(totalDistances)
 	return out
 }
 
 // extractPlan accumulates the distinct boxes a submission must embed and
-// provides feature lookup afterwards. When the oracle cache is enabled,
-// features land in the shared cache; otherwise they live only in the plan.
-// Callers must hold o.mu for the plan's lifetime; stats are committed only
-// by a successful execute, so a failed submission leaves them untouched.
+// provides feature lookup afterwards. The protocol mirrors
+// DistanceBatch's three phases: callers hold o.mu while planning (addBox
+// and addTrack read the shared cache, copying any hit into the plan's
+// local map), release it, then call execute, which submits to the device
+// lock-free and re-acquires o.mu only to commit stats and fresh
+// embeddings. Stats are committed only by a successful execute, so a
+// failed (panicking) submission leaves them untouched. After execute,
+// feature lookups read only plan-local state and need no lock.
 type extractPlan struct {
-	o     *Oracle
-	boxes []video.BBox
-	hits  int64 // cache hits observed while planning
-	local map[video.BBoxID]vecmath.Vec
-	seen  map[video.BBoxID]bool
+	o            *Oracle
+	cacheEnabled bool // snapshot of o.cacheEnabled at plan time
+	boxes        []video.BBox
+	hits         int64 // cache hits observed while planning
+	local        map[video.BBoxID]vecmath.Vec
+	seen         map[video.BBoxID]bool
 	// trackFeat memoises per-track feature slices so the baseline's inner
 	// loops avoid per-box map lookups.
 	trackFeat map[*video.Track][]vecmath.Vec
 }
 
+// newExtractPlan starts a plan; the caller must hold o.mu.
 func newExtractPlan(o *Oracle) *extractPlan {
 	return &extractPlan{
-		o:         o,
-		local:     make(map[video.BBoxID]vecmath.Vec),
-		seen:      make(map[video.BBoxID]bool),
-		trackFeat: make(map[*video.Track][]vecmath.Vec),
+		o:            o,
+		cacheEnabled: o.cacheEnabled,
+		local:        make(map[video.BBoxID]vecmath.Vec),
+		seen:         make(map[video.BBoxID]bool),
+		trackFeat:    make(map[*video.Track][]vecmath.Vec),
 	}
 }
 
+// addBox plans one box; the caller must hold o.mu.
 func (p *extractPlan) addBox(b video.BBox) {
 	if p.seen[b.ID] {
 		return
 	}
-	if p.o.cacheEnabled {
-		if _, ok := p.o.cache[b.ID]; ok {
+	if p.cacheEnabled {
+		if f, ok := p.o.cache[b.ID]; ok {
 			p.hits++
 			p.seen[b.ID] = true
+			p.local[b.ID] = f
 			return
 		}
 	}
@@ -142,7 +150,9 @@ func (p *extractPlan) addTrack(t *video.Track) {
 }
 
 // execute runs the single submission embedding every planned box and
-// charging nDistances distance costs.
+// charging nDistances distance costs. The caller must NOT hold o.mu:
+// the submission blocks on modeled device latency, and execute
+// re-acquires the mutex itself to commit stats and cache entries.
 func (p *extractPlan) execute(nDistances int) {
 	results := make([]vecmath.Vec, len(p.boxes))
 	run := func(i int) { results[i] = p.o.model.Embed(p.boxes[i].Obs) }
@@ -150,21 +160,23 @@ func (p *extractPlan) execute(nDistances int) {
 		run = nil
 	}
 	p.o.dev.Submit(len(p.boxes), nDistances, run)
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
 	p.o.stats.CacheHits += p.hits
 	p.o.stats.Extractions += int64(len(p.boxes))
+	p.o.stats.Distances += int64(nDistances)
 	for i, b := range p.boxes {
 		p.local[b.ID] = results[i]
-		if p.o.cacheEnabled {
+		if p.cacheEnabled {
 			p.o.cache[b.ID] = results[i]
 		}
 	}
 }
 
+// feature returns a planned box's embedding from plan-local state; valid
+// after execute with no lock held.
 func (p *extractPlan) feature(id video.BBoxID) vecmath.Vec {
-	if f, ok := p.local[id]; ok {
-		return f
-	}
-	return p.o.cache[id]
+	return p.local[id]
 }
 
 // features returns the per-box feature slice of a planned track.

@@ -38,12 +38,16 @@ type jsonStore struct {
 
 // Save writes the store to path as gzip-compressed JSON, tracks ordered
 // by ID for stable output.
-func (s *Store) Save(path string) error {
+func (s *Store) Save(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trackdb: save: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trackdb: save: %w", cerr)
+		}
+	}()
 	gz := gzip.NewWriter(f)
 	if err := s.Encode(gz); err != nil {
 		return err
@@ -51,7 +55,7 @@ func (s *Store) Save(path string) error {
 	if err := gz.Close(); err != nil {
 		return fmt.Errorf("trackdb: save: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
 // Encode writes the store to w as (uncompressed) JSON, tracks ordered by

@@ -434,18 +434,27 @@ type (
 
 // Breaker states.
 const (
-	BreakerClosed   = device.BreakerClosed
-	BreakerOpen     = device.BreakerOpen
+	// BreakerClosed admits submissions normally.
+	BreakerClosed = device.BreakerClosed
+	// BreakerOpen rejects submissions until the cooldown elapses.
+	BreakerOpen = device.BreakerOpen
+	// BreakerHalfOpen admits a single probe submission whose outcome
+	// re-closes or re-opens the breaker.
 	BreakerHalfOpen = device.BreakerHalfOpen
 )
 
 // Fault sentinels: ErrDeviceUnavailable is wrapped by every ResilientDevice
 // failure; the fault package's sentinels classify injected faults.
 var (
+	// ErrDeviceUnavailable wraps every ResilientDevice failure.
 	ErrDeviceUnavailable = device.ErrUnavailable
-	ErrFaultTransient    = fault.ErrTransient
-	ErrFaultTimeout      = fault.ErrTimeout
-	ErrFaultOutage       = fault.ErrOutage
+	// ErrFaultTransient marks an injected transient submission failure.
+	ErrFaultTransient = fault.ErrTransient
+	// ErrFaultTimeout marks an injected submission deadline overrun.
+	ErrFaultTimeout = fault.ErrTimeout
+	// ErrFaultOutage marks a submission landing in a scripted outage
+	// window (or after a crash without restore).
+	ErrFaultOutage = fault.ErrOutage
 )
 
 // NewResilientDevice wraps inner with retry + breaker fault handling.
@@ -499,18 +508,30 @@ type (
 // Checkpoint envelope identity: bytes whose format/version do not match
 // are refused before any state is touched.
 const (
-	CheckpointFormat  = checkpoint.Format
+	// CheckpointFormat is the magic format string of the envelope.
+	CheckpointFormat = checkpoint.Format
+	// CheckpointVersion is the envelope version this build writes and
+	// accepts.
 	CheckpointVersion = checkpoint.Version
 )
 
 // Quarantine reject reasons (Ingestor.Quarantine().Counts keys).
 const (
-	RejectNonFiniteGeometry    = ingest.ReasonNonFiniteGeometry
-	RejectNonPositiveSize      = ingest.ReasonNonPositiveSize
+	// RejectNonFiniteGeometry: a detection rect contained NaN or ±Inf.
+	RejectNonFiniteGeometry = ingest.ReasonNonFiniteGeometry
+	// RejectNonPositiveSize: a detection rect had width or height <= 0.
+	RejectNonPositiveSize = ingest.ReasonNonPositiveSize
+	// RejectNonFiniteObservation: an appearance vector contained NaN or
+	// ±Inf.
 	RejectNonFiniteObservation = ingest.ReasonNonFiniteObservation
-	RejectFrameMismatch        = ingest.ReasonFrameMismatch
-	RejectFrameRegressed       = ingest.ReasonFrameRegressed
-	RejectFrameDuplicate       = ingest.ReasonFrameDuplicate
+	// RejectFrameMismatch: a detection's frame differs from the frame it
+	// was pushed with.
+	RejectFrameMismatch = ingest.ReasonFrameMismatch
+	// RejectFrameRegressed: a frame arrived behind the forward-only
+	// cursor.
+	RejectFrameRegressed = ingest.ReasonFrameRegressed
+	// RejectFrameDuplicate: a frame index was pushed twice.
+	RejectFrameDuplicate = ingest.ReasonFrameDuplicate
 )
 
 // DefaultQuarantineCap bounds the dead-letter buffer when IngestConfig
