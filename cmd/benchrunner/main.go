@@ -1,19 +1,37 @@
 // Command benchrunner regenerates the paper's tables and figures on the
-// synthetic datasets.
+// synthetic datasets, and runs the parallel window-executor benchmark
+// that gates CI.
 //
 // Usage:
 //
 //	benchrunner -exp all
 //	benchrunner -exp fig5,table2 -videos 3 -seed 42
+//	benchrunner -exp all -json results.ndjson
+//	benchrunner -bench -bench-out BENCH_pr.json -compare BENCH_baseline.json -min-speedup 2
 //
 // Each experiment prints a plain-text table; EXPERIMENTS.md records the
-// expected shapes next to the paper's reported values.
+// expected shapes next to the paper's reported values. With -json, every
+// executed experiment additionally appends its structured result to the
+// given file as line-delimited JSON (one bench.Record per line, the same
+// NDJSON convention as tmergevet -json).
+//
+// -bench runs the pinned parallel-executor benchmark instead of the
+// experiments: the same pass at Workers ∈ {1, 2, 4}, written as NDJSON
+// rows (-bench-out). With -compare it enforces the CI gate — any
+// fingerprint mismatch between worker counts or against the baseline,
+// or a virtual-FPS regression beyond -max-regression, exits nonzero.
+// -min-speedup additionally requires the measured wall-clock speedup of
+// the highest worker count over Workers=1; it is skipped with a warning
+// when the machine has fewer CPUs than that worker count, because the
+// speedup would be physically unreachable (the deterministic checks
+// still run).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -28,6 +46,13 @@ func main() {
 		videos  = flag.Int("videos", 3, "videos per dataset (0 = full profile size)")
 		trials  = flag.Int("trials", 3, "independent trials to average stochastic algorithms over")
 		workers = flag.Int("workers", 3, "parallel workers across trials")
+		jsonOut = flag.String("json", "", "write experiment results as line-delimited JSON to this file ('-' for stdout)")
+
+		benchMode  = flag.Bool("bench", false, "run the pinned parallel window-executor benchmark instead of experiments")
+		benchOut   = flag.String("bench-out", "", "write parallel-benchmark rows as line-delimited JSON to this file ('-' for stdout)")
+		compare    = flag.String("compare", "", "baseline NDJSON file to gate the parallel benchmark against")
+		maxRegress = flag.Float64("max-regression", 0.15, "maximum allowed virtual-FPS regression vs the baseline (fraction)")
+		minSpeedup = flag.Float64("min-speedup", 0, "required wall-clock speedup of the largest worker count over Workers=1 (0 disables)")
 	)
 	flag.Parse()
 
@@ -37,21 +62,36 @@ func main() {
 	s.Workers = *workers
 	w := os.Stdout
 
-	runners := map[string]func(){
-		"fig3":      func() { s.Fig3(w) },
-		"fig4":      func() { s.Fig4(w) },
-		"fig5":      func() { s.Fig5(w) },
-		"fig6":      func() { s.Fig6(w) },
-		"fig7":      func() { s.Fig7(w) },
-		"fig8":      func() { s.Fig8(w) },
-		"fig9":      func() { s.Fig9(w) },
-		"fig10":     func() { s.Fig10(w) },
-		"fig11":     func() { s.Fig11(w) },
-		"fig12":     func() { s.Fig12(w) },
-		"fig13":     func() { s.Fig13(w) },
-		"table2":    func() { s.Table2(w) },
-		"ablations": func() { s.Ablations(w) },
-		"pearson":   func() { s.Pearson(w) },
+	if *benchMode {
+		// The pinned benchmark config wins over the -videos default; an
+		// explicitly passed -videos still overrides the pin.
+		videosSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "videos" {
+				videosSet = true
+			}
+		})
+		os.Exit(runBenchGate(s, videosSet, *benchOut, *compare, *maxRegress, *minSpeedup))
+	}
+
+	runners := map[string]func() any{
+		"fig3": func() any { return s.Fig3(w) },
+		"fig4": func() any { return s.Fig4(w) },
+		"fig5": func() any { return s.Fig5(w) },
+		"fig6": func() any { return s.Fig6(w) },
+		"fig7": func() any {
+			rows, elapsed := s.Fig7(w)
+			return map[string]any{"rows": rows, "elapsed_ms": float64(elapsed) / float64(time.Millisecond)}
+		},
+		"fig8":      func() any { return s.Fig8(w) },
+		"fig9":      func() any { return s.Fig9(w) },
+		"fig10":     func() any { return s.Fig10(w) },
+		"fig11":     func() any { return s.Fig11(w) },
+		"fig12":     func() any { return s.Fig12(w) },
+		"fig13":     func() any { return s.Fig13(w) },
+		"table2":    func() any { return s.Table2(w) },
+		"ablations": func() any { return s.Ablations(w) },
+		"pearson":   func() any { return s.Pearson(w) },
 	}
 
 	var names []string
@@ -74,9 +114,96 @@ func main() {
 		}
 	}
 
+	var records []bench.Record
 	for _, name := range names {
 		start := time.Now()
-		runners[name]()
-		fmt.Fprintf(w, "[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+		payload := runners[name]()
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "[%s completed in %s]\n", name, elapsed.Round(time.Millisecond))
+		records = append(records, bench.Record{
+			Experiment: name,
+			Seed:       *seed,
+			Videos:     *videos,
+			Trials:     *trials,
+			ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+			Payload:    payload,
+		})
 	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, func(f *os.File) error { return bench.WriteRecords(f, records) }); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// runBenchGate runs the pinned parallel benchmark and applies the CI
+// gate, returning the process exit code.
+func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRegress, minSpeedup float64) int {
+	cfg := bench.DefaultParallelBench()
+	if videosSet && s.VideosPerDataset > 0 {
+		cfg.Videos = s.VideosPerDataset
+	}
+	cfg.Clock = time.Now
+	rows := s.ParallelBench(os.Stdout, cfg)
+
+	if out != "" {
+		if err := writeTo(out, func(f *os.File) error { return bench.WriteParallelBench(f, rows) }); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 2
+		}
+	}
+
+	var baseline []bench.ParallelBenchResult
+	if comparePath != "" {
+		f, err := os.Open(comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 2
+		}
+		baseline, err = bench.DecodeParallelBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 2
+		}
+	}
+
+	fails := bench.CheckParallelBench(rows, baseline, maxRegress)
+	if minSpeedup > 0 && len(rows) > 0 {
+		top := rows[len(rows)-1]
+		if runtime.NumCPU() < top.Workers {
+			fmt.Fprintf(os.Stderr, "benchrunner: warning: %d CPU(s) < %d workers, skipping the %.1fx wall-speedup gate (determinism and FPS gates still apply)\n",
+				runtime.NumCPU(), top.Workers, minSpeedup)
+		} else if top.WallSpeedup < minSpeedup {
+			fails = append(fails, fmt.Sprintf(
+				"speedup: %.2fx wall speedup at %d workers, gate requires %.1fx",
+				top.WallSpeedup, top.Workers, minSpeedup))
+		}
+	}
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "benchrunner: FAIL:", f)
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: bench gate failed with %d finding(s)\n", len(fails))
+		return 1
+	}
+	fmt.Println("benchrunner: bench gate passed")
+	return 0
+}
+
+// writeTo opens path for writing ('-' means stdout) and hands it to fn.
+func writeTo(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

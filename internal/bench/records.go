@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one machine-readable benchrunner experiment result: the
+// experiment name, the suite configuration that produced it, and the
+// runner's structured return value as the payload. benchrunner -json
+// writes one Record per executed experiment as line-delimited JSON —
+// the same NDJSON convention as tmergevet findings — so CI and
+// trajectory tooling can consume results without scraping the human
+// tables.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Videos     int     `json:"videos"`
+	Trials     int     `json:"trials"`
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+	Payload    any     `json:"payload,omitempty"`
+}
+
+// WriteRecords writes records as line-delimited JSON, one per line.
+func WriteRecords(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

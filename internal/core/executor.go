@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Cloner is implemented by algorithms that carry per-Select mutable
+// state (TMerge's diagnostics, for example) and therefore cannot share
+// one instance across concurrent Select calls. The parallel window
+// executor clones such algorithms once per window; algorithms without
+// the method are assumed stateless across Select calls (every other
+// algorithm in this package is) and are shared as-is.
+//
+// A clone must be configured identically to its parent — same seed
+// included. Per-window stream independence comes from the seeding
+// discipline inside Select (streams are derived fresh from the seed and
+// per-pair labels on every call), not from varying the seed, which is
+// what keeps Workers=1 and Workers=N bit-identical.
+type Cloner interface {
+	// CloneAlgorithm returns an independent instance with the same
+	// configuration.
+	CloneAlgorithm() Algorithm
+}
+
+// cloneForWindow returns an instance of algo safe for a concurrent
+// per-window Select call.
+func cloneForWindow(algo Algorithm) Algorithm {
+	if c, ok := algo.(Cloner); ok {
+		return c.CloneAlgorithm()
+	}
+	return algo
+}
+
+// EffectiveWorkers resolves a configured worker count: 0 means
+// runtime.NumCPU(), anything else is taken as-is (callers validate
+// negatives away).
+func EffectiveWorkers(workers int) int {
+	if workers == 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// WindowSelection is the speculative outcome of one window's candidate
+// selection: the oracle-backed candidate set, the submission log to be
+// replayed canonically, and enough context to fall back to the spatial
+// prior if the replay hits an unavailable device. Produce it with
+// SpeculateSelection (concurrently, in any order), then Commit it in
+// canonical window order.
+type WindowSelection struct {
+	ps       *video.PairSet
+	k        float64
+	selected []video.PairKey
+	log      []reid.SubmissionRecord
+}
+
+// SpeculateSelection runs algo over ps against a speculative session of
+// oracle backed by store, without touching the real device, stats,
+// cache, or fault machinery. It is safe to call concurrently for
+// different windows sharing one store; results are bit-identical to a
+// sequential fault-free Select because selection depends only on the
+// algorithm's seed and the (deterministic) distances.
+func SpeculateSelection(algo Algorithm, ps *video.PairSet, oracle *reid.Oracle, store *reid.FeatureStore, K float64) *WindowSelection {
+	sess := oracle.Speculate(store)
+	selected := cloneForWindow(algo).Select(ps, sess.Oracle(), K)
+	return &WindowSelection{ps: ps, k: K, selected: selected, log: sess.Log()}
+}
+
+// Selected returns the speculative oracle-backed candidate set.
+func (ws *WindowSelection) Selected() []video.PairKey { return ws.selected }
+
+// Commit replays the selection's recorded oracle work against the real
+// oracle — charging virtual time, committing stats and cache entries,
+// and exercising the fault/retry/breaker stack in canonical submission
+// order. If the device gives out mid-replay the window degrades exactly
+// like a sequential SelectWithFallback: the completed submissions stay
+// charged, the remainder of the log is abandoned, and the returned
+// candidates are re-ranked by the spatial prior. Commit must be called
+// once per selection, in canonical window order.
+func (ws *WindowSelection) Commit(oracle *reid.Oracle, store *reid.FeatureStore) (selected []video.PairKey, degraded bool) {
+	if err := oracle.ReplayLog(ws.log, store); err != nil {
+		var ua *device.Unavailable
+		if !errors.As(err, &ua) {
+			// Not a device fault: a corrupted log or store. This is a
+			// programming error, reported like any other invariant
+			// violation on the infallible pipeline path.
+			panic(err)
+		}
+		return SpatialSelect(ws.ps, ws.k), true
+	}
+	return ws.selected, false
+}
+
+// ForEachOrdered runs work(i) for every i in [0, n) on a bounded pool of
+// workers and delivers the results to commit(i, v) in ascending index
+// order on the calling goroutine. In-flight work — dispatched but not
+// yet committed — is bounded by 2·workers, so a slow early window cannot
+// make the executor buffer the whole partition.
+//
+// A panic in any work call cancels dispatch of further indices; after
+// every in-flight worker has drained, the panic value is re-raised on
+// the calling goroutine (first panicking index wins), so callers observe
+// the same panic a sequential loop would have produced and no goroutine
+// outlives the call.
+func ForEachOrdered[T any](n, workers int, work func(i int) T, commit func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			commit(i, work(i))
+		}
+		return
+	}
+
+	type slot struct {
+		v        T
+		panicked bool
+		pval     any
+	}
+	done := make([]chan slot, n)
+	for i := range done {
+		done[i] = make(chan slot, 1)
+	}
+	stop := make(chan struct{})
+
+	// Dispatcher: feeds indices in order, bounded by the in-flight
+	// semaphore (released by the committer loop below). It owns jobCh.
+	inFlight := make(chan struct{}, 2*workers)
+	jobCh := make(chan int)
+	go func() {
+		defer close(jobCh)
+		for i := 0; i < n; i++ {
+			select {
+			case inFlight <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case jobCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Workers: every dispatched index is processed and its slot filled
+	// (the channels are buffered, so workers never block on delivery and
+	// always drain jobCh to completion — no goroutine leaks even when a
+	// panic aborts the run early).
+	workerDone := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { workerDone <- struct{}{} }()
+			for i := range jobCh {
+				var s slot
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							s.panicked = true
+							s.pval = r
+						}
+					}()
+					s.v = work(i)
+				}()
+				done[i] <- s
+			}
+		}()
+	}
+
+	// Committer (calling goroutine): consume in ascending order. The
+	// dispatcher also dispatches in ascending order, so if index i was
+	// never dispatched, some j < i panicked and the loop re-raises it
+	// before reaching i — the receive below can never deadlock. The
+	// deferred cancel-and-drain runs on every exit (normal, work panic,
+	// commit panic): it stops the dispatcher and waits for the pool, so
+	// no goroutine outlives this call, and a re-raised panic surfaces
+	// only after the pool is quiet.
+	defer func() {
+		close(stop)
+		for w := 0; w < workers; w++ {
+			<-workerDone
+		}
+	}()
+	for i := 0; i < n; i++ {
+		s := <-done[i]
+		<-inFlight
+		if s.panicked {
+			panic(s.pval)
+		}
+		commit(i, s.v)
+	}
+}

@@ -29,6 +29,15 @@ type PipelineConfig struct {
 	// this workflow — identification quality is what the algorithms are
 	// compared on, and merging a false candidate would corrupt tracks.
 	Verify bool
+	// Workers bounds the worker pool of the parallel window executor:
+	// 0 selects runtime.NumCPU(), 1 runs the windows strictly
+	// sequentially on the calling goroutine, and larger values run
+	// window selection concurrently with results reduced into the
+	// merger, stats, and reports in canonical window order. Every
+	// worker count produces bit-identical results (DESIGN.md §10);
+	// Workers only trades wall-clock time. Negative values are
+	// rejected by Validate.
+	Workers int
 }
 
 // Validate rejects configurations that would otherwise misbehave deep in
@@ -46,6 +55,9 @@ func (cfg PipelineConfig) Validate() error {
 	}
 	if cfg.Algorithm == nil {
 		return fmt.Errorf("core: nil selection algorithm")
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", cfg.Workers)
 	}
 	return nil
 }
@@ -131,41 +143,16 @@ func TryRunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, 
 	}
 
 	merger := NewMerger()
-	var prevTracks []*video.Track
+	jobs := planWindows(tracks, numFrames, cfg.WindowLen)
 
-	process := func(w video.Window, cur []*video.Track) {
-		ps := video.BuildPairSet(w, cur, prevTracks)
-		truth := motmetrics.PolyonymousPairs(ps)
-		selected, degraded := SelectWithFallback(cfg.Algorithm, ps, oracle, cfg.K)
-		if degraded {
-			res.DegradedWindows++
-		}
-		if cfg.Verify {
-			for _, k := range selected {
-				if truth[k] {
-					merger.Merge(k)
-				}
-			}
-		} else {
-			merger.MergeAll(selected)
-		}
-		res.Windows = append(res.Windows, WindowReport{
-			Window:   w,
-			Pairs:    ps.Len(),
-			Truth:    len(truth),
-			Selected: selected,
-			Recall:   video.Recall(selected, truth),
-			Degraded: degraded,
-		})
-		prevTracks = cur
-	}
-
-	if cfg.WindowLen <= 0 {
-		w := video.Window{Index: 0, Start: 0, End: video.FrameIndex(numFrames - 1)}
-		process(w, tracksInWhole(tracks))
+	if workers := EffectiveWorkers(cfg.Workers); workers > 1 && len(jobs) > 1 {
+		runWindowsParallel(jobs, oracle, cfg, workers, merger, res)
 	} else {
-		for _, w := range video.Partition(numFrames, cfg.WindowLen) {
-			process(w, video.WindowTracks(tracks, w))
+		for _, j := range jobs {
+			ps := video.BuildPairSet(j.w, j.cur, j.prev)
+			truth := motmetrics.PolyonymousPairs(ps)
+			selected, degraded := SelectWithFallback(cfg.Algorithm, ps, oracle, cfg.K)
+			commitWindow(res, merger, cfg, j.w, ps, truth, selected, degraded)
 		}
 	}
 
@@ -195,6 +182,96 @@ func TryRunPipeline(tracks *video.TrackSet, numFrames int, oracle *reid.Oracle, 
 		res.REC = 1
 	}
 	return res, nil
+}
+
+// windowJob is one window's fully-determined inputs: the window, the
+// tracks whose first halves it owns (Tc), and the previous window's
+// track list (the pair universe draws candidates across the overlap).
+// All three are pure functions of the track set and the partition, so
+// the whole job list can be materialised up front and processed in any
+// order.
+type windowJob struct {
+	w    video.Window
+	cur  []*video.Track
+	prev []*video.Track
+}
+
+// planWindows materialises the window job list for one pass.
+func planWindows(tracks *video.TrackSet, numFrames, windowLen int) []windowJob {
+	if windowLen <= 0 {
+		w := video.Window{Index: 0, Start: 0, End: video.FrameIndex(numFrames - 1)}
+		return []windowJob{{w: w, cur: tracksInWhole(tracks)}}
+	}
+	part := video.Partition(numFrames, windowLen)
+	jobs := make([]windowJob, len(part))
+	for i, w := range part {
+		jobs[i].w = w
+		jobs[i].cur = video.WindowTracks(tracks, w)
+		if i > 0 {
+			jobs[i].prev = jobs[i-1].cur
+		}
+	}
+	return jobs
+}
+
+// commitWindow folds one processed window into the pass state — merger,
+// degraded counter, and window report. Both the sequential loop and the
+// parallel executor's ordered reduction funnel through it, in canonical
+// window order.
+func commitWindow(res *PipelineResult, merger *Merger, cfg PipelineConfig, w video.Window, ps *video.PairSet, truth map[video.PairKey]bool, selected []video.PairKey, degraded bool) {
+	if degraded {
+		res.DegradedWindows++
+	}
+	if cfg.Verify {
+		for _, k := range selected {
+			if truth[k] {
+				merger.Merge(k)
+			}
+		}
+	} else {
+		merger.MergeAll(selected)
+	}
+	res.Windows = append(res.Windows, WindowReport{
+		Window:   w,
+		Pairs:    ps.Len(),
+		Truth:    len(truth),
+		Selected: selected,
+		Recall:   video.Recall(selected, truth),
+		Degraded: degraded,
+	})
+}
+
+// runWindowsParallel is the sharded window executor: selection for each
+// window is speculated concurrently on a bounded worker pool against a
+// shared feature store (no device time, stats, faults, or cache
+// involved — see reid.Session), and each window's recorded submission
+// log is then certified against the real oracle strictly in canonical
+// window order, which reproduces the sequential execution's cache hits,
+// virtual clock, fault injections, retries, and breaker transitions
+// bit-for-bit. A window whose certification hits an unavailable device
+// degrades to the spatial prior exactly like a sequential
+// SelectWithFallback.
+func runWindowsParallel(jobs []windowJob, oracle *reid.Oracle, cfg PipelineConfig, workers int, merger *Merger, res *PipelineResult) {
+	type speculated struct {
+		ps    *video.PairSet
+		truth map[video.PairKey]bool
+		sel   *WindowSelection
+	}
+	store := reid.NewFeatureStore()
+	ForEachOrdered(len(jobs), workers,
+		func(i int) speculated {
+			j := jobs[i]
+			ps := video.BuildPairSet(j.w, j.cur, j.prev)
+			return speculated{
+				ps:    ps,
+				truth: motmetrics.PolyonymousPairs(ps),
+				sel:   SpeculateSelection(cfg.Algorithm, ps, oracle, store, cfg.K),
+			}
+		},
+		func(i int, s speculated) {
+			selected, degraded := s.sel.Commit(oracle, store)
+			commitWindow(res, merger, cfg, jobs[i].w, s.ps, s.truth, selected, degraded)
+		})
 }
 
 // tracksInWhole returns all tracks in the deterministic order used for

@@ -160,6 +160,13 @@ func (a *TMerge) Name() string {
 // Config returns the configuration.
 func (a *TMerge) Config() TMergeConfig { return a.cfg }
 
+// CloneAlgorithm returns an independent TMerge with the same
+// configuration (Cloner). TMerge carries per-Select diagnostics, so the
+// parallel executor must give each concurrent window its own instance;
+// selection itself derives its random streams from the configured seed
+// per call, so a clone selects bit-identically to its parent.
+func (a *TMerge) CloneAlgorithm() Algorithm { return NewTMerge(a.cfg) }
+
 // Diagnostics returns the diagnostics of the most recent Select call.
 func (a *TMerge) Diagnostics() TMergeDiagnostics { return a.diag }
 

@@ -48,6 +48,15 @@ type Config struct {
 	// positive. A sink error does not stop the stream; it is retained
 	// and reported by CheckpointErr.
 	CheckpointSink func([]byte) error
+	// Workers bounds the worker pool used when one push (or Close)
+	// closes several windows at once — a stream gap jumping multiple
+	// window boundaries, or a long tail flushed by Close. 0 selects
+	// runtime.NumCPU(), 1 processes windows strictly sequentially;
+	// every setting produces bit-identical results (DESIGN.md §10).
+	// Windows are always fully processed before the push returns, so
+	// checkpoints never observe in-flight window state regardless of
+	// Workers. Negative values are rejected by Validate.
+	Workers int
 }
 
 // Validate reports whether the configuration is usable: WindowLen must be
@@ -71,6 +80,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.AutoCheckpointEvery > 0 && cfg.CheckpointSink == nil {
 		return fmt.Errorf("ingest: auto-checkpointing every %d windows needs a CheckpointSink", cfg.AutoCheckpointEvery)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("ingest: Workers must be >= 0, got %d", cfg.Workers)
 	}
 	return nil
 }
@@ -170,15 +182,16 @@ func (in *Ingestor) PushAt(f video.FrameIndex, dets []video.BBox) []WindowResult
 	in.nextFrame = f + 1
 	in.stream.Step(f, accepted)
 
-	var closed []WindowResult
+	var pend []video.Window
 	for {
 		w := in.pendingWindow()
 		if f < w.End {
 			break
 		}
-		closed = append(closed, in.processWindow(w))
+		pend = append(pend, w)
 		in.nextWindow++
 	}
+	closed := in.processWindows(pend)
 	in.maybeAutoCheckpoint(len(closed))
 	return closed
 }
@@ -212,7 +225,7 @@ func (in *Ingestor) CheckpointErr() error { return in.ckptErr }
 // Close flushes the final partial window (if any frames remain beyond the
 // last processed window's first half) and returns its results.
 func (in *Ingestor) Close() []WindowResult {
-	var closed []WindowResult
+	var pend []video.Window
 	for {
 		w := in.pendingWindow()
 		if w.Start >= in.nextFrame {
@@ -221,10 +234,10 @@ func (in *Ingestor) Close() []WindowResult {
 		if w.End > in.nextFrame-1 {
 			w.End = in.nextFrame - 1
 		}
-		closed = append(closed, in.processWindow(w))
+		pend = append(pend, w)
 		in.nextWindow++
 	}
-	return closed
+	return in.processWindows(pend)
 }
 
 // pendingWindow returns the next unprocessed window.
@@ -239,10 +252,11 @@ func (in *Ingestor) pendingWindow() video.Window {
 	}
 }
 
-func (in *Ingestor) processWindow(w video.Window) WindowResult {
-	// Tc: tracks starting in the window's first half, clipped to the
-	// window. Snapshot includes still-active tracks; their boxes beyond
-	// w.End are excluded by clipping, so the view is stable.
+// windowTracks snapshots Tc for one window: tracks starting in the
+// window's first half, clipped to the window. Snapshot includes
+// still-active tracks; their boxes beyond w.End are excluded by
+// clipping, so the view is stable.
+func (in *Ingestor) windowTracks(w video.Window) []*video.Track {
 	var cur []*video.Track
 	for _, t := range sortTracks(in.stream.Snapshot()) {
 		if t.StartFrame() < w.Start || t.StartFrame() > w.FirstHalfEnd() {
@@ -252,23 +266,88 @@ func (in *Ingestor) processWindow(w video.Window) WindowResult {
 			cur = append(cur, c)
 		}
 	}
-	ps := video.BuildPairSet(w, cur, in.prevTc)
-	in.prevTc = cur
+	return cur
+}
 
-	res := WindowResult{Window: w, Pairs: ps.Len(), Quarantined: in.quar.total - in.quarMark}
-	in.quarMark = in.quar.total
-	if ps.Len() > 0 {
-		res.Selected, res.Degraded = core.SelectWithFallback(in.cfg.Algorithm, ps, in.oracle, in.cfg.K)
-		for _, key := range res.Selected {
-			if in.cfg.Inspect != nil && !in.cfg.Inspect(ps.Get(key)) {
-				continue
+// processWindows runs the batch of windows one push (or Close) just
+// closed. The usual batch size is one; gaps that jump several window
+// boundaries and the Close flush can close more, and those batches run
+// on the parallel window executor when cfg.Workers allows (selection is
+// speculated concurrently, then certified against the real oracle in
+// canonical window order — see core.SpeculateSelection). Both paths are
+// bit-identical; all windows are fully committed before this returns,
+// so a checkpoint taken afterwards never captures in-flight state.
+func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
+	if len(ws) == 0 {
+		return nil
+	}
+
+	// Window inputs are prepared sequentially either way: the Tc /
+	// previous-Tc chain and the quarantine-delta attribution are
+	// inherently ordered.
+	type windowInput struct {
+		w           video.Window
+		ps          *video.PairSet
+		quarantined int
+	}
+	inputs := make([]windowInput, len(ws))
+	for i, w := range ws {
+		cur := in.windowTracks(w)
+		inputs[i] = windowInput{
+			w:           w,
+			ps:          video.BuildPairSet(w, cur, in.prevTc),
+			quarantined: in.quar.total - in.quarMark,
+		}
+		in.quarMark = in.quar.total
+		in.prevTc = cur
+	}
+
+	commit := func(i int, selected []video.PairKey, degraded bool) WindowResult {
+		wi := inputs[i]
+		res := WindowResult{Window: wi.w, Pairs: wi.ps.Len(), Quarantined: wi.quarantined}
+		if wi.ps.Len() > 0 {
+			res.Selected, res.Degraded = selected, degraded
+			for _, key := range res.Selected {
+				if in.cfg.Inspect != nil && !in.cfg.Inspect(wi.ps.Get(key)) {
+					continue
+				}
+				in.merger.Merge(key)
+				res.Merged = append(res.Merged, key)
 			}
-			in.merger.Merge(key)
-			res.Merged = append(res.Merged, key)
+		}
+		in.results = append(in.results, res)
+		return res
+	}
+
+	out := make([]WindowResult, len(ws))
+	if workers := core.EffectiveWorkers(in.cfg.Workers); workers > 1 && len(ws) > 1 {
+		store := reid.NewFeatureStore()
+		core.ForEachOrdered(len(inputs), workers,
+			func(i int) *core.WindowSelection {
+				if inputs[i].ps.Len() == 0 {
+					return nil
+				}
+				return core.SpeculateSelection(in.cfg.Algorithm, inputs[i].ps, in.oracle, store, in.cfg.K)
+			},
+			func(i int, sel *core.WindowSelection) {
+				var selected []video.PairKey
+				var degraded bool
+				if sel != nil {
+					selected, degraded = sel.Commit(in.oracle, store)
+				}
+				out[i] = commit(i, selected, degraded)
+			})
+	} else {
+		for i := range inputs {
+			var selected []video.PairKey
+			var degraded bool
+			if inputs[i].ps.Len() > 0 {
+				selected, degraded = core.SelectWithFallback(in.cfg.Algorithm, inputs[i].ps, in.oracle, in.cfg.K)
+			}
+			out[i] = commit(i, selected, degraded)
 		}
 	}
-	in.results = append(in.results, res)
-	return res
+	return out
 }
 
 // Results returns every window processed so far.

@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// streamOutcome captures everything observable about one full streaming
+// session, for bit-identity comparison across worker counts.
+type streamOutcome struct {
+	results    []WindowResult
+	quarantine QuarantineReport
+	oracle     reid.OracleState
+	merged     []*video.Track
+	checkpoint []byte
+}
+
+// driveStream runs one full ingestion over the scene with the given
+// worker count: a normal prefix, then a gap jumping several window
+// boundaries at once (so one PushAt closes a multi-window batch — the
+// path the parallel executor actually takes), then a Close flush.
+func driveStream(t *testing.T, v *synth.Video, workers int, faulty bool) streamOutcome {
+	t.Helper()
+	var dev device.Device = device.NewCPU(device.DefaultCPU)
+	if faulty {
+		flaky := fault.NewFlaky(device.NewCPU(device.DefaultCPU), fault.Config{
+			Schedule: fault.NewSchedule(fault.Outage{From: 3, To: 7}),
+		})
+		dev = device.NewResilientDevice(flaky,
+			device.RetryPolicy{MaxAttempts: 2, Jitter: -1},
+			device.BreakerConfig{Threshold: 2, Cooldown: -1, CooldownRejections: -1},
+			11)
+	}
+	oracle := reid.NewOracle(reid.NewModel(7, dataset.AppearanceDim), dev)
+	tcfg := core.DefaultTMergeConfig(5)
+	tcfg.TauMax = 1200
+	in, err := New(track.Tracktor(), oracle, Config{
+		WindowLen: 400,
+		K:         0.05,
+		Algorithm: core.NewTMerge(tcfg),
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frames 0..1000: the ordinary one-window-at-a-time cadence.
+	for f := 0; f <= 1000; f++ {
+		in.PushAt(video.FrameIndex(f), v.Detections[f])
+	}
+	// One frame far ahead: the gap closes every window whose end the
+	// cursor just passed, as one batch.
+	last := len(v.Detections) - 1
+	in.PushAt(video.FrameIndex(last), v.Detections[last])
+	in.Close()
+
+	ckpt, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return streamOutcome{
+		results:    in.Results(),
+		quarantine: in.Quarantine(),
+		oracle:     oracle.State(),
+		merged:     in.MergedTracks().Sorted(),
+		checkpoint: ckpt,
+	}
+}
+
+// TestIngestParallelEquivalence: the streaming path must be bit-identical
+// across worker counts — window results, quarantine ledger, oracle
+// stats/cache, merged tracks, and the serialised checkpoint.
+func TestIngestParallelEquivalence(t *testing.T) {
+	v := streamScene(t)
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := driveStream(t, v, 1, faulty)
+			if n := len(ref.results); n < 8 {
+				t.Fatalf("reference run closed %d windows; the scene should close at least 8", n)
+			}
+			for _, workers := range []int{2, 4} {
+				got := driveStream(t, v, workers, faulty)
+				if !reflect.DeepEqual(ref.results, got.results) {
+					t.Errorf("Workers=%d: window results diverged", workers)
+				}
+				if !reflect.DeepEqual(ref.quarantine, got.quarantine) {
+					t.Errorf("Workers=%d: quarantine ledger diverged", workers)
+				}
+				if !reflect.DeepEqual(ref.oracle, got.oracle) {
+					t.Errorf("Workers=%d: oracle state diverged: ref stats %+v, got %+v",
+						workers, ref.oracle.Stats, got.oracle.Stats)
+				}
+				if !reflect.DeepEqual(ref.merged, got.merged) {
+					t.Errorf("Workers=%d: merged track set diverged", workers)
+				}
+				if !bytes.Equal(ref.checkpoint, got.checkpoint) {
+					t.Errorf("Workers=%d: checkpoint bytes diverged", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestIngestWorkersValidation: negative worker counts are rejected at
+// session construction.
+func TestIngestWorkersValidation(t *testing.T) {
+	oracle := reid.NewOracle(reid.NewModel(7, dataset.AppearanceDim), device.NewCPU(device.DefaultCPU))
+	_, err := New(track.Tracktor(), oracle, Config{
+		WindowLen: 400,
+		K:         0.05,
+		Algorithm: core.NewSpatial(),
+		Workers:   -2,
+	})
+	if err == nil {
+		t.Fatal("Workers=-2 accepted")
+	}
+}

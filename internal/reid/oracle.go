@@ -38,14 +38,20 @@ type Stats struct {
 type Oracle struct {
 	model *Model
 	dev   device.Device
-	// mu guards cache, cacheEnabled, and stats across every execution
-	// path (DistanceBatch, TrackPairMeans, SampledMeans,
+	// mu guards cache, cacheEnabled, stats, and rec across every
+	// execution path (DistanceBatch, TrackPairMeans, SampledMeans,
 	// SequenceDistance).
 	mu    sync.Mutex
 	cache map[video.BBoxID]vecmath.Vec
 	// Caching can be disabled for the ablation benchmarks.
 	cacheEnabled bool
 	stats        Stats
+	// store, when non-nil, marks a speculative session oracle (see
+	// Speculate): feature lookups and commits go through the shared
+	// FeatureStore instead of cache, and every submission plan is
+	// appended to rec instead of charging the real device.
+	store *FeatureStore
+	rec   []SubmissionRecord
 }
 
 // NewOracle returns an oracle executing on dev with caching enabled.
@@ -156,66 +162,24 @@ func (o *Oracle) Distance(b1, b2 video.BBox) float64 {
 // amortise launch costs over. Uncached embeddings across the whole batch
 // are extracted jointly.
 func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
-	// Phase 1 (under the lock): plan. Snapshot cached features and
-	// collect the distinct uncached boxes. Cache hits are tallied
-	// locally and committed only after the submission succeeds, so a
-	// failed (panicking) submission leaves the stats untouched.
-	type job struct {
-		id  video.BBoxID
-		obs vecmath.Vec
-	}
-	var jobs []job
-	var hits int64
-	features := make(map[video.BBoxID]vecmath.Vec, 2*len(pairs))
-	seen := make(map[video.BBoxID]bool)
+	// Plan under the lock (distinct uncached boxes across the batch),
+	// submit unlocked, commit under the lock — the three-phase protocol
+	// shared with every other execution path via extractPlan. Cache hits
+	// are counted once per distinct box per submission and committed
+	// only after the submission succeeds, so a failed (panicking)
+	// submission leaves the stats untouched.
 	o.mu.Lock()
-	cacheEnabled := o.cacheEnabled
-	need := func(b video.BBox) {
-		if cacheEnabled {
-			if f, ok := o.cache[b.ID]; ok {
-				hits++
-				features[b.ID] = f
-				return
-			}
-		}
-		if seen[b.ID] {
-			return
-		}
-		seen[b.ID] = true
-		jobs = append(jobs, job{id: b.ID, obs: b.Obs})
-	}
+	plan := newExtractPlan(o)
 	for _, p := range pairs {
-		need(p[0])
-		need(p[1])
+		plan.addBox(p[0])
+		plan.addBox(p[1])
 	}
 	o.mu.Unlock()
-
-	// Phase 2 (no lock): submit. The device blocks on modeled transfer
-	// and compute latency; holding the mutex here would serialise every
-	// concurrent caller behind one submission.
-	results := make([]vecmath.Vec, len(jobs))
-	run := func(i int) { results[i] = o.model.Embed(jobs[i].obs) }
-	if len(jobs) == 0 {
-		run = nil
-	}
-	o.dev.Submit(len(jobs), len(pairs), run)
-
-	// Phase 3 (under the lock): commit counters and cache.
-	o.mu.Lock()
-	o.stats.CacheHits += hits
-	o.stats.Extractions += int64(len(jobs))
-	o.stats.Distances += int64(len(pairs))
-	for i, j := range jobs {
-		features[j.id] = results[i]
-		if cacheEnabled {
-			o.cache[j.id] = results[i]
-		}
-	}
-	o.mu.Unlock()
+	plan.execute(len(pairs))
 
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {
-		d := o.model.Distance(features[p[0].ID], features[p[1].ID])
+		d := o.model.Distance(plan.feature(p[0].ID), plan.feature(p[1].ID))
 		out[i] = o.model.Normalize(d)
 	}
 	return out

@@ -1,0 +1,191 @@
+package reid
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// FeatureStore is a concurrency-safe embedding cache shared by the
+// speculative sessions of one pipeline pass. Embeddings are pure
+// functions of their BBox observations (the model's weights are fixed at
+// construction), so concurrent writers racing on the same box store the
+// same vector and reads are value-deterministic regardless of
+// interleaving — the store trades *accounting* precision, which the
+// ordered replay recomputes canonically, never *values*.
+type FeatureStore struct {
+	mu sync.RWMutex
+	m  map[video.BBoxID]vecmath.Vec
+}
+
+// NewFeatureStore returns an empty store.
+func NewFeatureStore() *FeatureStore {
+	return &FeatureStore{m: make(map[video.BBoxID]vecmath.Vec)}
+}
+
+// Get returns the stored embedding of a box, if present.
+func (s *FeatureStore) Get(id video.BBoxID) (vecmath.Vec, bool) {
+	s.mu.RLock()
+	v, ok := s.m[id]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores the embedding of a box. Concurrent Puts for the same box
+// are benign: every caller computes the same vector.
+func (s *FeatureStore) Put(id video.BBoxID, v vecmath.Vec) {
+	s.mu.Lock()
+	s.m[id] = v
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored embeddings.
+func (s *FeatureStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// SubmissionRecord is one planned oracle submission captured by a
+// speculative session: the distinct boxes the submission referenced, in
+// plan-encounter order, and the number of distance computations it
+// charges. Which of the boxes become feature extractions is NOT recorded
+// — it depends on the cache state at execution time, which only the
+// canonical replay (Oracle.ReplayLog) knows.
+type SubmissionRecord struct {
+	// Boxes are the submission's distinct referenced boxes in
+	// plan-encounter order (first reference wins; later references to the
+	// same BBoxID within the submission are deduplicated, exactly like
+	// the real plan phase).
+	Boxes []video.BBox
+	// NDistances is the number of BBox pair distances the submission
+	// charges to the device.
+	NDistances int
+}
+
+// Session is a speculative, recording view of an Oracle. Selection
+// algorithms run against Session.Oracle() exactly as they would against
+// the real oracle and observe bit-identical distances (embeddings are
+// deterministic), but no device time is charged, no faults can fire, and
+// no shared stats or cache entries are touched: embeddings go to the
+// shared FeatureStore and every would-be device submission is appended
+// to the session's log. Replaying the log with Oracle.ReplayLog against
+// the real oracle, in canonical window order, then commits exactly the
+// stats, cache entries, virtual time, and fault-path activity the
+// sequential execution would have produced.
+//
+// A Session is not safe for concurrent use; create one per window (the
+// FeatureStore behind them may be shared freely).
+type Session struct {
+	o *Oracle
+}
+
+// Speculate returns a new speculative session whose embeddings are
+// shared through store. The session inherits the oracle's model and
+// cache-enablement; its device is a zero-cost local executor, so the
+// embedding forward passes (the real CPU work) run on the calling
+// goroutine.
+func (o *Oracle) Speculate(store *FeatureStore) *Session {
+	if store == nil {
+		panic("reid: Speculate with nil store")
+	}
+	o.mu.Lock()
+	ce := o.cacheEnabled
+	o.mu.Unlock()
+	return &Session{o: &Oracle{
+		model:        o.model,
+		dev:          device.NewCPU(device.CostModel{}),
+		cacheEnabled: ce,
+		store:        store,
+	}}
+}
+
+// Oracle returns the shadow oracle selection algorithms should query.
+func (s *Session) Oracle() *Oracle { return s.o }
+
+// Log returns the submissions recorded so far, in execution order.
+func (s *Session) Log() []SubmissionRecord {
+	s.o.mu.Lock()
+	defer s.o.mu.Unlock()
+	return s.o.rec
+}
+
+// ReplayLog replays a speculative session's submission log against the
+// real oracle: for each record, in order, it re-plans the submission
+// against the oracle's current cache (so cache hits, feature
+// extractions, and the device's virtual cost come out exactly as a
+// sequential execution's would), submits to the real device — faults,
+// retries, backoff, and breaker transitions all fire here, in canonical
+// submission order — and on success commits the stats delta and fresh
+// cache entries. Extraction results are copied from store, never
+// recomputed, so replay costs no model forward passes.
+//
+// The first failed submission aborts the replay with a *device.Unavailable
+// error (matching the panic an infallible Submit would have raised
+// mid-window); earlier records stay committed, exactly like a sequential
+// window that degraded partway through. A record referencing a box the
+// store has never seen reports a plain error: that is a programming bug,
+// not a device fault.
+func (o *Oracle) ReplayLog(log []SubmissionRecord, store *FeatureStore) error {
+	if len(log) == 0 {
+		return nil
+	}
+	if store == nil {
+		return fmt.Errorf("reid: ReplayLog with nil store")
+	}
+	f := device.AsFallible(o.dev)
+	for ri := range log {
+		rec := &log[ri]
+
+		// Plan against the canonical cache under the lock.
+		o.mu.Lock()
+		cacheEnabled := o.cacheEnabled
+		var hits int64
+		ids := make([]video.BBoxID, 0, len(rec.Boxes))
+		vecs := make([]vecmath.Vec, 0, len(rec.Boxes))
+		for _, b := range rec.Boxes {
+			if cacheEnabled {
+				if _, ok := o.cache[b.ID]; ok {
+					hits++
+					continue
+				}
+			}
+			v, ok := store.Get(b.ID)
+			if !ok {
+				o.mu.Unlock()
+				return fmt.Errorf("reid: replay record %d references box %d absent from the feature store", ri, b.ID)
+			}
+			ids = append(ids, b.ID)
+			vecs = append(vecs, v)
+		}
+		o.mu.Unlock()
+
+		// Submit outside the lock: the run function only installs the
+		// precomputed embeddings, but the device still charges the full
+		// modeled extraction/distance cost and the fault stack still sees
+		// one submission per record.
+		run := func(i int) {}
+		if len(ids) == 0 {
+			run = nil
+		}
+		if err := f.TrySubmit(len(ids), rec.NDistances, run); err != nil {
+			return &device.Unavailable{Err: err}
+		}
+
+		// Commit the canonical accounting.
+		o.mu.Lock()
+		o.stats.CacheHits += hits
+		o.stats.Extractions += int64(len(ids))
+		o.stats.Distances += int64(rec.NDistances)
+		if cacheEnabled {
+			for i, id := range ids {
+				o.cache[id] = vecs[i]
+			}
+		}
+		o.mu.Unlock()
+	}
+	return nil
+}
