@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations,querybench) or 'all'")
 		seed    = flag.Uint64("seed", 42, "master seed for datasets and algorithms")
 		videos  = flag.Int("videos", 3, "videos per dataset (0 = full profile size)")
 		trials  = flag.Int("trials", 3, "independent trials to average stochastic algorithms over")
@@ -83,12 +83,17 @@ func main() {
 			rows, elapsed := s.Fig7(w)
 			return map[string]any{"rows": rows, "elapsed_ms": float64(elapsed) / float64(time.Millisecond)}
 		},
-		"fig8":      func() any { return s.Fig8(w) },
-		"fig9":      func() any { return s.Fig9(w) },
-		"fig10":     func() any { return s.Fig10(w) },
-		"fig11":     func() any { return s.Fig11(w) },
-		"fig12":     func() any { return s.Fig12(w) },
-		"fig13":     func() any { return s.Fig13(w) },
+		"fig8":  func() any { return s.Fig8(w) },
+		"fig9":  func() any { return s.Fig9(w) },
+		"fig10": func() any { return s.Fig10(w) },
+		"fig11": func() any { return s.Fig11(w) },
+		"fig12": func() any { return s.Fig12(w) },
+		"fig13": func() any { return s.Fig13(w) },
+		"querybench": func() any {
+			cfg := bench.DefaultQueryBench()
+			cfg.Clock = time.Now
+			return s.QueryBench(w, cfg)
+		},
 		"table2":    func() any { return s.Table2(w) },
 		"ablations": func() any { return s.Ablations(w) },
 		"pearson":   func() any { return s.Pearson(w) },

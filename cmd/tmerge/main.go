@@ -16,6 +16,7 @@ import (
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/dataset"
 	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/geom"
 	"github.com/tmerge/tmerge/internal/ingest"
 	"github.com/tmerge/tmerge/internal/motmetrics"
 	"github.com/tmerge/tmerge/internal/query"
@@ -41,6 +42,7 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "streaming: checkpoint file to write (and resume from with -resume)")
 		ckptN   = flag.Int("checkpoint-every", 1, "streaming: auto-checkpoint interval in windows")
 		resume  = flag.Bool("resume", false, "streaming: restore session state from -checkpoint before ingesting")
+		queries = flag.Bool("queries", false, "streaming: subscribe standing incremental queries and report per-window deltas")
 	)
 	flag.Parse()
 
@@ -123,7 +125,7 @@ func main() {
 			wl = 1000 // streams have no whole-video mode
 		}
 		cfg := ingest.Config{WindowLen: wl, K: *k, Algorithm: alg}
-		if err := runStream(ds.Videos[0], eng, reid.NewOracle(model, dev), cfg, *ckpt, *ckptN, *resume); err != nil {
+		if err := runStream(ds.Videos[0], eng, reid.NewOracle(model, dev), cfg, *ckpt, *ckptN, *resume, *queries); err != nil {
 			fmt.Fprintln(os.Stderr, "tmerge:", err)
 			os.Exit(1)
 		}
@@ -155,8 +157,9 @@ func main() {
 
 // runStream pushes one video frame-by-frame through the durable
 // ingestor, optionally resuming from — and periodically writing —
-// a checkpoint file.
-func runStream(v *synth.Video, eng *track.Engine, oracle *reid.Oracle, cfg ingest.Config, ckptPath string, every int, resume bool) error {
+// a checkpoint file. With queries enabled it subscribes the four
+// standing incremental queries and reports their per-window deltas.
+func runStream(v *synth.Video, eng *track.Engine, oracle *reid.Oracle, cfg ingest.Config, ckptPath string, every int, resume, queries bool) error {
 	sink := func(data []byte) error {
 		// Write-then-rename so a crash mid-write can never destroy the
 		// previous good checkpoint.
@@ -193,13 +196,19 @@ func runStream(v *synth.Video, eng *track.Engine, oracle *reid.Oracle, cfg inges
 		}
 	}
 
+	if queries {
+		if err := subscribeStandingQueries(in, v.Bounds); err != nil {
+			return err
+		}
+	}
+
 	for f := in.FramesSeen(); f < v.NumFrames; f++ {
-		in.Push(v.Detections[f])
+		reportDeltas(in.Push(v.Detections[f]))
 		if err := in.CheckpointErr(); err != nil {
 			return fmt.Errorf("checkpointing failed: %w", err)
 		}
 	}
-	in.Close()
+	reportDeltas(in.Close())
 	if ckptPath != "" {
 		// Close can flush trailing windows without another Push, so the
 		// auto-checkpoint hook never sees them; seal a final checkpoint
@@ -232,8 +241,66 @@ func runStream(v *synth.Video, eng *track.Engine, oracle *reid.Oracle, cfg inges
 			fmt.Printf("    %-24s %d\n", r, q.Counts[r])
 		}
 	}
+	if queries {
+		for _, name := range in.Subscriptions() {
+			op := in.Operator(name)
+			st := op.Stats()
+			fmt.Printf("  query %-9s %d rows (+%d -%d over the stream, %d tracks scanned)\n",
+				name, len(op.Results()), st.Asserted, st.Retracted, st.Scanned)
+		}
+	}
 	if ckptPath != "" {
 		fmt.Printf("  checkpoint: %s\n", ckptPath)
 	}
 	return nil
+}
+
+// subscribeStandingQueries registers the four incremental operators on
+// the session. After a resume with a checkpoint that carried their
+// state, Subscribe claims it by name and the bootstrap deltas are nil.
+func subscribeStandingQueries(in *ingest.Ingestor, bounds geom.Rect) error {
+	left := geom.Rect{X: bounds.X, Y: bounds.Y, W: bounds.W / 2, H: bounds.H}
+	subs := []struct {
+		name string
+		op   query.Incremental
+	}{
+		{"count", query.NewIncCount(query.CountQuery{MinFrames: 200})},
+		{"region", query.NewIncRegion(query.RegionQuery{Region: left, MinFrames: 100})},
+		{"cooccur", query.NewIncCoOccur(query.CoOccurQuery{GroupSize: 2, MinFrames: 100})},
+		{"precedes", query.NewIncPrecedes(query.PrecedesQuery{MinGap: 50, MinOverlap: 30})},
+	}
+	for _, s := range subs {
+		deltas, err := in.Subscribe(s.name, s.op)
+		if err != nil {
+			return fmt.Errorf("subscribing %s: %w", s.name, err)
+		}
+		if len(deltas) > 0 {
+			fmt.Printf("  query %-9s bootstrapped %d rows\n", s.name, len(deltas))
+		}
+	}
+	return nil
+}
+
+// reportDeltas prints one line per closed window whose subscriptions
+// changed their answers: per query, the asserts and retracts.
+func reportDeltas(results []ingest.WindowResult) {
+	for _, res := range results {
+		line := ""
+		for _, qd := range res.Queries {
+			asserts, retracts := 0, 0
+			for _, d := range qd.Deltas {
+				if d.Kind == query.Assert {
+					asserts++
+				} else {
+					retracts++
+				}
+			}
+			if asserts > 0 || retracts > 0 {
+				line += fmt.Sprintf("  %s +%d/-%d", qd.Name, asserts, retracts)
+			}
+		}
+		if line != "" {
+			fmt.Printf("  window [%d,%d]:%s\n", res.Window.Start, res.Window.End, line)
+		}
+	}
 }

@@ -32,6 +32,9 @@ var sortFuncs = map[string]bool{
 	"slices.Sort":   true, "slices.SortFunc": true,
 	"slices.SortStableFunc": true, "slices.Sorted": true,
 	"slices.SortedFunc": true, "slices.SortedStableFunc": true,
+	// The project's own canonical ID sort (slices.Sort underneath) is as
+	// order-establishing as the stdlib calls it wraps.
+	"github.com/tmerge/tmerge/internal/video.SortTrackIDs": true,
 }
 
 // CheckDeterminism flags nondeterminism that would break bit-identical

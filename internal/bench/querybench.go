@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/query"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// QueryBenchConfig pins one query-latency benchmark: a streaming
+// ingestion pass with all four incremental operators subscribed,
+// measured against recomputing each batch Answer over MergedTracks()
+// at every committed window — the cost the incremental engine exists to
+// avoid.
+type QueryBenchConfig struct {
+	// Dataset names the suite dataset to stream.
+	Dataset string
+	// Videos truncates the dataset (0 keeps the suite's setting).
+	Videos int
+	// WindowLen is the ingest window length (positive and even).
+	WindowLen int
+	// TauMax is the TMerge iteration budget.
+	TauMax int
+	// K is the candidate proportion.
+	K float64
+
+	// CountMinFrames parameterises the Count query.
+	CountMinFrames int
+	// Region and RegionMinFrames parameterise the Region query.
+	Region          geom.Rect
+	RegionMinFrames int
+	// CoOccurGroupSize and CoOccurMinFrames parameterise the CoOccur
+	// query (no class constraint).
+	CoOccurGroupSize int
+	CoOccurMinFrames int
+	// PrecedesMinGap and PrecedesMinOverlap parameterise the Precedes
+	// query.
+	PrecedesMinGap     int
+	PrecedesMinOverlap int
+
+	// Clock reads wall time for the latency measurement. It must be
+	// injected by the caller — cmd/benchrunner is on the determinism
+	// allowlist, this package is not. Nil disables wall timing (the
+	// *_wall_ms fields stay 0); scan counts, delta counts, and the
+	// equivalence check are deterministic with or without it.
+	Clock func() time.Time
+}
+
+// DefaultQueryBench is the pinned configuration benchrunner's
+// "querybench" experiment runs: the parallel-bench streaming shape (19
+// windows per video) with query thresholds that keep all four answers
+// non-trivially populated.
+func DefaultQueryBench() QueryBenchConfig {
+	return QueryBenchConfig{
+		Dataset:            "pathtrack",
+		Videos:             2,
+		WindowLen:          400,
+		TauMax:             4000,
+		K:                  DefaultK,
+		CountMinFrames:     200,
+		Region:             geom.Rect{X: 0, Y: 0, W: 640, H: 720},
+		RegionMinFrames:    100,
+		CoOccurGroupSize:   2,
+		CoOccurMinFrames:   200,
+		PrecedesMinGap:     100,
+		PrecedesMinOverlap: 50,
+	}
+}
+
+// QueryBenchRow is one query's result over the whole pass — the NDJSON
+// row shape carried in benchrunner -json Record payloads. Everything
+// except the wall-time fields is a deterministic function of the
+// configuration.
+type QueryBenchRow struct {
+	Experiment string `json:"experiment"`
+	Dataset    string `json:"dataset"`
+	Seed       uint64 `json:"seed"`
+	Videos     int    `json:"videos"`
+	WindowLen  int    `json:"window_len"`
+	Query      string `json:"query"`
+	// Windows counts the committed windows (= batch recomputations).
+	Windows int `json:"windows"`
+	// Rows is the final answer cardinality, summed over videos.
+	Rows int `json:"rows"`
+	// Asserts/Retracts are the operator's cumulative delta counts.
+	Asserts  int `json:"asserts"`
+	Retracts int `json:"retracts"`
+	// IncScans counts the incremental operator's predicate evaluations
+	// across the pass; BatchScans the evaluations batch recomputation
+	// performs over the same windows (for cooccur this is the candidate
+	// prefilter only — a lower bound on the true batch enumeration work).
+	IncScans   int `json:"inc_scans"`
+	BatchScans int `json:"batch_scans"`
+	// Match reports that after the final window the incremental Results
+	// were bit-identical to the batch Answer over the merged track set.
+	Match bool `json:"match"`
+	// Wall-clock latencies, measured only when a Clock is injected:
+	// cumulative incremental Apply time vs cumulative per-window batch
+	// recompute time (Answer only; the shared MergedTracks rebuild is
+	// reported once under batch_merge_wall_ms).
+	IncWallMS        float64 `json:"inc_wall_ms,omitempty"`
+	BatchWallMS      float64 `json:"batch_wall_ms,omitempty"`
+	BatchMergeWallMS float64 `json:"batch_merge_wall_ms,omitempty"`
+}
+
+// queryBenchExperiment tags the rows in mixed NDJSON streams.
+const queryBenchExperiment = "query_latency"
+
+// timedOp wraps an Incremental operator to accumulate Apply wall time.
+type timedOp struct {
+	query.Incremental
+	clock func() time.Time
+	wall  time.Duration
+}
+
+func (t *timedOp) Apply(v query.TrackView, changed, removed []video.TrackID) []query.Delta {
+	if t.clock == nil {
+		return t.Incremental.Apply(v, changed, removed)
+	}
+	start := t.clock()
+	out := t.Incremental.Apply(v, changed, removed)
+	t.wall += t.clock().Sub(start)
+	return out
+}
+
+// RunQueryBench streams every video of the pinned dataset through an
+// ingestion session with all four operators subscribed, recomputes each
+// batch answer over MergedTracks() at every committed window, and
+// returns one row per query kind with the costs of both strategies and
+// the final-equivalence verdict.
+func (s *Suite) RunQueryBench(cfg QueryBenchConfig) []QueryBenchRow {
+	if cfg.Videos > 0 {
+		s.VideosPerDataset = cfg.Videos
+	}
+	ds := s.Dataset(cfg.Dataset)
+	tcfg := core.DefaultTMergeConfig(s.Seed)
+	if cfg.TauMax > 0 {
+		tcfg.TauMax = cfg.TauMax
+	}
+	countQ := query.CountQuery{MinFrames: cfg.CountMinFrames}
+	regionQ := query.RegionQuery{Region: cfg.Region, MinFrames: cfg.RegionMinFrames}
+	coQ := query.CoOccurQuery{GroupSize: cfg.CoOccurGroupSize, MinFrames: cfg.CoOccurMinFrames}
+	preQ := query.PrecedesQuery{MinGap: cfg.PrecedesMinGap, MinOverlap: cfg.PrecedesMinOverlap}
+
+	rows := make([]QueryBenchRow, 4)
+	for i, name := range []string{"count", "region", "cooccur", "precedes"} {
+		rows[i] = QueryBenchRow{
+			Experiment: queryBenchExperiment,
+			Dataset:    cfg.Dataset,
+			Seed:       s.Seed,
+			Videos:     len(ds.Videos),
+			WindowLen:  cfg.WindowLen,
+			Query:      name,
+			Match:      true,
+		}
+	}
+	var mergeWall time.Duration
+	batchWall := make([]time.Duration, 4)
+
+	for _, v := range ds.Videos {
+		oracle := reid.NewOracle(s.model, s.newDevice(CPU))
+		in, err := ingest.New(track.Tracktor(), oracle, ingest.Config{
+			WindowLen: cfg.WindowLen,
+			K:         cfg.K,
+			Algorithm: core.NewTMerge(tcfg),
+		})
+		if err != nil {
+			panic(err)
+		}
+		ops := []*timedOp{
+			{Incremental: query.NewIncCount(countQ), clock: cfg.Clock},
+			{Incremental: query.NewIncRegion(regionQ), clock: cfg.Clock},
+			{Incremental: query.NewIncCoOccur(coQ), clock: cfg.Clock},
+			{Incremental: query.NewIncPrecedes(preQ), clock: cfg.Clock},
+		}
+		for i, op := range ops {
+			if _, err := in.Subscribe(rows[i].Query, op); err != nil {
+				panic(err)
+			}
+		}
+
+		// The batch side: after every committed window, rebuild the merged
+		// track set and re-answer all four queries from scratch.
+		recompute := func(res []ingest.WindowResult) {
+			for range res {
+				var start time.Time
+				if cfg.Clock != nil {
+					start = cfg.Clock()
+				}
+				ts := in.MergedTracks()
+				if cfg.Clock != nil {
+					mergeWall += cfg.Clock().Sub(start)
+				}
+				n := ts.Len()
+				rows[0].BatchScans += n
+				rows[1].BatchScans += n
+				rows[2].BatchScans += n
+				rows[3].BatchScans += n * (n - 1)
+				answers := []func(){
+					func() { countQ.Answer(ts) },
+					func() { regionQ.Answer(ts) },
+					func() { coQ.Answer(ts) },
+					func() { preQ.Answer(ts) },
+				}
+				for i, answer := range answers {
+					rows[i].Windows++
+					if cfg.Clock == nil {
+						answer()
+						continue
+					}
+					start := cfg.Clock()
+					answer()
+					batchWall[i] += cfg.Clock().Sub(start)
+				}
+			}
+		}
+		for _, dets := range v.Detections {
+			recompute(in.Push(dets))
+		}
+		recompute(in.Close())
+
+		// Final equivalence: the incremental result set must be
+		// bit-identical to the batch answer over the merged tracks.
+		ts := in.MergedTracks()
+		finals := [][][]video.TrackID{
+			idRows(countQ.Answer(ts)),
+			idRows(regionQ.Answer(ts)),
+			groupRows(coQ.Answer(ts)),
+			pairRows(preQ.Answer(ts)),
+		}
+		for i, op := range ops {
+			got := op.Results()
+			rows[i].Rows += len(got)
+			if !sameRows(got, finals[i]) {
+				rows[i].Match = false
+			}
+			st := op.Stats()
+			rows[i].IncScans += st.Scanned
+			rows[i].Asserts += st.Asserted
+			rows[i].Retracts += st.Retracted
+			rows[i].IncWallMS += float64(op.wall) / float64(time.Millisecond)
+		}
+	}
+	if cfg.Clock != nil {
+		for i := range rows {
+			rows[i].BatchWallMS = float64(batchWall[i]) / float64(time.Millisecond)
+			rows[i].BatchMergeWallMS = float64(mergeWall) / float64(time.Millisecond)
+		}
+	}
+	return rows
+}
+
+// QueryBench runs RunQueryBench and prints the human table.
+func (s *Suite) QueryBench(w io.Writer, cfg QueryBenchConfig) []QueryBenchRow {
+	rows := s.RunQueryBench(cfg)
+	fmt.Fprintf(w, "Incremental query engine vs per-window batch recompute — %s, %d video(s), L=%d\n",
+		cfg.Dataset, rows[0].Videos, cfg.WindowLen)
+	fmt.Fprintf(w, "%-10s %8s %6s %8s %9s %10s %12s %6s %12s %12s\n",
+		"query", "windows", "rows", "asserts", "retracts", "inc_scans", "batch_scans", "match", "inc_ms", "batch_ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %6d %8d %9d %10d %12d %6v %12.2f %12.2f\n",
+			r.Query, r.Windows, r.Rows, r.Asserts, r.Retracts, r.IncScans, r.BatchScans, r.Match, r.IncWallMS, r.BatchWallMS)
+	}
+	return rows
+}
+
+// idRows converts a sorted ID answer into result-row shape.
+func idRows(ids []video.TrackID) [][]video.TrackID {
+	out := make([][]video.TrackID, len(ids))
+	for i, id := range ids {
+		out[i] = []video.TrackID{id}
+	}
+	return out
+}
+
+// groupRows converts a sorted group answer into result-row shape.
+func groupRows(groups []query.Group) [][]video.TrackID {
+	out := make([][]video.TrackID, len(groups))
+	for i, g := range groups {
+		out[i] = []video.TrackID(g)
+	}
+	return out
+}
+
+// pairRows converts a sorted pair answer into result-row shape.
+func pairRows(pairs []query.OrderedPair) [][]video.TrackID {
+	out := make([][]video.TrackID, len(pairs))
+	for i, p := range pairs {
+		out[i] = []video.TrackID{p.First, p.Second}
+	}
+	return out
+}
+
+// sameRows compares two row sets element-wise.
+func sameRows(a, b [][]video.TrackID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestQueryBenchDeterministicAndIncremental runs a reduced pinned
+// query-latency benchmark without a clock: every row must pass the
+// final-equivalence check, count the expected windows, and show the
+// incremental engine doing strictly less predicate work than per-window
+// batch recomputation. Two runs must agree exactly.
+func TestQueryBenchDeterministicAndIncremental(t *testing.T) {
+	run := func() []QueryBenchRow {
+		s := NewSuite(42)
+		cfg := DefaultQueryBench()
+		cfg.Videos = 1
+		return s.QueryBench(io.Discard, cfg)
+	}
+	rows := run()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Experiment != queryBenchExperiment {
+			t.Errorf("%s: experiment tag %q", r.Query, r.Experiment)
+		}
+		if !r.Match {
+			t.Errorf("%s: incremental results diverged from the batch answer", r.Query)
+		}
+		if r.Windows == 0 {
+			t.Errorf("%s: no windows committed", r.Query)
+		}
+		if r.IncScans <= 0 || r.BatchScans <= 0 {
+			t.Errorf("%s: degenerate scan counts inc=%d batch=%d", r.Query, r.IncScans, r.BatchScans)
+		}
+		if r.Query != "cooccur" && r.IncScans >= r.BatchScans {
+			// cooccur's BatchScans is a documented lower bound, so the
+			// inequality is only guaranteed for the other operators.
+			t.Errorf("%s: incremental scanned %d, batch recompute %d — no saving", r.Query, r.IncScans, r.BatchScans)
+		}
+		if r.IncWallMS != 0 || r.BatchWallMS != 0 || r.BatchMergeWallMS != 0 {
+			t.Errorf("%s: wall times measured without a clock", r.Query)
+		}
+	}
+	// The pinned benchmark is bit-deterministic without a clock.
+	if again := run(); !reflect.DeepEqual(rows, again) {
+		t.Error("two identical query-bench runs diverged")
+	}
+}

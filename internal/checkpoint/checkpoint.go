@@ -25,8 +25,10 @@ import (
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/device"
 	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/query"
 	"github.com/tmerge/tmerge/internal/reid"
 	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/trackdb"
 	"github.com/tmerge/tmerge/internal/video"
 )
 
@@ -38,7 +40,13 @@ const Format = "tmerge/checkpoint"
 // internals and RNG states whose meaning is pinned to the code that
 // wrote them, so silent cross-version reads would break the replay
 // guarantee in ways no checksum can catch.
-const Version = 1
+//
+// Version 2 added the streaming-query state: the merger's ordered
+// merge-event log inside MergerState, per-window Events and Queries on
+// WindowRecord, and the live-view plus subscription snapshots
+// (SessionState.View, SessionState.Subscriptions) that let a restored
+// session resume incremental query processing without recomputation.
+const Version = 2
 
 // envelope is the on-disk wrapper. Payload keeps the exact bytes the
 // checksum was computed over, so verification is byte-precise regardless
@@ -105,6 +113,27 @@ type WindowRecord struct {
 	Merged      []video.PairKey `json:"merged,omitempty"`
 	Degraded    bool            `json:"degraded,omitempty"`
 	Quarantined int             `json:"quarantined,omitempty"`
+	// Events is the window's slice of the ordered merge-event log and
+	// Queries the per-subscription incremental output, carried so the
+	// restored session's Results are bit-identical to the original's.
+	Events  []core.MergeEvent `json:"events,omitempty"`
+	Queries []QueryRecord     `json:"queries,omitempty"`
+}
+
+// QueryRecord is one subscription's delta output for one window.
+type QueryRecord struct {
+	Name   string        `json:"name"`
+	Deltas []query.Delta `json:"deltas,omitempty"`
+}
+
+// SubscriptionState is one subscribed incremental operator's
+// checkpointed state, keyed by the subscription name the session
+// registered it under. On restore the session parks these until
+// Subscribe is called again with a matching name, which adopts the
+// state instead of bootstrapping from scratch.
+type SubscriptionState struct {
+	Name string              `json:"name"`
+	Op   query.OperatorState `json:"op"`
 }
 
 // RejectedRecord is one quarantined detection in the dead-letter buffer.
@@ -155,6 +184,14 @@ type SessionState struct {
 	// close, from which per-window quarantine deltas continue.
 	Quarantine     QuarantineState `json:"quarantine"`
 	QuarantineMark int             `json:"quarantine_mark"`
+
+	// Streaming-query state, present only when the session had live
+	// subscriptions. View is the materialised merged-track view as of the
+	// last committed window; Subscriptions carries each registered
+	// operator's state (registration order first, then any still-parked
+	// restored states sorted by name).
+	View          *trackdb.ViewState  `json:"view,omitempty"`
+	Subscriptions []SubscriptionState `json:"subscriptions,omitempty"`
 
 	// Device chain state. ClockNS is the shared virtual clock; the
 	// resilient and fault-injection snapshots are present only when the

@@ -16,6 +16,10 @@ import (
 type Merger struct {
 	parent map[video.TrackID]video.TrackID
 	rank   map[video.TrackID]int
+	// events is the ordered union log: one MergeEvent per effective union,
+	// in the order the unions happened. Append-only; no-op merges (pairs
+	// already in one group) are not logged.
+	events []MergeEvent
 }
 
 // NewMerger returns an empty merger.
@@ -26,8 +30,86 @@ func NewMerger() *Merger {
 	}
 }
 
-// Merge records that the two tracks of the pair are the same object.
-func (m *Merger) Merge(key video.PairKey) { m.union(key.A, key.B) }
+// MergeEvent records one effective union in a Merger's ordered event log:
+// the pair that triggered it, the canonical identities of the two groups
+// immediately before the union (FromA for the group of Pair.A, FromB for
+// Pair.B), and the canonical identity of the combined group afterwards —
+// always min(FromA, FromB), because canonical roots are smallest-member.
+// The log is the incremental counterpart of Apply: a consumer holding
+// per-canonical state folds the event by moving everything under the
+// losing canonical into Canon.
+type MergeEvent struct {
+	// Seq is the event's position in the log, starting at 0.
+	Seq  int           `json:"seq"`
+	Pair video.PairKey `json:"pair"`
+	// FromA and FromB are the canonical IDs of the two groups the union
+	// joined, as they were immediately before this event.
+	FromA video.TrackID `json:"from_a"`
+	FromB video.TrackID `json:"from_b"`
+	// Canon is the canonical ID of the combined group: min(FromA, FromB).
+	Canon video.TrackID `json:"canon"`
+}
+
+// Validate checks the event's self-contained invariants: a non-negative
+// sequence number, a pair of two distinct tracks in canonical A < B
+// order, two distinct source groups each containing its pair endpoint's
+// side, and Canon equal to the smaller source canonical.
+func (e MergeEvent) Validate() error {
+	if e.Seq < 0 {
+		return fmt.Errorf("core: merge event has negative seq %d", e.Seq)
+	}
+	if e.Pair.A >= e.Pair.B {
+		return fmt.Errorf("core: merge event %d pair (%d, %d) is not in canonical A < B order", e.Seq, e.Pair.A, e.Pair.B)
+	}
+	if e.FromA == e.FromB {
+		return fmt.Errorf("core: merge event %d joins group %d with itself", e.Seq, e.FromA)
+	}
+	want := e.FromA
+	if e.FromB < want {
+		want = e.FromB
+	}
+	if e.Canon != want {
+		return fmt.Errorf("core: merge event %d has canon %d, want min(%d, %d) = %d", e.Seq, e.Canon, e.FromA, e.FromB, want)
+	}
+	if e.FromA > e.Pair.A || e.FromB > e.Pair.B {
+		return fmt.Errorf("core: merge event %d source canonicals (%d, %d) exceed pair members (%d, %d)", e.Seq, e.FromA, e.FromB, e.Pair.A, e.Pair.B)
+	}
+	return nil
+}
+
+// Merge records that the two tracks of the pair are the same object. When
+// the pair joins two previously distinct groups, the union is appended to
+// the event log; a pair already inside one group is a no-op and logs
+// nothing.
+func (m *Merger) Merge(key video.PairKey) {
+	if key.B < key.A {
+		// The pair is unordered; normalise so logged events are canonical.
+		key.A, key.B = key.B, key.A
+	}
+	fa, fb := m.find(key.A), m.find(key.B)
+	m.ensure(fa)
+	m.ensure(fb)
+	if fa == fb {
+		return
+	}
+	ra, rb := fa, fb
+	// Keep the smaller ID as the root so Canonical is stable regardless
+	// of merge order.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	m.parent[rb] = ra
+	if m.rank[ra] <= m.rank[rb] {
+		m.rank[ra] = m.rank[rb] + 1
+	}
+	m.events = append(m.events, MergeEvent{
+		Seq:   len(m.events),
+		Pair:  key,
+		FromA: fa,
+		FromB: fb,
+		Canon: ra,
+	})
+}
 
 // MergeAll records every pair in keys.
 func (m *Merger) MergeAll(keys []video.PairKey) {
@@ -54,7 +136,7 @@ func (m *Merger) Groups() [][]video.TrackID {
 	for id := range m.parent {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	video.SortTrackIDs(ids)
 
 	byRoot := make(map[video.TrackID][]video.TrackID, len(ids))
 	var roots []video.TrackID
@@ -113,6 +195,51 @@ func (m *Merger) Apply(ts *video.TrackSet) *video.TrackSet {
 	return video.NewTrackSet(out)
 }
 
+// Events returns the full ordered union log. The returned slice is the
+// log itself (append-only); callers must not modify it.
+func (m *Merger) Events() []MergeEvent { return m.events }
+
+// EventCount returns the number of events logged so far — the sequence
+// number the next effective union will get.
+func (m *Merger) EventCount() int { return len(m.events) }
+
+// EventsSince returns the log suffix starting at sequence number n, for
+// consumers that fold events incrementally (n is their own event cursor).
+// It panics when n is outside [0, EventCount()]. The returned slice
+// aliases the append-only log; callers must not modify it.
+func (m *Merger) EventsSince(n int) []MergeEvent {
+	if n < 0 || n > len(m.events) {
+		panic(fmt.Sprintf("core: event cursor %d outside [0, %d]", n, len(m.events)))
+	}
+	return m.events[n:]
+}
+
+// ReplayEvents reconstructs a Merger from a complete event log (sequence
+// numbers contiguous from 0). Every event is validated, replayed, and
+// cross-checked against the union the replay actually produced, so a log
+// that is internally inconsistent — events out of order, a union the
+// merger would not have performed, wrong source or result canonicals —
+// is rejected rather than silently yielding a diverged identity map.
+func ReplayEvents(events []MergeEvent) (*Merger, error) {
+	m := NewMerger()
+	for i, ev := range events {
+		if err := ev.Validate(); err != nil {
+			return nil, err
+		}
+		if ev.Seq != i {
+			return nil, fmt.Errorf("core: event log not contiguous: position %d has seq %d", i, ev.Seq)
+		}
+		m.Merge(ev.Pair)
+		if len(m.events) != i+1 {
+			return nil, fmt.Errorf("core: event log inconsistent: seq %d merges pair (%d, %d) already in one group", i, ev.Pair.A, ev.Pair.B)
+		}
+		if got := m.events[i]; got != ev {
+			return nil, fmt.Errorf("core: event log inconsistent at seq %d: replay produced %+v, log records %+v", i, got, ev)
+		}
+	}
+	return m, nil
+}
+
 // MergerEntry is one serialised union-find record.
 type MergerEntry struct {
 	ID     video.TrackID `json:"id"`
@@ -126,16 +253,20 @@ type MergerEntry struct {
 // Canonical/Apply result bit-identically regardless of tree shape.
 type MergerState struct {
 	Entries []MergerEntry `json:"entries,omitempty"`
+	// Events is the ordered union log, carried so a restored merger
+	// continues the log at the right sequence number and event-log
+	// consumers (the live view) can resume their cursors.
+	Events []MergeEvent `json:"events,omitempty"`
 }
 
-// State snapshots the merger's identity map.
+// State snapshots the merger's identity map and event log.
 func (m *Merger) State() MergerState {
 	ids := make([]video.TrackID, 0, len(m.parent))
 	for id := range m.parent {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	st := MergerState{}
+	video.SortTrackIDs(ids)
+	st := MergerState{Events: append([]MergeEvent(nil), m.events...)}
 	for _, id := range ids {
 		st.Entries = append(st.Entries, MergerEntry{ID: id, Parent: m.parent[id], Rank: m.rank[id]})
 	}
@@ -147,6 +278,15 @@ func (m *Merger) State() MergerState {
 // itself recorded) is rejected.
 func RestoreMerger(st MergerState) (*Merger, error) {
 	m := NewMerger()
+	for i, ev := range st.Events {
+		if err := ev.Validate(); err != nil {
+			return nil, err
+		}
+		if ev.Seq != i {
+			return nil, fmt.Errorf("core: merger snapshot event log not contiguous: position %d has seq %d", i, ev.Seq)
+		}
+	}
+	m.events = append([]MergeEvent(nil), st.Events...)
 	for _, e := range st.Entries {
 		m.parent[e.ID] = e.Parent
 		if e.Rank != 0 {
@@ -186,24 +326,6 @@ func (m *Merger) find(id video.TrackID) video.TrackID {
 	root := m.find(p)
 	m.parent[id] = root
 	return root
-}
-
-func (m *Merger) union(a, b video.TrackID) {
-	ra, rb := m.find(a), m.find(b)
-	m.ensure(ra)
-	m.ensure(rb)
-	if ra == rb {
-		return
-	}
-	// Keep the smaller ID as the root so Canonical is stable regardless
-	// of merge order.
-	if rb < ra {
-		ra, rb = rb, ra
-	}
-	m.parent[rb] = ra
-	if m.rank[ra] <= m.rank[rb] {
-		m.rank[ra] = m.rank[rb] + 1
-	}
 }
 
 func (m *Merger) ensure(id video.TrackID) {

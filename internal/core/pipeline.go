@@ -73,6 +73,13 @@ type WindowReport struct {
 	// window (circuit breaker open or retry budget exhausted) and
 	// Selected was ranked by the BetaInit spatial prior alone.
 	Degraded bool
+	// Events is this window's slice of the merger's ordered union log:
+	// the effective unions committing this window caused, in commit
+	// order. Replaying the concatenation across windows (ReplayEvents)
+	// reproduces the pass's final identity map. Events is derived
+	// bookkeeping and deliberately excluded from Fingerprint, which pins
+	// the PR-4 replay hashes.
+	Events []MergeEvent
 }
 
 // PipelineResult is the outcome of a full ingestion pass over one video.
@@ -222,6 +229,7 @@ func commitWindow(res *PipelineResult, merger *Merger, cfg PipelineConfig, w vid
 	if degraded {
 		res.DegradedWindows++
 	}
+	seq := merger.EventCount()
 	if cfg.Verify {
 		for _, k := range selected {
 			if truth[k] {
@@ -238,6 +246,7 @@ func commitWindow(res *PipelineResult, merger *Merger, cfg PipelineConfig, w vid
 		Selected: selected,
 		Recall:   video.Recall(selected, truth),
 		Degraded: degraded,
+		Events:   merger.EventsSince(seq),
 	})
 }
 

@@ -2,13 +2,16 @@ package ingest
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/tmerge/tmerge/internal/checkpoint"
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/device"
 	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/query"
 	"github.com/tmerge/tmerge/internal/reid"
 	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/trackdb"
 	"github.com/tmerge/tmerge/internal/video"
 )
 
@@ -46,6 +49,28 @@ func (in *Ingestor) Checkpoint() ([]byte, error) {
 	}
 	for _, r := range in.results {
 		st.Results = append(st.Results, toRecord(r))
+	}
+
+	// Streaming-query state: the live view and every operator, so the
+	// restored session resumes incremental processing without recomputing
+	// anything. Registered subscriptions first (registration order), then
+	// any still-unclaimed restored states, sorted by name.
+	if in.view != nil {
+		vs := in.view.State()
+		st.View = &vs
+		for _, s := range in.subs {
+			st.Subscriptions = append(st.Subscriptions, checkpoint.SubscriptionState{Name: s.name, Op: s.op.State()})
+		}
+		if len(in.pendingOps) > 0 {
+			names := make([]string, 0, len(in.pendingOps))
+			for n := range in.pendingOps {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				st.Subscriptions = append(st.Subscriptions, checkpoint.SubscriptionState{Name: n, Op: in.pendingOps[n]})
+			}
+		}
 	}
 
 	// Walk the device chain from the oracle outwards, snapshotting each
@@ -134,6 +159,36 @@ func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte)
 		return nil, fmt.Errorf("ingest: restore: quarantine cap %d must be positive", st.Quarantine.Cap)
 	}
 
+	// Streaming-query state. The view, when present, must have consumed
+	// the merger's entire event log — checkpoints are taken between
+	// pushes, after every committed window's events were applied.
+	var view *trackdb.LiveView
+	if st.View != nil {
+		v, verr := trackdb.RestoreView(*st.View)
+		if verr != nil {
+			return nil, fmt.Errorf("ingest: restore: %w", verr)
+		}
+		if got, want := v.Seq(), len(st.Merger.Events); got != want {
+			return nil, fmt.Errorf("ingest: restore: view consumed %d merge events, merger log has %d", got, want)
+		}
+		view = v
+	} else if len(st.Subscriptions) > 0 {
+		return nil, fmt.Errorf("ingest: restore: checkpoint has %d subscriptions but no view state", len(st.Subscriptions))
+	}
+	var pending map[string]query.OperatorState
+	if len(st.Subscriptions) > 0 {
+		pending = make(map[string]query.OperatorState, len(st.Subscriptions))
+		for _, sub := range st.Subscriptions {
+			if sub.Name == "" {
+				return nil, fmt.Errorf("ingest: restore: checkpoint subscription with empty name")
+			}
+			if _, dup := pending[sub.Name]; dup {
+				return nil, fmt.Errorf("ingest: restore: duplicate checkpoint subscription %q", sub.Name)
+			}
+			pending[sub.Name] = sub.Op
+		}
+	}
+
 	// Locate the device wrappers the snapshot claims. A snapshot/chain
 	// shape mismatch means the caller assembled a different pipeline.
 	var resilient *device.ResilientDevice
@@ -203,11 +258,34 @@ func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte)
 		prevTc:     prevTc,
 		quar:       quarantineFromState(st.Quarantine),
 		quarMark:   st.QuarantineMark,
+		view:       view,
+		pendingOps: pending,
 	}
 	for _, r := range st.Results {
 		in.results = append(in.results, fromRecord(r))
 	}
+	if view != nil {
+		// Rebuild the feed cursors: every box at or before the last
+		// committed window's end is already inside the restored view.
+		in.fed = make(map[video.TrackID]int)
+		in.markFed(in.lastClosedEnd())
+	}
 	return in, nil
+}
+
+// markFed rebuilds the view feed cursors after restore, without touching
+// the view itself: the restored view state already contains every stream
+// box at or before frame end.
+func (in *Ingestor) markFed(end video.FrameIndex) {
+	for _, t := range in.stream.Snapshot() {
+		n := 0
+		for n < len(t.Boxes) && t.Boxes[n].Frame <= end {
+			n++
+		}
+		if n > 0 {
+			in.fed[t.ID] = n
+		}
+	}
 }
 
 func copyTrack(t *video.Track) *video.Track {
@@ -215,23 +293,44 @@ func copyTrack(t *video.Track) *video.Track {
 }
 
 func toRecord(r WindowResult) checkpoint.WindowRecord {
-	return checkpoint.WindowRecord{
+	rec := checkpoint.WindowRecord{
 		Window:      r.Window,
 		Pairs:       r.Pairs,
 		Selected:    append([]video.PairKey(nil), r.Selected...),
 		Merged:      append([]video.PairKey(nil), r.Merged...),
 		Degraded:    r.Degraded,
 		Quarantined: r.Quarantined,
+		Events:      append([]core.MergeEvent(nil), r.Events...),
 	}
+	for _, q := range r.Queries {
+		rec.Queries = append(rec.Queries, checkpoint.QueryRecord{Name: q.Name, Deltas: copyDeltas(q.Deltas)})
+	}
+	return rec
 }
 
 func fromRecord(r checkpoint.WindowRecord) WindowResult {
-	return WindowResult{
+	res := WindowResult{
 		Window:      r.Window,
 		Pairs:       r.Pairs,
 		Selected:    append([]video.PairKey(nil), r.Selected...),
 		Merged:      append([]video.PairKey(nil), r.Merged...),
 		Degraded:    r.Degraded,
 		Quarantined: r.Quarantined,
+		Events:      append([]core.MergeEvent(nil), r.Events...),
 	}
+	for _, q := range r.Queries {
+		res.Queries = append(res.Queries, QueryDeltas{Name: q.Name, Deltas: copyDeltas(q.Deltas)})
+	}
+	return res
+}
+
+func copyDeltas(ds []query.Delta) []query.Delta {
+	if ds == nil {
+		return nil
+	}
+	out := make([]query.Delta, len(ds))
+	for i, d := range ds {
+		out[i] = query.Delta{Kind: d.Kind, Row: append([]video.TrackID(nil), d.Row...)}
+	}
+	return out
 }

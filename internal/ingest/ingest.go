@@ -11,8 +11,10 @@ import (
 	"fmt"
 
 	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/query"
 	"github.com/tmerge/tmerge/internal/reid"
 	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/trackdb"
 	"github.com/tmerge/tmerge/internal/video"
 )
 
@@ -101,6 +103,25 @@ type WindowResult struct {
 	// Quarantined counts detections (and frame-level rejects) quarantined
 	// since the previous window closed.
 	Quarantined int
+	// Events is this window's slice of the merger's ordered union log:
+	// the effective unions committing this window caused, in commit
+	// order (see core.MergeEvent). Always populated, with or without
+	// subscriptions, so downstream consumers can maintain their own
+	// materialised views. The slice aliases the merger's append-only log
+	// and must not be modified.
+	Events []core.MergeEvent
+	// Queries carries the incremental output of every subscription for
+	// this window, in subscription registration order. Empty when the
+	// session has no subscriptions.
+	Queries []QueryDeltas
+}
+
+// QueryDeltas is one subscription's delta output for one window: the
+// result rows the window's track extensions and merges newly qualified
+// (asserts) or withdrew (retracts — identity coalescing under a merge).
+type QueryDeltas struct {
+	Name   string
+	Deltas []query.Delta
 }
 
 // Ingestor is an online ingestion session. It is not safe for concurrent
@@ -119,8 +140,26 @@ type Ingestor struct {
 	quar     *quarantine
 	quarMark int // quarantine total at the last window close
 
+	// view is the live materialised merged-track view, created lazily by
+	// the first Subscribe (or by Restore) and advanced at every window
+	// commit: track extensions first, then the window's merge events.
+	view *trackdb.LiveView
+	// fed counts, per raw stream track, how many of its boxes have been
+	// folded into the view — the incremental feed cursor.
+	fed  map[video.TrackID]int
+	subs []subscription
+	// pendingOps parks checkpointed operator states between Restore and
+	// the re-Subscribe that claims them by name.
+	pendingOps map[string]query.OperatorState
+
 	windowsSinceCkpt int
 	ckptErr          error
+}
+
+// subscription is one registered incremental query operator.
+type subscription struct {
+	name string
+	op   query.Incremental
 }
 
 // New returns an ingestion session over the given tracker engine, oracle,
@@ -305,6 +344,7 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 	commit := func(i int, selected []video.PairKey, degraded bool) WindowResult {
 		wi := inputs[i]
 		res := WindowResult{Window: wi.w, Pairs: wi.ps.Len(), Quarantined: wi.quarantined}
+		seq := in.merger.EventCount()
 		if wi.ps.Len() > 0 {
 			res.Selected, res.Degraded = selected, degraded
 			for _, key := range res.Selected {
@@ -313,6 +353,20 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 				}
 				in.merger.Merge(key)
 				res.Merged = append(res.Merged, key)
+			}
+		}
+		res.Events = in.merger.EventsSince(seq)
+		if in.view != nil {
+			in.feedBoxes(wi.w.End)
+			if err := in.view.ApplyEvents(res.Events); err != nil {
+				// Every merged track starts in this window's first half, so
+				// the feed above has shown the view both sides of every
+				// event; a failure here is a broken invariant, not input.
+				panic(fmt.Sprintf("ingest: live view diverged from merger: %v", err))
+			}
+			changed, removed := in.view.Flush()
+			for _, s := range in.subs {
+				res.Queries = append(res.Queries, QueryDeltas{Name: s.name, Deltas: s.op.Apply(in.view, changed, removed)})
 			}
 		}
 		in.results = append(in.results, res)
@@ -348,6 +402,114 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 		}
 	}
 	return out
+}
+
+// Subscribe registers an incremental query operator under a unique name.
+// From the next closed window on, every WindowResult carries the
+// operator's deltas under that name (WindowResult.Queries), and at every
+// window boundary the operator's Results equal the batch answer over
+// MergedTracks() — incremental and batch are interchangeable at any cut.
+//
+// Subscribing mid-stream is allowed: the session materialises the live
+// view up to the last committed window and the returned deltas are the
+// bootstrap assertions folding that state into the empty operator (nil
+// when no window has closed yet). After Restore, a subscription whose
+// name matches a checkpointed one adopts the checkpointed operator state
+// instead; the operator must be configured identically (RestoreState
+// verifies the parameter echo) and the returned deltas are nil, because
+// the restored session already holds those results.
+func (in *Ingestor) Subscribe(name string, op query.Incremental) ([]query.Delta, error) {
+	if name == "" {
+		return nil, fmt.Errorf("ingest: subscription name must be non-empty")
+	}
+	if op == nil {
+		return nil, fmt.Errorf("ingest: nil operator for subscription %q", name)
+	}
+	for _, s := range in.subs {
+		if s.name == name {
+			return nil, fmt.Errorf("ingest: duplicate subscription %q", name)
+		}
+	}
+	in.ensureView()
+	if st, ok := in.pendingOps[name]; ok {
+		if err := op.RestoreState(st); err != nil {
+			return nil, fmt.Errorf("ingest: subscription %q: %w", name, err)
+		}
+		delete(in.pendingOps, name)
+		in.subs = append(in.subs, subscription{name: name, op: op})
+		return nil, nil
+	}
+	deltas := op.Apply(in.view, in.view.IDs(), nil)
+	in.subs = append(in.subs, subscription{name: name, op: op})
+	return deltas, nil
+}
+
+// Subscriptions returns the registered subscription names in
+// registration order.
+func (in *Ingestor) Subscriptions() []string {
+	out := make([]string, len(in.subs))
+	for i, s := range in.subs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Operator returns the incremental operator registered under name (nil
+// when no such subscription exists) — the handle for reading live
+// Results without waiting for window deltas.
+func (in *Ingestor) Operator(name string) query.Incremental {
+	for _, s := range in.subs {
+		if s.name == name {
+			return s.op
+		}
+	}
+	return nil
+}
+
+// ensureView creates the live view on first use and backfills it to the
+// session's current committed state: every stream box up to the last
+// closed window's end, then the full merge-event log.
+func (in *Ingestor) ensureView() {
+	if in.view != nil {
+		return
+	}
+	in.view = trackdb.NewLiveView()
+	in.fed = make(map[video.TrackID]int)
+	if end := in.lastClosedEnd(); end >= 0 {
+		in.feedBoxes(end)
+	}
+	if err := in.view.ApplyEvents(in.merger.Events()); err != nil {
+		panic(fmt.Sprintf("ingest: live view diverged from merger: %v", err))
+	}
+	in.view.Flush()
+}
+
+// feedBoxes advances the live view to frame end: every stream box with
+// Frame <= end not yet folded in is applied as a track extension, in
+// frame order within each track. The fed cursors make the walk
+// incremental — each box is fed exactly once across the session.
+func (in *Ingestor) feedBoxes(end video.FrameIndex) {
+	for _, t := range sortTracks(in.stream.Snapshot()) {
+		n := in.fed[t.ID]
+		for n < len(t.Boxes) && t.Boxes[n].Frame <= end {
+			in.view.Extend(t.ID, t.Boxes[n])
+			n++
+		}
+		if n != in.fed[t.ID] {
+			in.fed[t.ID] = n
+		}
+	}
+}
+
+// lastClosedEnd returns the End of the most recently committed window,
+// or -1 when no window has closed. Window ends are non-decreasing (the
+// Close clip never cuts below an already-committed end), so this is the
+// view's feed horizon.
+func (in *Ingestor) lastClosedEnd() video.FrameIndex {
+	if len(in.results) == 0 {
+		return -1
+	}
+	return in.results[len(in.results)-1].Window.End
 }
 
 // Results returns every window processed so far.

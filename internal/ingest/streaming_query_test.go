@@ -1,0 +1,526 @@
+package ingest
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/query"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// Query parameters tuned so every operator's answer is non-trivially
+// populated on streamScene (900x700 frames, spans 80..500).
+var (
+	sqCount   = query.CountQuery{MinFrames: 150}
+	sqRegion  = query.RegionQuery{Region: geom.Rect{X: 0, Y: 0, W: 450, H: 700}, MinFrames: 60}
+	sqCoOccur = query.CoOccurQuery{GroupSize: 2, MinFrames: 120}
+	sqPre     = query.PrecedesQuery{MinGap: 50, MinOverlap: 30}
+)
+
+// sqOps builds fresh operators for the standard four subscriptions.
+func sqOps() []struct {
+	name string
+	op   query.Incremental
+} {
+	return []struct {
+		name string
+		op   query.Incremental
+	}{
+		{"count", query.NewIncCount(sqCount)},
+		{"region", query.NewIncRegion(sqRegion)},
+		{"cooccur", query.NewIncCoOccur(sqCoOccur)},
+		{"precedes", query.NewIncPrecedes(sqPre)},
+	}
+}
+
+// sqBatch answers every standard query over ts in result-row shape,
+// indexed like sqOps.
+func sqBatch(ts *video.TrackSet) [][][]video.TrackID {
+	count := sqCount.Answer(ts)
+	region := sqRegion.Answer(ts)
+	groups := sqCoOccur.Answer(ts)
+	pairs := sqPre.Answer(ts)
+	out := make([][][]video.TrackID, 4)
+	for _, id := range count {
+		out[0] = append(out[0], []video.TrackID{id})
+	}
+	for _, id := range region {
+		out[1] = append(out[1], []video.TrackID{id})
+	}
+	for _, g := range groups {
+		out[2] = append(out[2], []video.TrackID(g))
+	}
+	for _, p := range pairs {
+		out[3] = append(out[3], []video.TrackID{p.First, p.Second})
+	}
+	return out
+}
+
+// deltaFold replays a delta stream from the empty set.
+type deltaFold map[string][]video.TrackID
+
+func foldKey(row []video.TrackID) string { return fmt.Sprint(row) }
+
+func (f deltaFold) apply(t *testing.T, deltas []query.Delta) {
+	t.Helper()
+	for _, d := range deltas {
+		key := foldKey(d.Row)
+		switch d.Kind {
+		case query.Assert:
+			if _, dup := f[key]; dup {
+				t.Fatalf("delta stream asserts %v twice", d.Row)
+			}
+			f[key] = d.Row
+		case query.Retract:
+			if _, held := f[key]; !held {
+				t.Fatalf("delta stream retracts unknown row %v", d.Row)
+			}
+			delete(f, key)
+		}
+	}
+}
+
+func (f deltaFold) equals(rows [][]video.TrackID) bool {
+	if len(f) != len(rows) {
+		return false
+	}
+	for _, row := range rows {
+		if _, ok := f[foldKey(row)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// clipSet truncates every track to boxes at or before end — the merged
+// state as of a window horizon, for comparing against mid-window cuts
+// (the live view only advances at window commits, while MergedTracks
+// sees every pushed frame).
+func clipSet(ts *video.TrackSet, end video.FrameIndex) *video.TrackSet {
+	var out []*video.Track
+	for _, tr := range ts.Sorted() {
+		if c := video.ClipTrack(tr, 0, end); c != nil {
+			out = append(out, c)
+		}
+	}
+	return video.NewTrackSet(out)
+}
+
+// sqAlgorithms is the full selection-algorithm matrix of the equivalence
+// suite — all five algorithm families.
+func sqAlgorithms(seed uint64) map[string]core.Algorithm {
+	tcfg := core.DefaultTMergeConfig(seed)
+	tcfg.TauMax = 1200
+	return map[string]core.Algorithm{
+		"baseline": core.NewBaseline(),
+		"spatial":  core.NewSpatial(),
+		"lcb":      core.NewLCB(1200, seed),
+		"ps":       core.NewPS(0.01, seed),
+		"tmerge":   core.NewTMerge(tcfg),
+	}
+}
+
+// driveQueryStream runs one full subscribed streaming session and checks
+// the per-session invariants: event-log conservation, registration-order
+// delta reporting, fold-reconstruction, and final batch equivalence.
+func driveQueryStream(t *testing.T, algo core.Algorithm, workers int) []WindowResult {
+	t.Helper()
+	v := streamScene(t)
+	oracle := reid.NewOracle(reid.NewModel(7, dataset.AppearanceDim), device.NewCPU(device.DefaultCPU))
+	in, err := New(track.Tracktor(), oracle, Config{
+		WindowLen: 400,
+		K:         0.05,
+		Algorithm: algo,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := sqOps()
+	folds := make([]deltaFold, len(ops))
+	for i, s := range ops {
+		boot, err := in.Subscribe(s.name, s.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boot != nil {
+			t.Fatalf("%s: bootstrap deltas before any window: %v", s.name, boot)
+		}
+		folds[i] = deltaFold{}
+	}
+
+	// Normal cadence, then a gap that closes several windows in one
+	// PushAt (the parallel-executor path), then the Close flush.
+	for f := 0; f <= 1000; f++ {
+		in.PushAt(video.FrameIndex(f), v.Detections[f])
+	}
+	last := len(v.Detections) - 1
+	in.PushAt(video.FrameIndex(last), v.Detections[last])
+	in.Close()
+
+	events := 0
+	for _, res := range in.Results() {
+		events += len(res.Events)
+		if len(res.Queries) != len(ops) {
+			t.Fatalf("window %d carries %d query outputs, want %d", res.Window.Index, len(res.Queries), len(ops))
+		}
+		for i, q := range res.Queries {
+			if q.Name != ops[i].name {
+				t.Fatalf("window %d query %d named %q, want %q (registration order)", res.Window.Index, i, q.Name, ops[i].name)
+			}
+			folds[i].apply(t, q.Deltas)
+		}
+	}
+	if events != in.Merger().EventCount() {
+		t.Errorf("window results carry %d events, merger logged %d", events, in.Merger().EventCount())
+	}
+
+	finals := sqBatch(in.MergedTracks())
+	for i, s := range ops {
+		got := s.op.Results()
+		if !reflect.DeepEqual(got, finals[i]) {
+			t.Errorf("%s: incremental results %v, batch answer %v", s.name, got, finals[i])
+		}
+		if !folds[i].equals(got) {
+			t.Errorf("%s: folded window deltas diverge from Results", s.name)
+		}
+		if in.Operator(s.name) != s.op {
+			t.Errorf("%s: Operator handle lost", s.name)
+		}
+	}
+	if got := in.Subscriptions(); !reflect.DeepEqual(got, []string{"count", "region", "cooccur", "precedes"}) {
+		t.Errorf("Subscriptions = %v", got)
+	}
+	return in.Results()
+}
+
+// TestStreamingQueryMatchesBatchAcrossAlgorithms is the tentpole
+// acceptance suite: for every selection algorithm and worker count, the
+// subscribed operators' results after the final window are bit-identical
+// to the batch Answers over the merged track set, and the per-window
+// delta stream folds back to them.
+func TestStreamingQueryMatchesBatchAcrossAlgorithms(t *testing.T) {
+	seeds := []uint64{5, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	workerCounts := []int{1, runtime.NumCPU(), 4}
+	for _, seed := range seeds {
+		for name, algo := range sqAlgorithms(seed) {
+			if testing.Short() && name != "tmerge" && name != "baseline" {
+				continue
+			}
+			algo := algo
+			t.Run(fmt.Sprintf("%s-seed%d", name, seed), func(t *testing.T) {
+				ref := driveQueryStream(t, algo, 1)
+				seen := map[int]bool{1: true}
+				for _, workers := range workerCounts {
+					if seen[workers] {
+						continue
+					}
+					seen[workers] = true
+					got := driveQueryStream(t, sqAlgorithms(seed)[name], workers)
+					if !reflect.DeepEqual(ref, got) {
+						t.Errorf("Workers=%d: window results (incl. events and query deltas) diverged from Workers=1", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingQueryPerWindowEquivalence pins the stronger per-cut
+// guarantee on one configuration: at every window boundary — not just
+// the final one — incremental Results equal the batch answer over
+// MergedTracks().
+func TestStreamingQueryPerWindowEquivalence(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	ops := sqOps()
+	for _, s := range ops {
+		if _, err := in.Subscribe(s.name, s.op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(closed []WindowResult) {
+		if len(closed) == 0 {
+			return
+		}
+		finals := sqBatch(in.MergedTracks())
+		for i, s := range ops {
+			if !reflect.DeepEqual(s.op.Results(), finals[i]) {
+				t.Fatalf("window %d, %s: incremental diverged from batch", closed[len(closed)-1].Window.Index, s.name)
+			}
+		}
+	}
+	for _, dets := range v.Detections {
+		check(in.Push(dets))
+	}
+	check(in.Close())
+	if len(in.Results()) < 4 {
+		t.Fatalf("scene closed only %d windows", len(in.Results()))
+	}
+}
+
+// TestSubscribeMidStreamBootstrap: subscribing after windows have closed
+// returns the bootstrap assertions — exactly the batch answer at that
+// cut, as sorted asserts folding into an empty operator.
+func TestSubscribeMidStreamBootstrap(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	for _, dets := range v.Detections[:1600] {
+		in.Push(dets)
+	}
+	if len(in.Results()) == 0 {
+		t.Fatal("no window closed before the mid-stream subscribe")
+	}
+
+	op := query.NewIncCount(sqCount)
+	boot, err := in.Subscribe("count", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sqCount.Answer(clipSet(in.MergedTracks(), in.lastClosedEnd()))
+	if len(boot) != len(want) {
+		t.Fatalf("bootstrap emitted %d deltas, batch answer has %d rows", len(boot), len(want))
+	}
+	for i, d := range boot {
+		if d.Kind != query.Assert || len(d.Row) != 1 || d.Row[0] != want[i] {
+			t.Fatalf("bootstrap delta %d = %+v, want assert %d", i, d, want[i])
+		}
+	}
+
+	// The late subscriber then tracks the stream like any other.
+	for _, dets := range v.Detections[1600:] {
+		in.Push(dets)
+	}
+	in.Close()
+	final := sqCount.Answer(in.MergedTracks())
+	if got := op.Answer(); !reflect.DeepEqual(got, final) {
+		t.Errorf("late subscriber final answer %v, batch %v", got, final)
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	in := newIngestor(t, nil)
+	if _, err := in.Subscribe("", query.NewIncCount(sqCount)); err == nil {
+		t.Error("empty subscription name accepted")
+	}
+	if _, err := in.Subscribe("count", nil); err == nil {
+		t.Error("nil operator accepted")
+	}
+	if _, err := in.Subscribe("count", query.NewIncCount(sqCount)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Subscribe("count", query.NewIncRegion(sqRegion)); err == nil {
+		t.Error("duplicate subscription name accepted")
+	}
+}
+
+// TestWindowEventsWithoutSubscriptions: the merge-event log rides on
+// every window result even when nothing is subscribed, and the lazy view
+// is never materialised for such sessions.
+func TestWindowEventsWithoutSubscriptions(t *testing.T) {
+	v := streamScene(t)
+	in := newIngestor(t, nil)
+	for _, dets := range v.Detections {
+		in.Push(dets)
+	}
+	in.Close()
+	events := 0
+	merged := 0
+	for _, res := range in.Results() {
+		events += len(res.Events)
+		merged += len(res.Merged)
+		if res.Queries != nil {
+			t.Fatalf("window %d carries query deltas without subscriptions", res.Window.Index)
+		}
+		for _, ev := range res.Events {
+			if err := ev.Validate(); err != nil {
+				t.Fatalf("window %d carries invalid event: %v", res.Window.Index, err)
+			}
+		}
+	}
+	if events != in.Merger().EventCount() {
+		t.Errorf("window results carry %d events, merger logged %d", events, in.Merger().EventCount())
+	}
+	if events > merged {
+		t.Errorf("%d events exceed %d merged pairs (no-ops must not log)", events, merged)
+	}
+	if in.view != nil {
+		t.Error("live view materialised without any subscription")
+	}
+	if merged == 0 {
+		t.Error("scene produced no merges; the event assertions are vacuous")
+	}
+}
+
+// TestStreamingQueryCheckpointCut: a subscribed session checkpointed and
+// restored mid-stream resumes incremental processing without
+// recomputation — after re-subscribing (which adopts the checkpointed
+// operator state and returns nil deltas), the remainder of the stream
+// produces window results, deltas, and final operator state
+// bit-identical to the uninterrupted session's.
+func TestStreamingQueryCheckpointCut(t *testing.T) {
+	v := streamScene(t)
+	const cut = 1650
+
+	run := func(p pipeline) *Ingestor {
+		t.Helper()
+		in, err := New(p.engine, p.oracle, p.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sqOps() {
+			if _, err := in.Subscribe(s.name, s.op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return in
+	}
+
+	// Reference: uninterrupted.
+	rp := newPipeline(5, 1)
+	ref := run(rp)
+	for _, dets := range v.Detections {
+		ref.Push(dets)
+	}
+	ref.Close()
+
+	// Interrupted: run to the cut, checkpoint, crash, restore.
+	p1 := newPipeline(5, 1)
+	first := run(p1)
+	for _, dets := range v.Detections[:cut] {
+		first.Push(dets)
+	}
+	if len(first.Results()) == 0 {
+		t.Fatal("no window closed before the cut")
+	}
+	data, err := first.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newPipeline(5, 1)
+	resumed, err := Restore(p2.engine, p2.oracle, p2.cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Subscriptions(); len(got) != 0 {
+		t.Fatalf("restored session has active subscriptions %v before re-subscribe", got)
+	}
+
+	// A mis-configured re-subscribe is rejected by the parameter echo.
+	if _, err := resumed.Subscribe("count", query.NewIncCount(query.CountQuery{MinFrames: sqCount.MinFrames + 1})); err == nil {
+		t.Fatal("re-subscribe with different parameters accepted")
+	}
+
+	resumedOps := sqOps()
+	for _, s := range resumedOps {
+		boot, err := resumed.Subscribe(s.name, s.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boot != nil {
+			t.Fatalf("%s: re-subscribe returned deltas %v, want nil (state adopted)", s.name, boot)
+		}
+	}
+	// The adopted state already answers the stream as of the last
+	// committed window.
+	preCut := sqBatch(clipSet(resumed.MergedTracks(), resumed.lastClosedEnd()))
+	for i, s := range resumedOps {
+		if !reflect.DeepEqual(s.op.Results(), preCut[i]) {
+			t.Fatalf("%s: restored results diverge from batch at the cut", s.name)
+		}
+	}
+
+	for _, dets := range v.Detections[cut:] {
+		resumed.Push(dets)
+	}
+	resumed.Close()
+
+	if !reflect.DeepEqual(ref.Results(), resumed.Results()) {
+		t.Error("window results (incl. events and query deltas) diverged across the checkpoint cut")
+	}
+	for i, s := range resumedOps {
+		refOp := sqOps()[i]
+		if ref.Operator(refOp.name).State().Params != s.op.State().Params {
+			t.Fatalf("%s: operator param echo diverged", s.name)
+		}
+		if !reflect.DeepEqual(ref.Operator(refOp.name).State(), s.op.State()) {
+			t.Errorf("%s: final operator state diverged across the checkpoint cut", s.name)
+		}
+	}
+
+	// A brand-new subscription on the restored session bootstraps from
+	// the live view as usual.
+	lateQ := query.CountQuery{MinFrames: 100}
+	late := query.NewIncCount(lateQ)
+	boot, err := resumed.Subscribe("late", late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lateQ.Answer(resumed.MergedTracks())
+	if len(boot) != len(want) {
+		t.Errorf("late bootstrap emitted %d deltas, batch answer has %d rows", len(boot), len(want))
+	}
+}
+
+// TestCheckpointCarriesUnclaimedSubscriptions: restoring and immediately
+// checkpointing again must not drop operator states that were never
+// re-subscribed — they ride along as pending states.
+func TestCheckpointCarriesUnclaimedSubscriptions(t *testing.T) {
+	v := streamScene(t)
+	p1 := newPipeline(7, 1)
+	in, err := New(p1.engine, p1.oracle, p1.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Subscribe("count", query.NewIncCount(sqCount)); err != nil {
+		t.Fatal(err)
+	}
+	for _, dets := range v.Detections[:1400] {
+		in.Push(dets)
+	}
+	data, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore, do NOT re-subscribe, checkpoint again, restore again: the
+	// operator state must survive both hops and still be claimable.
+	p2 := newPipeline(7, 1)
+	mid, err := Restore(p2.engine, p2.oracle, p2.cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := mid.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := newPipeline(7, 1)
+	final, err := Restore(p3.engine, p3.oracle, p3.cfg, data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := query.NewIncCount(sqCount)
+	boot, err := final.Subscribe("count", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot != nil {
+		t.Fatalf("claimed subscription returned bootstrap deltas %v", boot)
+	}
+	want := sqCount.Answer(clipSet(final.MergedTracks(), final.lastClosedEnd()))
+	if got := op.Answer(); !reflect.DeepEqual(got, want) {
+		t.Errorf("claimed operator answers %v, batch %v", got, want)
+	}
+}

@@ -1,0 +1,500 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/trackdb"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// The live view is the production TrackView implementation.
+var _ TrackView = (*trackdb.LiveView)(nil)
+
+// rowsEqual compares two row sets element-wise.
+func rowsEqual(a, b [][]video.TrackID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func idRowsOf(ids []video.TrackID) [][]video.TrackID {
+	out := make([][]video.TrackID, len(ids))
+	for i, id := range ids {
+		out[i] = []video.TrackID{id}
+	}
+	return out
+}
+
+func groupRowsOf(groups []Group) [][]video.TrackID {
+	out := make([][]video.TrackID, len(groups))
+	for i, g := range groups {
+		out[i] = []video.TrackID(g)
+	}
+	return out
+}
+
+func pairRowsOf(pairs []OrderedPair) [][]video.TrackID {
+	out := make([][]video.TrackID, len(pairs))
+	for i, p := range pairs {
+		out[i] = []video.TrackID{p.First, p.Second}
+	}
+	return out
+}
+
+// clipTracks truncates every track to boxes at or before end, dropping
+// tracks that have not started — the batch-side equivalent of what the
+// stream has revealed so far.
+func clipTracks(tracks []*video.Track, end video.FrameIndex) []*video.Track {
+	var out []*video.Track
+	for _, tr := range tracks {
+		c := &video.Track{ID: tr.ID}
+		for _, b := range tr.Boxes {
+			if b.Frame <= end {
+				c.Boxes = append(c.Boxes, b)
+			}
+		}
+		if len(c.Boxes) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// folder replays a delta stream from the empty set, checking the
+// per-batch ordering contract as it goes.
+type folder struct {
+	rows map[string][]video.TrackID
+}
+
+func newFolder() *folder { return &folder{rows: make(map[string][]video.TrackID)} }
+
+func (f *folder) fold(t *testing.T, deltas []Delta) {
+	t.Helper()
+	seenAssert := false
+	for i, d := range deltas {
+		key := groupKey(d.Row)
+		switch d.Kind {
+		case Assert:
+			seenAssert = true
+			if _, dup := f.rows[key]; dup {
+				t.Fatalf("delta %d asserts %v twice", i, d.Row)
+			}
+			f.rows[key] = append([]video.TrackID(nil), d.Row...)
+		case Retract:
+			if seenAssert {
+				t.Fatalf("delta %d retracts %v after an assert in the same batch", i, d.Row)
+			}
+			if _, held := f.rows[key]; !held {
+				t.Fatalf("delta %d retracts unknown row %v", i, d.Row)
+			}
+			delete(f.rows, key)
+		default:
+			t.Fatalf("delta %d has kind %v", i, d.Kind)
+		}
+	}
+}
+
+func (f *folder) matches(results [][]video.TrackID) bool {
+	if len(f.rows) != len(results) {
+		return false
+	}
+	for _, row := range results {
+		held, ok := f.rows[groupKey(row)]
+		if !ok || len(held) != len(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalOperatorsMatchBatchUnderStreaming is the engine's core
+// guarantee: streaming extensions and merge events through a live view
+// and folding the per-window deltas yields, at every step, exactly the
+// batch Answer over the batch-merged clip of everything revealed so far
+// — and the delta stream replayed from empty reproduces Results.
+func TestIncrementalOperatorsMatchBatchUnderStreaming(t *testing.T) {
+	rng := xrand.New(17)
+	region := geom.Rect{X: 0, Y: 0, W: 60, H: 60}
+
+	countQ := CountQuery{MinFrames: 20}
+	zeroQ := CountQuery{MinFrames: 0} // MinFrames <= 0 admits every track
+	regionQ := RegionQuery{Region: region, MinFrames: 8}
+	coQ := CoOccurQuery{GroupSize: 2, MinFrames: 15}
+	coClassQ := CoOccurQuery{GroupSize: 2, MinFrames: 10, Classes: []video.ClassID{0, 1}}
+	preQ := PrecedesQuery{MinGap: 5, MinOverlap: 5}
+
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(8)
+		var tracks []*video.Track
+		maxFrame := video.FrameIndex(0)
+		for i := 0; i < n; i++ {
+			start := video.FrameIndex(rng.Intn(40))
+			spanLen := 1 + rng.Intn(60)
+			tr := &video.Track{ID: video.TrackID(i)}
+			for f := start; f < start+video.FrameIndex(spanLen); f++ {
+				if rng.Float64() < 0.15 {
+					continue
+				}
+				tr.Boxes = append(tr.Boxes, video.BBox{
+					ID:    video.BBoxID(i*10000 + int(f)),
+					Frame: f,
+					Rect:  geom.Rect{X: rng.Float64() * 100, Y: rng.Float64() * 100, W: 10, H: 10},
+					Class: video.ClassID(rng.Intn(3)),
+				})
+			}
+			if len(tr.Boxes) == 0 {
+				tr.Boxes = append(tr.Boxes, video.BBox{ID: video.BBoxID(i * 10000), Frame: start, Rect: geom.Rect{X: 1, Y: 1, W: 10, H: 10}})
+			}
+			if e := tr.EndFrame(); e > maxFrame {
+				maxFrame = e
+			}
+			tracks = append(tracks, tr)
+		}
+
+		ops := []Incremental{
+			NewIncCount(countQ),
+			NewIncCount(zeroQ),
+			NewIncRegion(regionQ),
+			NewIncCoOccur(coQ),
+			NewIncCoOccur(coClassQ),
+			NewIncPrecedes(preQ),
+		}
+		batch := []func(ts *video.TrackSet) [][]video.TrackID{
+			func(ts *video.TrackSet) [][]video.TrackID { return idRowsOf(countQ.Answer(ts)) },
+			func(ts *video.TrackSet) [][]video.TrackID { return idRowsOf(zeroQ.Answer(ts)) },
+			func(ts *video.TrackSet) [][]video.TrackID { return idRowsOf(regionQ.Answer(ts)) },
+			func(ts *video.TrackSet) [][]video.TrackID { return groupRowsOf(coQ.Answer(ts)) },
+			func(ts *video.TrackSet) [][]video.TrackID { return groupRowsOf(coClassQ.Answer(ts)) },
+			func(ts *video.TrackSet) [][]video.TrackID { return pairRowsOf(preQ.Answer(ts)) },
+		}
+		folders := make([]*folder, len(ops))
+		for i := range folders {
+			folders[i] = newFolder()
+		}
+
+		v := trackdb.NewLiveView()
+		m := core.NewMerger()
+		fed := make([]int, n)
+		cursor := 0
+		step := 1 + int(maxFrame)/4
+		for end := video.FrameIndex(step); ; end += video.FrameIndex(step) {
+			for i, tr := range tracks {
+				for fed[i] < len(tr.Boxes) && tr.Boxes[fed[i]].Frame <= end {
+					v.Extend(tr.ID, tr.Boxes[fed[i]])
+					fed[i]++
+				}
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b && fed[a] > 0 && fed[b] > 0 {
+					m.Merge(video.MakePairKey(video.TrackID(a), video.TrackID(b)))
+				}
+			}
+			if err := v.ApplyEvents(m.EventsSince(cursor)); err != nil {
+				t.Fatal(err)
+			}
+			cursor = m.EventCount()
+			changed, removed := v.Flush()
+
+			clipped := clipTracks(tracks, end)
+			merged := m.Apply(video.NewTrackSet(clipped))
+			for i, op := range ops {
+				deltas := op.Apply(v, changed, removed)
+				folders[i].fold(t, deltas)
+				got := op.Results()
+				want := batch[i](merged)
+				if !rowsEqual(got, want) {
+					t.Fatalf("trial %d end %d op %s: incremental %v, batch %v", trial, end, op.Kind(), got, want)
+				}
+				if !folders[i].matches(got) {
+					t.Fatalf("trial %d end %d op %s: folded deltas diverge from Results", trial, end, op.Kind())
+				}
+			}
+			if end >= maxFrame {
+				break
+			}
+		}
+	}
+}
+
+// TestIncrementalRetractionOnMerge pins the delta semantics of the
+// merge-coalescing case for every operator shape.
+func TestIncrementalRetractionOnMerge(t *testing.T) {
+	// Two long tracks that each qualify alone, then merge into one.
+	build := func() (*trackdb.LiveView, *core.Merger) {
+		v := trackdb.NewLiveView()
+		for _, tr := range []*video.Track{span(1, 1, 0, 199), span(5, 5, 100, 299)} {
+			for _, b := range tr.Boxes {
+				v.Extend(tr.ID, b)
+			}
+		}
+		return v, core.NewMerger()
+	}
+
+	t.Run("count", func(t *testing.T) {
+		v, m := build()
+		op := NewIncCount(CountQuery{MinFrames: 50})
+		changed, removed := v.Flush()
+		if got := op.Apply(v, changed, removed); len(got) != 2 || got[0].Kind != Assert || got[1].Kind != Assert {
+			t.Fatalf("bootstrap deltas = %v", got)
+		}
+		m.Merge(video.MakePairKey(1, 5))
+		if err := v.ApplyEvents(m.Events()); err != nil {
+			t.Fatal(err)
+		}
+		changed, removed = v.Flush()
+		got := op.Apply(v, changed, removed)
+		// Identity 5 was coalesced into 1: exactly one retraction, and 1
+		// still qualifies so no re-assert.
+		if len(got) != 1 || got[0].Kind != Retract || got[0].Row[0] != 5 {
+			t.Fatalf("merge deltas = %v, want [retract 5]", got)
+		}
+		if op.Count() != 1 {
+			t.Errorf("Count = %d", op.Count())
+		}
+	})
+
+	t.Run("count-assert-after-merge", func(t *testing.T) {
+		// Neither fragment qualifies alone; the merged identity does.
+		v := trackdb.NewLiveView()
+		for _, tr := range []*video.Track{span(1, 1, 0, 99), span(5, 5, 200, 299)} {
+			for _, b := range tr.Boxes {
+				v.Extend(tr.ID, b)
+			}
+		}
+		op := NewIncCount(CountQuery{MinFrames: 150})
+		changed, removed := v.Flush()
+		if got := op.Apply(v, changed, removed); got != nil {
+			t.Fatalf("bootstrap deltas = %v, want none", got)
+		}
+		m := core.NewMerger()
+		m.Merge(video.MakePairKey(1, 5))
+		if err := v.ApplyEvents(m.Events()); err != nil {
+			t.Fatal(err)
+		}
+		changed, removed = v.Flush()
+		got := op.Apply(v, changed, removed)
+		if len(got) != 1 || got[0].Kind != Assert || got[0].Row[0] != 1 {
+			t.Fatalf("merge deltas = %v, want [assert 1]", got)
+		}
+	})
+
+	t.Run("cooccur", func(t *testing.T) {
+		v, m := build()
+		op := NewIncCoOccur(CoOccurQuery{GroupSize: 2, MinFrames: 50})
+		changed, removed := v.Flush()
+		// Joint presence 100..199 = 100 frames: the pair {1,5} qualifies.
+		if got := op.Apply(v, changed, removed); len(got) != 1 || got[0].Kind != Assert {
+			t.Fatalf("bootstrap deltas = %v", got)
+		}
+		m.Merge(video.MakePairKey(1, 5))
+		if err := v.ApplyEvents(m.Events()); err != nil {
+			t.Fatal(err)
+		}
+		changed, removed = v.Flush()
+		got := op.Apply(v, changed, removed)
+		// The two identities collapsed: a group cannot contain one track.
+		if len(got) != 1 || got[0].Kind != Retract || groupKey(got[0].Row) != "1,5" {
+			t.Fatalf("merge deltas = %v, want [retract (1,5)]", got)
+		}
+		if len(op.Groups()) != 0 {
+			t.Errorf("Groups = %v", op.Groups())
+		}
+	})
+
+	t.Run("precedes", func(t *testing.T) {
+		v, m := build()
+		op := NewIncPrecedes(PrecedesQuery{MinGap: 100, MinOverlap: 50})
+		changed, removed := v.Flush()
+		// 5 enters 100 frames after 1 and overlaps it 100 frames.
+		if got := op.Apply(v, changed, removed); len(got) != 1 || got[0].Kind != Assert ||
+			got[0].Row[0] != 1 || got[0].Row[1] != 5 {
+			t.Fatalf("bootstrap deltas = %v", got)
+		}
+		m.Merge(video.MakePairKey(1, 5))
+		if err := v.ApplyEvents(m.Events()); err != nil {
+			t.Fatal(err)
+		}
+		changed, removed = v.Flush()
+		got := op.Apply(v, changed, removed)
+		if len(got) != 1 || got[0].Kind != Retract {
+			t.Fatalf("merge deltas = %v, want one retraction", got)
+		}
+		if len(op.Pairs()) != 0 {
+			t.Errorf("Pairs = %v", op.Pairs())
+		}
+	})
+}
+
+func TestNewIncCoOccurPanics(t *testing.T) {
+	for name, q := range map[string]CoOccurQuery{
+		"group size 1":     {GroupSize: 1, MinFrames: 10},
+		"classes mismatch": {GroupSize: 3, MinFrames: 10, Classes: []video.ClassID{0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewIncCoOccur did not panic", name)
+				}
+			}()
+			NewIncCoOccur(q)
+		}()
+	}
+}
+
+func TestOperatorStateRoundTrip(t *testing.T) {
+	// Drive each operator through a bootstrap and a merge, snapshot, and
+	// restore into a fresh identically configured operator.
+	v := trackdb.NewLiveView()
+	for _, tr := range []*video.Track{span(1, 1, 0, 199), span(5, 5, 100, 299), span(9, 9, 150, 399)} {
+		for _, b := range tr.Boxes {
+			v.Extend(tr.ID, b)
+		}
+	}
+	m := core.NewMerger()
+
+	countQ := CountQuery{MinFrames: 50}
+	regionQ := RegionQuery{Region: geom.Rect{X: 0, Y: 0, W: 500, H: 500}, MinFrames: 50}
+	coQ := CoOccurQuery{GroupSize: 2, MinFrames: 50}
+	preQ := PrecedesQuery{MinGap: 100, MinOverlap: 50}
+	ops := []Incremental{NewIncCount(countQ), NewIncRegion(regionQ), NewIncCoOccur(coQ), NewIncPrecedes(preQ)}
+	fresh := func() []Incremental {
+		return []Incremental{NewIncCount(countQ), NewIncRegion(regionQ), NewIncCoOccur(coQ), NewIncPrecedes(preQ)}
+	}
+
+	changed, removed := v.Flush()
+	for _, op := range ops {
+		op.Apply(v, changed, removed)
+	}
+	m.Merge(video.MakePairKey(1, 5))
+	if err := v.ApplyEvents(m.Events()); err != nil {
+		t.Fatal(err)
+	}
+	changed, removed = v.Flush()
+	for _, op := range ops {
+		op.Apply(v, changed, removed)
+	}
+
+	for i, op := range ops {
+		st := op.State()
+		if st.Kind != op.Kind() {
+			t.Errorf("%s: state kind %q", op.Kind(), st.Kind)
+		}
+		r := fresh()[i]
+		if err := r.RestoreState(st); err != nil {
+			t.Fatalf("%s: restore: %v", op.Kind(), err)
+		}
+		if !rowsEqual(r.Results(), op.Results()) {
+			t.Errorf("%s: restored Results %v, want %v", op.Kind(), r.Results(), op.Results())
+		}
+		if r.Stats() != op.Stats() {
+			t.Errorf("%s: restored Stats %+v, want %+v", op.Kind(), r.Stats(), op.Stats())
+		}
+	}
+}
+
+func TestOperatorRestoreRejections(t *testing.T) {
+	countQ := CountQuery{MinFrames: 50}
+	goodCount := OperatorState{Kind: "count", Params: "{MinFrames:50}"}
+
+	cases := map[string]struct {
+		op Incremental
+		st OperatorState
+	}{
+		"kind mismatch": {NewIncRegion(RegionQuery{MinFrames: 50}), goodCount},
+		"params mismatch": {NewIncCount(CountQuery{MinFrames: 60}),
+			goodCount},
+		"negative counters": {NewIncCount(countQ),
+			OperatorState{Kind: "count", Params: "{MinFrames:50}", Stats: OpStats{Scanned: -1}}},
+		"count row too wide": {NewIncCount(countQ),
+			OperatorState{Kind: "count", Params: "{MinFrames:50}", Result: [][]video.TrackID{{1, 2}}}},
+		"count duplicate id": {NewIncCount(countQ),
+			OperatorState{Kind: "count", Params: "{MinFrames:50}", Result: [][]video.TrackID{{1}, {1}}}},
+		"cooccur wrong width": {NewIncCoOccur(CoOccurQuery{GroupSize: 3, MinFrames: 5}),
+			OperatorState{Kind: "cooccur", Params: "{GroupSize:3 MinFrames:5 Classes:[]}", Result: [][]video.TrackID{{1, 2}}}},
+		"cooccur unsorted row": {NewIncCoOccur(CoOccurQuery{GroupSize: 2, MinFrames: 5}),
+			OperatorState{Kind: "cooccur", Params: "{GroupSize:2 MinFrames:5 Classes:[]}", Result: [][]video.TrackID{{2, 1}}}},
+		"precedes self pair": {NewIncPrecedes(PrecedesQuery{MinGap: 1, MinOverlap: 1}),
+			OperatorState{Kind: "precedes", Params: "{MinGap:1 MinOverlap:1}", Result: [][]video.TrackID{{3, 3}}}},
+		"precedes duplicate": {NewIncPrecedes(PrecedesQuery{MinGap: 1, MinOverlap: 1}),
+			OperatorState{Kind: "precedes", Params: "{MinGap:1 MinOverlap:1}", Result: [][]video.TrackID{{1, 2}, {1, 2}}}},
+	}
+	for name, c := range cases {
+		if err := c.op.RestoreState(c.st); err == nil {
+			t.Errorf("%s: RestoreState accepted the snapshot", name)
+		}
+	}
+
+	// Sanity-check that the handwritten param echoes above are the real
+	// ones — otherwise every rejection would be a params mismatch and the
+	// row validations would go untested.
+	if got := NewIncCount(countQ).State().Params; got != goodCount.Params {
+		t.Fatalf("count params echo = %q", got)
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	empty := set()
+	if got := (CountQuery{MinFrames: 10}).Answer(empty); len(got) != 0 {
+		t.Errorf("count over empty set = %v", got)
+	}
+	if got := (CountQuery{MinFrames: 10}).Count(empty); got != 0 {
+		t.Errorf("Count over empty set = %d", got)
+	}
+	if got := (RegionQuery{Region: geom.Rect{W: 10, H: 10}, MinFrames: 1}).Answer(empty); len(got) != 0 {
+		t.Errorf("region over empty set = %v", got)
+	}
+	if got := (PrecedesQuery{MinGap: 1, MinOverlap: 1}).Answer(empty); len(got) != 0 {
+		t.Errorf("precedes over empty set = %v", got)
+	}
+
+	// MinFrames <= 0 admits every track: a span is always >= 1 and a
+	// dwell always >= 0.
+	ts := set(span(1, 1, 0, 0), span(2, 2, 10, 40))
+	for _, mf := range []int{0, -5} {
+		if got := (CountQuery{MinFrames: mf}).Answer(ts); len(got) != 2 {
+			t.Errorf("count MinFrames=%d = %v, want both tracks", mf, got)
+		}
+		if got := (RegionQuery{Region: geom.Rect{W: 1, H: 1}, MinFrames: mf}).Answer(ts); len(got) != 2 {
+			t.Errorf("region MinFrames=%d = %v, want both tracks", mf, got)
+		}
+	}
+
+	// A zero-area region still contains boxes centered exactly on it —
+	// Contains is boundary-inclusive.
+	tr := &video.Track{ID: 7, Boxes: []video.BBox{
+		{ID: 1, Frame: 0, Rect: geom.Rect{X: 0, Y: 0, W: 10, H: 10}}, // center (5, 5)
+		{ID: 2, Frame: 1, Rect: geom.Rect{X: 20, Y: 20, W: 4, H: 4}}, // center (22, 22)
+	}}
+	q := RegionQuery{Region: geom.Rect{X: 5, Y: 5, W: 0, H: 0}, MinFrames: 1}
+	if got := q.Answer(set(tr)); len(got) != 1 || got[0] != 7 {
+		t.Errorf("zero-area region answer = %v", got)
+	}
+	if got := (RegionQuery{Region: geom.Rect{X: 5, Y: 5, W: 0, H: 0}, MinFrames: 2}).Answer(set(tr)); len(got) != 0 {
+		t.Errorf("zero-area region with MinFrames=2 = %v", got)
+	}
+}
+
+func TestDeltaKindString(t *testing.T) {
+	if Assert.String() != "assert" || Retract.String() != "retract" {
+		t.Error("delta kind names changed")
+	}
+	if got := DeltaKind(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

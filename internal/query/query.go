@@ -42,12 +42,22 @@ func (q CountQuery) Answer(ts *video.TrackSet) []video.TrackID {
 			out = append(out, t.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	video.SortTrackIDs(out)
 	return out
 }
 
-// Count returns the query's answer cardinality.
-func (q CountQuery) Count(ts *video.TrackSet) int { return len(q.Answer(ts)) }
+// Count returns the query's answer cardinality. It only counts — no
+// answer slice is built — so the hot aggregate path of the streaming
+// engine stays allocation-free.
+func (q CountQuery) Count(ts *video.TrackSet) int {
+	n := 0
+	for _, t := range ts.Tracks() {
+		if q.matches(t) {
+			n++
+		}
+	}
+	return n
+}
 
 // Recall evaluates the query over hypothesis tracks against ground truth:
 // the fraction of qualifying GT objects for which some answered hypothesis
@@ -120,7 +130,7 @@ func (q CoOccurQuery) Answer(ts *video.TrackSet) []Group {
 			for i, t := range group {
 				g[i] = t.ID
 			}
-			sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+			video.SortTrackIDs(g)
 			out = append(out, g)
 			return
 		}

@@ -27,8 +27,21 @@ func (q RegionQuery) Answer(ts *video.TrackSet) []video.TrackID {
 			out = append(out, t.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	video.SortTrackIDs(out)
 	return out
+}
+
+// Count returns the query's answer cardinality without building the
+// answer slice — the allocation-free counterpart of Answer for
+// aggregate-only callers.
+func (q RegionQuery) Count(ts *video.TrackSet) int {
+	n := 0
+	for _, t := range ts.Tracks() {
+		if q.dwell(t) >= q.MinFrames {
+			n++
+		}
+	}
+	return n
 }
 
 func (q RegionQuery) dwell(t *video.Track) int {

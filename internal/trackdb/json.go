@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"github.com/tmerge/tmerge/internal/geom"
 	"github.com/tmerge/tmerge/internal/video"
@@ -66,7 +65,7 @@ func (s *Store) Encode(w io.Writer) error {
 	for id := range s.byID {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	video.SortTrackIDs(ids)
 	for _, id := range ids {
 		t := s.byID[id]
 		jt := jsonTrack{ID: t.ID}

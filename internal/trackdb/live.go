@@ -1,0 +1,400 @@
+package trackdb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// LiveView is the incrementally maintained, merge-aware track view the
+// streaming query engine runs against: the materialized form of "the
+// merged TrackSet so far" kept current by two kinds of input instead of
+// batch recomputation —
+//
+//   - Extend(id, box): a raw tracker track grew by one box (fed per
+//     committed window);
+//   - ApplyEvent(ev): the merger performed one union (fed from the
+//     ordered core.MergeEvent log).
+//
+// Per canonical identity it maintains the presence interval, the
+// deduplicated per-frame box census, and the class tally. Frame
+// deduplication reproduces core.Merger.Apply's rule exactly — when two
+// member fragments claim the same frame, the lower-ID fragment's box
+// wins — so every derived quantity (interval, box count, plurality
+// class, region dwell) is bit-identical to what a batch Apply followed
+// by a scan would produce. That equivalence is what lets the query
+// operators answer incrementally yet match batch Answer exactly.
+//
+// Mutations accumulate a changed/removed set drained by Flush, the delta
+// feed the incremental query operators consume. LiveView is not safe for
+// concurrent use.
+type LiveView struct {
+	canon  map[video.TrackID]video.TrackID
+	tracks map[video.TrackID]*liveTrack
+	// seq is the event-log cursor: the sequence number the next
+	// ApplyEvent must carry.
+	seq int
+
+	ids   []video.TrackID // sorted cache of canonical IDs
+	idsOK bool
+
+	dirty   map[video.TrackID]bool
+	removed []video.TrackID
+}
+
+// liveTrack is the per-canonical-identity state.
+type liveTrack struct {
+	start, end video.FrameIndex
+	members    []video.TrackID // raw member IDs, sorted ascending
+	cells      map[video.FrameIndex]viewCell
+	classes    map[video.ClassID]int
+}
+
+// viewCell is the winning box of one frame: the member that owns it, its
+// class, and its center (all any query operator consumes of a box).
+type viewCell struct {
+	member video.TrackID
+	class  video.ClassID
+	cx, cy float64
+}
+
+// NewLiveView returns an empty view with its event cursor at 0.
+func NewLiveView() *LiveView {
+	return &LiveView{
+		canon:  make(map[video.TrackID]video.TrackID),
+		tracks: make(map[video.TrackID]*liveTrack),
+		dirty:  make(map[video.TrackID]bool),
+	}
+}
+
+// Extend folds one new box of raw track id into the view, under the
+// track's current canonical identity. Re-feeding a box the view already
+// holds is a harmless no-op, and a frame contested between member
+// fragments keeps the lower-ID member's box (the batch Apply rule).
+func (v *LiveView) Extend(id video.TrackID, b video.BBox) {
+	c, ok := v.canon[id]
+	if !ok {
+		c = id
+		v.canon[id] = id
+	}
+	t := v.tracks[c]
+	if t == nil {
+		t = &liveTrack{
+			start:   b.Frame,
+			end:     b.Frame,
+			members: []video.TrackID{c},
+			cells:   make(map[video.FrameIndex]viewCell),
+			classes: make(map[video.ClassID]int),
+		}
+		v.tracks[c] = t
+		v.idsOK = false
+	}
+	center := b.Rect.Center()
+	cell := viewCell{member: id, class: b.Class, cx: center.X, cy: center.Y}
+	if ex, held := t.cells[b.Frame]; held {
+		if cell.member >= ex.member {
+			return // the held box wins the frame; nothing changed
+		}
+		t.classes[ex.class]--
+		if t.classes[ex.class] == 0 {
+			delete(t.classes, ex.class)
+		}
+	} else {
+		if b.Frame < t.start {
+			t.start = b.Frame
+		}
+		if b.Frame > t.end {
+			t.end = b.Frame
+		}
+	}
+	t.cells[b.Frame] = cell
+	t.classes[cell.class]++
+	v.dirty[c] = true
+}
+
+// ApplyEvent folds one merger union into the view: the losing group's
+// frames move under the surviving canonical (lower-ID member winning
+// contested frames), the losing canonical is retired into the removed
+// set, and the event cursor advances. Events must arrive in log order —
+// ev.Seq must equal Seq() — and both source groups must already be
+// present (extensions are fed before events each window, so any track a
+// union touches has boxes in view). Violations report an error with the
+// view unmodified.
+func (v *LiveView) ApplyEvent(ev core.MergeEvent) error {
+	if err := ev.Validate(); err != nil {
+		return fmt.Errorf("trackdb: %w", err)
+	}
+	if ev.Seq != v.seq {
+		return fmt.Errorf("trackdb: view event cursor is %d, got event seq %d", v.seq, ev.Seq)
+	}
+	loseID := ev.FromA
+	if loseID == ev.Canon {
+		loseID = ev.FromB
+	}
+	keep, lose := v.tracks[ev.Canon], v.tracks[loseID]
+	if keep == nil || lose == nil {
+		return fmt.Errorf("trackdb: merge event %d joins groups %d and %d, but the view has not seen both", ev.Seq, ev.Canon, loseID)
+	}
+	for f, cl := range lose.cells {
+		if ex, held := keep.cells[f]; held {
+			if cl.member >= ex.member {
+				continue
+			}
+			keep.classes[ex.class]--
+			if keep.classes[ex.class] == 0 {
+				delete(keep.classes, ex.class)
+			}
+		}
+		keep.cells[f] = cl
+		keep.classes[cl.class]++
+	}
+	if lose.start < keep.start {
+		keep.start = lose.start
+	}
+	if lose.end > keep.end {
+		keep.end = lose.end
+	}
+	keep.members = mergeSortedIDs(keep.members, lose.members)
+	for _, m := range lose.members {
+		v.canon[m] = ev.Canon
+	}
+	delete(v.tracks, loseID)
+	delete(v.dirty, loseID)
+	v.removed = append(v.removed, loseID)
+	v.dirty[ev.Canon] = true
+	v.idsOK = false
+	v.seq++
+	return nil
+}
+
+// ApplyEvents folds a log suffix in order, stopping at the first error.
+func (v *LiveView) ApplyEvents(events []core.MergeEvent) error {
+	for _, ev := range events {
+		if err := v.ApplyEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the accumulated delta feed: the canonical IDs whose state
+// changed since the last Flush and the canonical IDs retired by merges,
+// both sorted ascending. A retired ID never appears in changed.
+func (v *LiveView) Flush() (changed, removed []video.TrackID) {
+	for id := range v.dirty {
+		changed = append(changed, id)
+	}
+	video.SortTrackIDs(changed)
+	removed = v.removed
+	video.SortTrackIDs(removed)
+	v.dirty = make(map[video.TrackID]bool)
+	v.removed = nil
+	return changed, removed
+}
+
+// Seq returns the view's event-log cursor: how many merge events it has
+// folded, and the sequence number the next ApplyEvent must carry.
+func (v *LiveView) Seq() int { return v.seq }
+
+// Len returns the number of live canonical identities.
+func (v *LiveView) Len() int { return len(v.tracks) }
+
+// Canonical returns the canonical identity raw track id currently maps
+// to (id itself when the view has never seen it merge).
+func (v *LiveView) Canonical(id video.TrackID) video.TrackID {
+	if c, ok := v.canon[id]; ok {
+		return c
+	}
+	return id
+}
+
+// IDs returns the live canonical identities, sorted ascending. The
+// returned slice is a cache; callers must not modify it.
+func (v *LiveView) IDs() []video.TrackID {
+	if !v.idsOK {
+		v.ids = v.ids[:0]
+		for id := range v.tracks {
+			v.ids = append(v.ids, id)
+		}
+		video.SortTrackIDs(v.ids)
+		v.idsOK = true
+	}
+	return v.ids
+}
+
+// Interval returns the presence interval [start, end] of canonical id,
+// with ok false when the view holds no such identity.
+func (v *LiveView) Interval(id video.TrackID) (start, end video.FrameIndex, ok bool) {
+	t := v.tracks[id]
+	if t == nil {
+		return 0, 0, false
+	}
+	return t.start, t.end, true
+}
+
+// Boxes returns the deduplicated box count of canonical id (0 when the
+// identity is not live).
+func (v *LiveView) Boxes(id video.TrackID) int {
+	t := v.tracks[id]
+	if t == nil {
+		return 0
+	}
+	return len(t.cells)
+}
+
+// Class returns the plurality class of canonical id's deduplicated boxes
+// (ties to the smaller class ID; 0 when the identity is not live) —
+// exactly video.Track.Class over the batch-merged track.
+func (v *LiveView) Class(id video.TrackID) video.ClassID {
+	t := v.tracks[id]
+	if t == nil {
+		return 0
+	}
+	best, bestN := video.ClassID(0), -1
+	for c, n := range t.classes {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	if bestN < 0 {
+		return 0
+	}
+	return best
+}
+
+// Dwell returns how many of canonical id's deduplicated boxes have their
+// center inside r — the RegionQuery predicate evaluated on view state.
+func (v *LiveView) Dwell(id video.TrackID, r geom.Rect) int {
+	t := v.tracks[id]
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, cl := range t.cells {
+		if r.Contains(geom.Point{X: cl.cx, Y: cl.cy}) {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeSortedIDs merges two ascending ID slices into one.
+func mergeSortedIDs(a, b []video.TrackID) []video.TrackID {
+	out := make([]video.TrackID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// ViewCell is one serialised frame cell of a live-view track.
+type ViewCell struct {
+	Frame  video.FrameIndex `json:"frame"`
+	Member video.TrackID    `json:"member"`
+	Class  video.ClassID    `json:"class,omitempty"`
+	CX     float64          `json:"cx"`
+	CY     float64          `json:"cy"`
+}
+
+// ViewTrack is one serialised canonical identity: its raw members and
+// its deduplicated frame cells. Interval, box count, and class tally are
+// recomputed from the cells on restore.
+type ViewTrack struct {
+	ID      video.TrackID   `json:"id"`
+	Members []video.TrackID `json:"members"`
+	Cells   []ViewCell      `json:"cells"`
+}
+
+// ViewState is the serialisable form of a LiveView: the event cursor and
+// the canonical tracks, each deterministically ordered (tracks by ID,
+// cells by frame, members ascending). Pending Flush deltas are not part
+// of the state — snapshot a view only after draining it, which the
+// ingest layer does every window.
+type ViewState struct {
+	Seq    int         `json:"seq"`
+	Tracks []ViewTrack `json:"tracks,omitempty"`
+}
+
+// State snapshots the view.
+func (v *LiveView) State() ViewState {
+	st := ViewState{Seq: v.seq}
+	for _, id := range v.IDs() {
+		t := v.tracks[id]
+		vt := ViewTrack{ID: id, Members: append([]video.TrackID(nil), t.members...)}
+		for f, cl := range t.cells {
+			vt.Cells = append(vt.Cells, ViewCell{Frame: f, Member: cl.member, Class: cl.class, CX: cl.cx, CY: cl.cy})
+		}
+		sort.Slice(vt.Cells, func(i, j int) bool { return vt.Cells[i].Frame < vt.Cells[j].Frame })
+		st.Tracks = append(st.Tracks, vt)
+	}
+	return st
+}
+
+// RestoreView reconstructs a LiveView from a snapshot taken by State. A
+// snapshot that violates the view invariants — a non-contiguous event
+// cursor is unverifiable here, but unsorted or duplicate members, a
+// canonical that is not its group's smallest member, a member claimed by
+// two groups, empty or unsorted cells, or a cell owned by a non-member —
+// is rejected wholesale.
+func RestoreView(st ViewState) (*LiveView, error) {
+	if st.Seq < 0 {
+		return nil, fmt.Errorf("trackdb: view snapshot has negative event cursor %d", st.Seq)
+	}
+	v := NewLiveView()
+	v.seq = st.Seq
+	for _, vt := range st.Tracks {
+		if len(vt.Members) == 0 {
+			return nil, fmt.Errorf("trackdb: view snapshot track %d has no members", vt.ID)
+		}
+		if vt.Members[0] != vt.ID {
+			return nil, fmt.Errorf("trackdb: view snapshot track %d is not its group's smallest member %d", vt.ID, vt.Members[0])
+		}
+		if _, dup := v.tracks[vt.ID]; dup {
+			return nil, fmt.Errorf("trackdb: view snapshot has duplicate track %d", vt.ID)
+		}
+		members := make(map[video.TrackID]bool, len(vt.Members))
+		for i, m := range vt.Members {
+			if i > 0 && m <= vt.Members[i-1] {
+				return nil, fmt.Errorf("trackdb: view snapshot track %d members not strictly ascending at %d", vt.ID, m)
+			}
+			if _, claimed := v.canon[m]; claimed {
+				return nil, fmt.Errorf("trackdb: view snapshot member %d appears in two groups", m)
+			}
+			v.canon[m] = vt.ID
+			members[m] = true
+		}
+		if len(vt.Cells) == 0 {
+			return nil, fmt.Errorf("trackdb: view snapshot track %d has no cells", vt.ID)
+		}
+		t := &liveTrack{
+			start:   vt.Cells[0].Frame,
+			end:     vt.Cells[len(vt.Cells)-1].Frame,
+			members: append([]video.TrackID(nil), vt.Members...),
+			cells:   make(map[video.FrameIndex]viewCell, len(vt.Cells)),
+			classes: make(map[video.ClassID]int),
+		}
+		for i, c := range vt.Cells {
+			if i > 0 && c.Frame <= vt.Cells[i-1].Frame {
+				return nil, fmt.Errorf("trackdb: view snapshot track %d cells not strictly ascending at frame %d", vt.ID, c.Frame)
+			}
+			if !members[c.Member] {
+				return nil, fmt.Errorf("trackdb: view snapshot track %d cell at frame %d owned by non-member %d", vt.ID, c.Frame, c.Member)
+			}
+			t.cells[c.Frame] = viewCell{member: c.Member, class: c.Class, cx: c.CX, cy: c.CY}
+			t.classes[c.Class]++
+		}
+		v.tracks[vt.ID] = t
+	}
+	return v, nil
+}

@@ -1,0 +1,328 @@
+package trackdb
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+func liveBox(id video.TrackID, f video.FrameIndex, x float64, class video.ClassID) video.BBox {
+	return video.BBox{
+		ID:    video.BBoxID(int(id)*10000 + int(f)),
+		Frame: f,
+		Rect:  geom.Rect{X: x, Y: 10, W: 10, H: 10},
+		Class: class,
+	}
+}
+
+func TestLiveViewExtendBasics(t *testing.T) {
+	v := NewLiveView()
+	v.Extend(7, liveBox(7, 3, 0, 1))
+	v.Extend(7, liveBox(7, 5, 100, 1))
+	v.Extend(7, liveBox(7, 4, 0, 2))
+
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	s, e, ok := v.Interval(7)
+	if !ok || s != 3 || e != 5 {
+		t.Errorf("Interval = [%d, %d] ok=%v", s, e, ok)
+	}
+	if v.Boxes(7) != 3 {
+		t.Errorf("Boxes = %d", v.Boxes(7))
+	}
+	if got := v.Class(7); got != 1 {
+		t.Errorf("Class = %d, want plurality 1", got)
+	}
+	// Boxes at x=0 have center (5, 15); the x=100 box does not.
+	if got := v.Dwell(7, geom.Rect{X: 0, Y: 0, W: 50, H: 50}); got != 2 {
+		t.Errorf("Dwell = %d, want 2", got)
+	}
+	if _, _, ok := v.Interval(99); ok {
+		t.Error("Interval(99) reported a live identity")
+	}
+
+	// Re-feeding the same box is a no-op, including for the delta feed.
+	v.Flush()
+	v.Extend(7, liveBox(7, 3, 0, 1))
+	if changed, removed := v.Flush(); len(changed) != 0 || len(removed) != 0 {
+		t.Errorf("re-feed dirtied the view: changed=%v removed=%v", changed, removed)
+	}
+}
+
+func TestLiveViewMergeMirrorsBatchApply(t *testing.T) {
+	// Tracks 2 and 5 contest frame 10: batch Apply keeps the lower-ID
+	// member's box. The view must agree, in both feed orders.
+	for _, feedLowFirst := range []bool{true, false} {
+		v := NewLiveView()
+		m := core.NewMerger()
+		a := liveBox(2, 10, 0, 1)   // center (5, 15)
+		b := liveBox(5, 10, 100, 2) // center (105, 15)
+		if feedLowFirst {
+			v.Extend(2, a)
+			v.Extend(5, b)
+		} else {
+			v.Extend(5, b)
+			v.Extend(2, a)
+		}
+		v.Extend(5, liveBox(5, 11, 100, 2))
+		m.Merge(video.MakePairKey(2, 5))
+		if err := v.ApplyEvents(m.Events()); err != nil {
+			t.Fatal(err)
+		}
+
+		if v.Len() != 1 {
+			t.Fatalf("Len = %d after merge", v.Len())
+		}
+		if got := v.Canonical(5); got != 2 {
+			t.Errorf("Canonical(5) = %d", got)
+		}
+		if v.Boxes(2) != 2 {
+			t.Errorf("Boxes = %d, want 2 (frame 10 deduplicated)", v.Boxes(2))
+		}
+		// Frame 10 must be member 2's box: dwell near the origin is 1.
+		if got := v.Dwell(2, geom.Rect{X: 0, Y: 0, W: 50, H: 50}); got != 1 {
+			t.Errorf("Dwell = %d, want member 2 to own frame 10", got)
+		}
+		// Class tally follows the dedup: one class-1 box, one class-2 box —
+		// plurality ties resolve to the smaller class ID.
+		if got := v.Class(2); got != 1 {
+			t.Errorf("Class = %d", got)
+		}
+	}
+}
+
+func TestLiveViewEventCursorAndUnknownGroups(t *testing.T) {
+	v := NewLiveView()
+	v.Extend(1, liveBox(1, 0, 0, 0))
+	v.Extend(2, liveBox(2, 1, 0, 0))
+
+	ev := core.MergeEvent{Seq: 3, Pair: video.MakePairKey(1, 2), FromA: 1, FromB: 2, Canon: 1}
+	if err := v.ApplyEvent(ev); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+	ev.Seq = 0
+	ev.Pair, ev.FromA, ev.FromB, ev.Canon = video.MakePairKey(1, 9), 1, 9, 1
+	if err := v.ApplyEvent(ev); err == nil {
+		t.Error("event touching an unseen group accepted")
+	}
+	// The failed applies must not have advanced the cursor.
+	if v.Seq() != 0 {
+		t.Fatalf("Seq = %d after rejected events", v.Seq())
+	}
+	ev.Pair, ev.FromA, ev.FromB, ev.Canon = video.MakePairKey(1, 2), 1, 2, 1
+	if err := v.ApplyEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq() != 1 {
+		t.Errorf("Seq = %d", v.Seq())
+	}
+}
+
+func TestLiveViewFlushDeltas(t *testing.T) {
+	v := NewLiveView()
+	v.Extend(4, liveBox(4, 0, 0, 0))
+	v.Extend(9, liveBox(9, 1, 0, 0))
+	changed, removed := v.Flush()
+	if len(changed) != 2 || changed[0] != 4 || changed[1] != 9 || len(removed) != 0 {
+		t.Fatalf("bootstrap flush: changed=%v removed=%v", changed, removed)
+	}
+
+	m := core.NewMerger()
+	m.Merge(video.MakePairKey(4, 9))
+	if err := v.ApplyEvents(m.Events()); err != nil {
+		t.Fatal(err)
+	}
+	changed, removed = v.Flush()
+	if len(changed) != 1 || changed[0] != 4 {
+		t.Errorf("merge flush changed = %v, want [4]", changed)
+	}
+	if len(removed) != 1 || removed[0] != 9 {
+		t.Errorf("merge flush removed = %v, want [9]", removed)
+	}
+	// Drained: the next flush is empty.
+	if c, r := v.Flush(); len(c) != 0 || len(r) != 0 {
+		t.Errorf("second flush not empty: %v %v", c, r)
+	}
+}
+
+// TestLiveViewEquivalentToBatchApply is the core guarantee: after any
+// interleaving of extensions and merge events, every queryable quantity
+// equals a scan over core.Merger.Apply of the full track set.
+func TestLiveViewEquivalentToBatchApply(t *testing.T) {
+	rng := xrand.New(29)
+	region := geom.Rect{X: 0, Y: 0, W: 400, H: 300}
+
+	for trial := 0; trial < 20; trial++ {
+		// Random raw tracks with random spans, positions, classes.
+		n := 6 + rng.Intn(10)
+		var tracks []*video.Track
+		for i := 0; i < n; i++ {
+			id := video.TrackID(i)
+			start := video.FrameIndex(rng.Intn(50))
+			span := 1 + rng.Intn(40)
+			tr := &video.Track{ID: id}
+			for f := start; f < start+video.FrameIndex(span); f++ {
+				if rng.Float64() < 0.2 {
+					continue // holes are legal
+				}
+				tr.Boxes = append(tr.Boxes, video.BBox{
+					ID:    video.BBoxID(i*1000 + int(f)),
+					Frame: f,
+					Rect:  geom.Rect{X: rng.Float64() * 500, Y: rng.Float64() * 400, W: 20, H: 20},
+					Class: video.ClassID(rng.Intn(3)),
+				})
+			}
+			if len(tr.Boxes) == 0 {
+				tr.Boxes = append(tr.Boxes, video.BBox{ID: video.BBoxID(i * 1000), Frame: start, Rect: geom.Rect{X: 1, Y: 1, W: 20, H: 20}})
+			}
+			tracks = append(tracks, tr)
+		}
+
+		// Feed the view: boxes in a shuffled global order, merges applied
+		// at random points after both endpoints have at least one box fed.
+		v := NewLiveView()
+		m := core.NewMerger()
+		type feedItem struct {
+			id  video.TrackID
+			box video.BBox
+		}
+		var feed []feedItem
+		for _, tr := range tracks {
+			for _, b := range tr.Boxes {
+				feed = append(feed, feedItem{tr.ID, b})
+			}
+		}
+		rng.Shuffle(len(feed), func(i, j int) { feed[i], feed[j] = feed[j], feed[i] })
+		seen := make(map[video.TrackID]bool)
+		cursor := 0
+		for _, it := range feed {
+			v.Extend(it.id, it.box)
+			seen[it.id] = true
+			if rng.Float64() < 0.15 {
+				a := video.TrackID(rng.Intn(n))
+				b := video.TrackID(rng.Intn(n))
+				if a != b && seen[a] && seen[b] {
+					m.Merge(video.MakePairKey(a, b))
+					if err := v.ApplyEvents(m.EventsSince(cursor)); err != nil {
+						t.Fatal(err)
+					}
+					cursor = m.EventCount()
+				}
+			}
+		}
+
+		// Batch reference.
+		merged := m.Apply(video.NewTrackSet(tracks))
+		if v.Len() != merged.Len() {
+			t.Fatalf("trial %d: view has %d identities, batch has %d", trial, v.Len(), merged.Len())
+		}
+		for _, mt := range merged.Sorted() {
+			s, e, ok := v.Interval(mt.ID)
+			if !ok {
+				t.Fatalf("trial %d: view missing canonical %d", trial, mt.ID)
+			}
+			if s != mt.StartFrame() || e != mt.EndFrame() {
+				t.Fatalf("trial %d: track %d interval [%d, %d], batch [%d, %d]",
+					trial, mt.ID, s, e, mt.StartFrame(), mt.EndFrame())
+			}
+			if v.Boxes(mt.ID) != len(mt.Boxes) {
+				t.Fatalf("trial %d: track %d has %d boxes, batch %d", trial, mt.ID, v.Boxes(mt.ID), len(mt.Boxes))
+			}
+			if v.Class(mt.ID) != mt.Class() {
+				t.Fatalf("trial %d: track %d class %d, batch %d", trial, mt.ID, v.Class(mt.ID), mt.Class())
+			}
+			dwell := 0
+			for _, b := range mt.Boxes {
+				if region.Contains(b.Rect.Center()) {
+					dwell++
+				}
+			}
+			if v.Dwell(mt.ID, region) != dwell {
+				t.Fatalf("trial %d: track %d dwell %d, batch %d", trial, mt.ID, v.Dwell(mt.ID, region), dwell)
+			}
+		}
+	}
+}
+
+func TestViewStateRoundTrip(t *testing.T) {
+	v := NewLiveView()
+	v.Extend(3, liveBox(3, 0, 0, 1))
+	v.Extend(3, liveBox(3, 1, 5, 1))
+	v.Extend(8, liveBox(8, 2, 50, 2))
+	m := core.NewMerger()
+	m.Merge(video.MakePairKey(3, 8))
+	if err := v.ApplyEvents(m.Events()); err != nil {
+		t.Fatal(err)
+	}
+	v.Flush()
+
+	st := v.State()
+	r, err := RestoreView(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq() != v.Seq() || r.Len() != v.Len() {
+		t.Fatalf("restored Seq=%d Len=%d, want %d %d", r.Seq(), r.Len(), v.Seq(), v.Len())
+	}
+	for _, id := range v.IDs() {
+		vs, ve, _ := v.Interval(id)
+		rs, re, ok := r.Interval(id)
+		if !ok || rs != vs || re != ve {
+			t.Errorf("track %d interval differs after restore", id)
+		}
+		if r.Boxes(id) != v.Boxes(id) || r.Class(id) != v.Class(id) {
+			t.Errorf("track %d census differs after restore", id)
+		}
+	}
+	if got := r.Canonical(8); got != 3 {
+		t.Errorf("restored Canonical(8) = %d", got)
+	}
+}
+
+func TestRestoreViewRejectsCorruptSnapshots(t *testing.T) {
+	good := func() ViewState {
+		return ViewState{Seq: 1, Tracks: []ViewTrack{{
+			ID:      2,
+			Members: []video.TrackID{2, 5},
+			Cells: []ViewCell{
+				{Frame: 0, Member: 2, Class: 1, CX: 5, CY: 5},
+				{Frame: 1, Member: 5, Class: 1, CX: 6, CY: 6},
+			},
+		}}}
+	}
+	if _, err := RestoreView(good()); err != nil {
+		t.Fatalf("baseline snapshot rejected: %v", err)
+	}
+
+	cases := map[string]func(*ViewState){
+		"negative seq":       func(s *ViewState) { s.Seq = -1 },
+		"no members":         func(s *ViewState) { s.Tracks[0].Members = nil },
+		"canon not smallest": func(s *ViewState) { s.Tracks[0].Members = []video.TrackID{5, 7}; s.Tracks[0].ID = 7 },
+		"unsorted members":   func(s *ViewState) { s.Tracks[0].Members = []video.TrackID{2, 2} },
+		"no cells":           func(s *ViewState) { s.Tracks[0].Cells = nil },
+		"unsorted cells":     func(s *ViewState) { s.Tracks[0].Cells[1].Frame = 0 },
+		"non-member cell":    func(s *ViewState) { s.Tracks[0].Cells[1].Member = 9 },
+		"duplicate track":    func(s *ViewState) { s.Tracks = append(s.Tracks, s.Tracks[0]) },
+		"member in two groups": func(s *ViewState) {
+			s.Tracks = append(s.Tracks, ViewTrack{
+				ID:      5,
+				Members: []video.TrackID{5},
+				Cells:   []ViewCell{{Frame: 0, Member: 5}},
+			})
+			// Track 2 already claims member 5.
+			s.Tracks[1].Members = []video.TrackID{5}
+			s.Tracks[1].ID = 5
+		},
+	}
+	for name, corrupt := range cases {
+		st := good()
+		corrupt(&st)
+		if _, err := RestoreView(st); err == nil {
+			t.Errorf("%s: RestoreView accepted the snapshot", name)
+		}
+	}
+}

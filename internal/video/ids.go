@@ -1,0 +1,11 @@
+package video
+
+import "slices"
+
+// SortTrackIDs sorts ids ascending in place — the one canonical ordering
+// for track-ID slices (query answers, merged groups, serialised state).
+// Call it after collecting IDs from any map so downstream structures are
+// assembled in a map-order-independent sequence.
+func SortTrackIDs(ids []TrackID) {
+	slices.Sort(ids)
+}

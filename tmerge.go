@@ -45,6 +45,8 @@
 package tmerge
 
 import (
+	"io"
+
 	"github.com/tmerge/tmerge/internal/checkpoint"
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/dataset"
@@ -545,3 +547,86 @@ const DefaultQuarantineCap = ingest.DefaultQuarantineCap
 func RestoreIngestor(engine *TrackerEngine, oracle *Oracle, cfg IngestConfig, data []byte) (*Ingestor, error) {
 	return ingest.Restore(engine, oracle, cfg, data)
 }
+
+// Streaming incremental query engine (packages core, trackdb, query,
+// ingest). The merger journals every identity merge as an ordered event;
+// a LiveView materialises track metadata from per-window extensions plus
+// those events; incremental operators fold view changes into standing
+// query answers, emitting asserts and retractions instead of recomputing
+// from scratch. Subscribe standing queries on an Ingestor to receive
+// per-window deltas.
+type (
+	// MergeEvent is one entry in the merger's ordered, replayable
+	// journal: the pair that merged, the canonical groups each side
+	// belonged to beforehand, and the surviving canonical identity.
+	MergeEvent = core.MergeEvent
+	// LiveView is an incrementally maintained materialisation of the
+	// merged track metadata — the streaming counterpart of a TrackStore
+	// built after the fact.
+	LiveView = trackdb.LiveView
+	// LiveViewState is a LiveView snapshot for checkpointing.
+	LiveViewState = trackdb.ViewState
+	// TrackView is the read interface incremental operators query;
+	// LiveView implements it.
+	TrackView = query.TrackView
+	// IncrementalOperator is a standing query maintained under
+	// streaming updates: Apply folds view changes into the answer and
+	// returns the resulting deltas.
+	IncrementalOperator = query.Incremental
+	// QueryDelta is one incremental answer change: an asserted or
+	// retracted result row.
+	QueryDelta = query.Delta
+	// QueryDeltaKind distinguishes asserts from retractions.
+	QueryDeltaKind = query.DeltaKind
+	// OperatorState is an incremental operator snapshot for
+	// checkpointing.
+	OperatorState = query.OperatorState
+	// OperatorStats counts the predicate work an operator performed.
+	OperatorStats = query.OpStats
+	// WindowQueryDeltas carries one subscription's deltas for one
+	// committed window.
+	WindowQueryDeltas = ingest.QueryDeltas
+)
+
+// Delta kinds emitted by incremental operators.
+const (
+	// DeltaAssert marks a row entering the answer.
+	DeltaAssert = query.Assert
+	// DeltaRetract marks a row leaving the answer — typically because a
+	// merge coalesced the identities it was built from.
+	DeltaRetract = query.Retract
+)
+
+// NewLiveView returns an empty live track view at event cursor zero.
+func NewLiveView() *LiveView { return trackdb.NewLiveView() }
+
+// RestoreLiveView rebuilds a live view from a snapshot, rejecting
+// corrupt or inconsistent state.
+func RestoreLiveView(st LiveViewState) (*LiveView, error) { return trackdb.RestoreView(st) }
+
+// NewIncCount returns an incremental operator maintaining q's answer.
+func NewIncCount(q CountQuery) IncrementalOperator { return query.NewIncCount(q) }
+
+// NewIncRegion returns an incremental operator maintaining q's answer.
+func NewIncRegion(q RegionQuery) IncrementalOperator { return query.NewIncRegion(q) }
+
+// NewIncCoOccur returns an incremental operator maintaining q's answer.
+// It panics like CoOccurQuery.Answer when q is malformed.
+func NewIncCoOccur(q CoOccurQuery) IncrementalOperator { return query.NewIncCoOccur(q) }
+
+// NewIncPrecedes returns an incremental operator maintaining q's answer.
+func NewIncPrecedes(q PrecedesQuery) IncrementalOperator { return query.NewIncPrecedes(q) }
+
+// WriteMergeEventLog writes a merge-event journal as line-delimited
+// JSON, one event per line.
+func WriteMergeEventLog(w io.Writer, events []MergeEvent) error {
+	return core.WriteEventLog(w, events)
+}
+
+// ReadMergeEventLog decodes a journal written by WriteMergeEventLog,
+// rejecting malformed lines, invalid events, and sequence gaps.
+func ReadMergeEventLog(r io.Reader) ([]MergeEvent, error) { return core.ReadEventLog(r) }
+
+// ReplayMergeEvents reconstructs a merger from a complete event journal,
+// validating every event against the evolving group structure.
+func ReplayMergeEvents(events []MergeEvent) (*Merger, error) { return core.ReplayEvents(events) }
