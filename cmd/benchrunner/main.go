@@ -21,10 +21,12 @@
 // fingerprint mismatch between worker counts or against the baseline,
 // or a virtual-FPS regression beyond -max-regression, exits nonzero.
 // -min-speedup additionally requires the measured wall-clock speedup of
-// the highest worker count over Workers=1; it is skipped with a warning
-// when the machine has fewer CPUs than that worker count, because the
-// speedup would be physically unreachable (the deterministic checks
-// still run).
+// the highest worker count over Workers=1; it is skipped when the
+// machine has fewer CPUs than that worker count, because the speedup
+// would be physically unreachable (the deterministic checks still
+// run). Every gate decision — ok, skipped, failed — is emitted as an
+// explicit gate_status NDJSON row in -bench-out and echoed to the run
+// log, so a skipped gate is visible in CI instead of silently absent.
 package main
 
 import (
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations,querybench) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations,querybench,servebench) or 'all'")
 		seed    = flag.Uint64("seed", 42, "master seed for datasets and algorithms")
 		videos  = flag.Int("videos", 3, "videos per dataset (0 = full profile size)")
 		trials  = flag.Int("trials", 3, "independent trials to average stochastic algorithms over")
@@ -93,6 +95,22 @@ func main() {
 			cfg := bench.DefaultQueryBench()
 			cfg.Clock = time.Now
 			return s.QueryBench(w, cfg)
+		},
+		"servebench": func() any {
+			cfg := bench.DefaultServeBench()
+			cfg.Clock = time.Now
+			rows, err := bench.ServeBench(w, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: servebench:", err)
+				os.Exit(2)
+			}
+			if fails := bench.CheckServeBench(rows, cfg.Frames); len(fails) > 0 {
+				for _, f := range fails {
+					fmt.Fprintln(os.Stderr, "benchrunner: servebench FAIL:", f)
+				}
+				os.Exit(1)
+			}
+			return rows
 		},
 		"table2":    func() any { return s.Table2(w) },
 		"ablations": func() any { return s.Ablations(w) },
@@ -152,13 +170,6 @@ func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRe
 	cfg.Clock = time.Now
 	rows := s.ParallelBench(os.Stdout, cfg)
 
-	if out != "" {
-		if err := writeTo(out, func(f *os.File) error { return bench.WriteParallelBench(f, rows) }); err != nil {
-			fmt.Fprintln(os.Stderr, "benchrunner:", err)
-			return 2
-		}
-	}
-
 	var baseline []bench.ParallelBenchResult
 	if comparePath != "" {
 		f, err := os.Open(comparePath)
@@ -175,17 +186,42 @@ func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRe
 	}
 
 	fails := bench.CheckParallelBench(rows, baseline, maxRegress)
+	var statuses []bench.GateStatus
+	const speedupGate = "parallel_windows_wall_speedup"
 	if minSpeedup > 0 && len(rows) > 0 {
 		top := rows[len(rows)-1]
-		if runtime.NumCPU() < top.Workers {
-			fmt.Fprintf(os.Stderr, "benchrunner: warning: %d CPU(s) < %d workers, skipping the %.1fx wall-speedup gate (determinism and FPS gates still apply)\n",
+		switch {
+		case runtime.NumCPU() < top.Workers:
+			// The speedup is physically unreachable here; skip the gate —
+			// loudly. The explicit row keeps a skipped gate from being
+			// mistaken for a passed one in the artifact.
+			reason := fmt.Sprintf("%d CPU(s) < %d workers; %.1fx wall speedup unreachable (determinism and FPS gates still apply)",
 				runtime.NumCPU(), top.Workers, minSpeedup)
-		} else if top.WallSpeedup < minSpeedup {
-			fails = append(fails, fmt.Sprintf(
-				"speedup: %.2fx wall speedup at %d workers, gate requires %.1fx",
-				top.WallSpeedup, top.Workers, minSpeedup))
+			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateSkipped, reason, runtime.NumCPU()))
+			fmt.Printf("benchrunner: gate %s SKIPPED: %s\n", speedupGate, reason)
+		case top.WallSpeedup < minSpeedup:
+			reason := fmt.Sprintf("%.2fx wall speedup at %d workers, gate requires %.1fx", top.WallSpeedup, top.Workers, minSpeedup)
+			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateFailed, reason, runtime.NumCPU()))
+			fails = append(fails, "speedup: "+reason)
+		default:
+			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateOK,
+				fmt.Sprintf("%.2fx wall speedup at %d workers", top.WallSpeedup, top.Workers), runtime.NumCPU()))
 		}
 	}
+
+	if out != "" {
+		err := writeTo(out, func(f *os.File) error {
+			if err := bench.WriteParallelBench(f, rows); err != nil {
+				return err
+			}
+			return bench.WriteGateStatuses(f, statuses)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 2
+		}
+	}
+
 	for _, f := range fails {
 		fmt.Fprintln(os.Stderr, "benchrunner: FAIL:", f)
 	}

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	datagen -dataset pathtrack -seed 42 -videos 5 -out pathtrack.json.gz
+//	datagen -streams 10 -seed 1234 -frames 320 -out fleet.json.gz
+//
+// With -streams N the profile flags are ignored: the output is the
+// multi-stream serving fleet — one video per camera stream, stream i
+// generated at loadgen.StreamSeed(seed, i) from the shared loadgen
+// template. The same (seed, streams, frames) triple reproduces the
+// exact fixtures servebench, the chaos test, and the tmerged soak run
+// in-process, so a failure there can be replayed from disk.
 package main
 
 import (
@@ -13,16 +21,23 @@ import (
 	"os"
 
 	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
 )
 
 func main() {
 	var (
-		dsName  = flag.String("dataset", "mot17", "dataset profile: mot17, kitti, pathtrack, highway")
-		seed    = flag.Uint64("seed", 42, "generation seed")
-		nVideos = flag.Int("videos", 0, "number of videos (0 = profile default)")
-		out     = flag.String("out", "", "output path (default <dataset>.json.gz)")
+		dsName   = flag.String("dataset", "mot17", "dataset profile: mot17, kitti, pathtrack, highway")
+		seed     = flag.Uint64("seed", 42, "generation seed")
+		nVideos  = flag.Int("videos", 0, "number of videos (0 = profile default)")
+		out      = flag.String("out", "", "output path (default <dataset>.json.gz)")
+		nStreams = flag.Int("streams", 0, "generate a multi-stream serving fleet of N camera streams instead of a dataset profile")
+		nFrames  = flag.Int("frames", 0, "frames per stream in -streams mode (0 = loadgen template default)")
 	)
 	flag.Parse()
+
+	if *nStreams > 0 {
+		os.Exit(runStreams(*seed, *nStreams, *nFrames, *out))
+	}
 
 	profile, ok := dataset.Profiles(*seed)[*dsName]
 	if !ok {
@@ -53,4 +68,39 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %s: %d videos, %d detections\n", path, len(ds.Videos), boxes)
+}
+
+// runStreams materialises the loadgen fleet and saves it as a dataset
+// with one video per stream, named after the stream IDs.
+func runStreams(seed uint64, streams, frames int, out string) int {
+	fleet, err := loadgen.Generate(loadgen.Config{Seed: seed, Streams: streams, Frames: frames})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		return 1
+	}
+	ds := &dataset.Dataset{
+		Name: fmt.Sprintf("fleet-%d-seed%d", streams, seed),
+		// Half the per-stream video so every stream spans several
+		// half-overlapping windows, matching the serving defaults.
+		WindowLen: fleet[0].Video.NumFrames / 2,
+	}
+	for _, s := range fleet {
+		ds.Videos = append(ds.Videos, s.Video)
+	}
+	path := out
+	if path == "" {
+		path = ds.Name + ".json.gz"
+	}
+	if err := dataset.Save(ds, path); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		return 1
+	}
+	boxes := 0
+	for _, v := range ds.Videos {
+		for _, dets := range v.Detections {
+			boxes += len(dets)
+		}
+	}
+	fmt.Printf("wrote %s: %d streams × %d frames, %d detections\n", path, len(ds.Videos), fleet[0].Video.NumFrames, boxes)
+	return 0
 }

@@ -1,0 +1,256 @@
+// Command tmerged is the long-lived multi-stream serving daemon: it
+// multiplexes N camera streams over the internal/serve layer's bounded
+// worker pool with admission control, per-stream backpressure, and
+// crash-recovering supervision, reporting per-stream health through the
+// manager's snapshot API while it runs.
+//
+// The repo has no real camera ingress, so tmerged serves the
+// deterministic loadgen fleet — the same fixtures servebench and the
+// chaos test use — and doubles as the CI soak harness: scripted oracle
+// outages (-outage), random transient faults (-transient), and forced
+// stream crashes (-crash) exercise degradation and recovery end to end,
+// and -expect-restarts fails the process if supervision never actually
+// recovered anything.
+//
+// Usage:
+//
+//	tmerged -streams 4 -frames 300
+//	tmerged -streams 6 -frames 240 -outage 3:6 -transient 0.05 \
+//	        -crash 2:150 -expect-restarts 1 -status-ms 250
+//
+// Status lines (one table per tick) show each stream's health state
+// (healthy/degraded/quarantined/recovering/stopped), frame progress,
+// queue depth, committed and degraded windows, supervisor restarts,
+// quarantined-input count, and breaker state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/serve"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func main() {
+	var (
+		streams   = flag.Int("streams", 4, "number of camera streams to serve")
+		frames    = flag.Int("frames", 300, "frames per stream")
+		seed      = flag.Uint64("seed", 1234, "loadgen base seed (stream i runs at StreamSeed(seed, i))")
+		workers   = flag.Int("workers", 4, "shared worker pool size")
+		queueCap  = flag.Int("queue-cap", 64, "per-stream frame queue bound")
+		turn      = flag.Int("turn-frames", 16, "frames per scheduling turn (fairness bound)")
+		windowLen = flag.Int("window-len", 80, "ingest window length (frames, even)")
+		budget    = flag.Int("budget", 0, "aggregate in-flight window budget (0 disables admission control)")
+		shed      = flag.Bool("shed", false, "shed pushes with ErrOverloaded instead of blocking when a queue is full")
+		ckptEvery = flag.Int("checkpoint-every", 2, "auto-checkpoint every N windows (0 disables; recovery then replays full history)")
+
+		outage    = flag.String("outage", "", "scripted oracle outage FROM:TO (submission indices, half-open) on every stream; empty disables")
+		transient = flag.Float64("transient", 0, "oracle transient-failure rate in [0,1]")
+		crash     = flag.String("crash", "", "forced crash STREAM:FRAME — stream index crashes before that frame and must recover")
+
+		statusMS       = flag.Int("status-ms", 500, "status table interval in milliseconds (0 disables)")
+		expectRestarts = flag.Int("expect-restarts", 0, "fail unless the fleet performed at least N supervisor restarts (soak assertion)")
+	)
+	flag.Parse()
+	os.Exit(run(cfg{
+		streams: *streams, frames: *frames, seed: *seed,
+		workers: *workers, queueCap: *queueCap, turn: *turn,
+		windowLen: *windowLen, budget: *budget, shed: *shed, ckptEvery: *ckptEvery,
+		outage: *outage, transient: *transient, crash: *crash,
+		statusMS: *statusMS, expectRestarts: *expectRestarts,
+	}))
+}
+
+type cfg struct {
+	streams, frames              int
+	seed                         uint64
+	workers, queueCap, turn      int
+	windowLen, budget, ckptEvery int
+	shed                         bool
+	outage                       string
+	transient                    float64
+	crash                        string
+	statusMS, expectRestarts     int
+}
+
+func run(c cfg) int {
+	var outageWin *fault.Outage
+	if c.outage != "" {
+		var from, to int64
+		if _, err := fmt.Sscanf(c.outage, "%d:%d", &from, &to); err != nil {
+			fmt.Fprintf(os.Stderr, "tmerged: bad -outage %q (want FROM:TO): %v\n", c.outage, err)
+			return 2
+		}
+		outageWin = &fault.Outage{From: from, To: to}
+	}
+	crashStream, crashFrame := -1, 0
+	if c.crash != "" {
+		if _, err := fmt.Sscanf(c.crash, "%d:%d", &crashStream, &crashFrame); err != nil {
+			fmt.Fprintf(os.Stderr, "tmerged: bad -crash %q (want STREAM:FRAME): %v\n", c.crash, err)
+			return 2
+		}
+	}
+
+	fleet, err := loadgen.Generate(loadgen.Config{Seed: c.seed, Streams: c.streams, Frames: c.frames})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmerged:", err)
+		return 1
+	}
+	fmt.Printf("tmerged: serving %d streams × %d frames (seed %d, %d workers, window %d)\n",
+		c.streams, fleet[0].Video.NumFrames, c.seed, c.workers, c.windowLen)
+
+	m := serve.NewManager(serve.Config{
+		Workers:         c.workers,
+		WindowBudget:    c.budget,
+		QueueAdmission:  c.budget > 0,
+		DefaultQueueCap: c.queueCap,
+		TurnFrames:      c.turn,
+		Shed:            c.shed,
+	})
+	defer m.Shutdown()
+
+	for i, s := range fleet {
+		streamSeed := s.Seed
+		faulty := c.transient > 0 || outageWin != nil
+		spec := serve.StreamSpec{
+			ID: s.ID,
+			Ingest: ingest.Config{
+				WindowLen:           c.windowLen,
+				K:                   0.05,
+				Algorithm:           core.NewTMerge(core.DefaultTMergeConfig(streamSeed)),
+				AutoCheckpointEvery: c.ckptEvery,
+			},
+			Pipeline: pipelineFactory(streamSeed, faulty, c.transient, outageWin),
+		}
+		if i == crashStream {
+			spec.CrashAtFrame = crashFrame
+		}
+		if err := m.Register(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "tmerged: register %s: %v\n", s.ID, err)
+			return 1
+		}
+	}
+
+	// Status reporter: snapshot-API consumer, concurrent with everything.
+	statusDone := make(chan struct{})
+	var statusWG sync.WaitGroup
+	if c.statusMS > 0 {
+		statusWG.Add(1)
+		go func() {
+			defer statusWG.Done()
+			for {
+				select {
+				case <-statusDone:
+					return
+				case <-time.After(time.Duration(c.statusMS) * time.Millisecond):
+					printStatus(m.Snapshot())
+				}
+			}
+		}()
+	}
+
+	// One pusher per stream; blocking pushes ride the backpressure.
+	var wg sync.WaitGroup
+	pushErrs := make(chan error, len(fleet))
+	for _, s := range fleet {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f, dets := range s.Video.Detections {
+				if err := m.Push(s.ID, video.FrameIndex(f), dets); err != nil {
+					pushErrs <- fmt.Errorf("push %s frame %d: %w", s.ID, f, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(pushErrs)
+	for err := range pushErrs {
+		fmt.Fprintln(os.Stderr, "tmerged:", err)
+		return 1
+	}
+
+	code := 0
+	for _, s := range fleet {
+		res, err := m.Finish(s.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmerged: finish %s: %v\n", s.ID, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("tmerged: %s done: %d frames, %d windows (%d degraded), fingerprint %.12s\n",
+			s.ID, res.FramesProcessed, len(res.Windows), res.DegradedWindows, res.Fingerprint())
+	}
+	close(statusDone)
+	statusWG.Wait()
+
+	final := m.Snapshot()
+	printStatus(final)
+	restarts := 0
+	for _, st := range final {
+		restarts += st.Restarts
+	}
+	if c.expectRestarts > 0 && restarts < c.expectRestarts {
+		fmt.Fprintf(os.Stderr, "tmerged: soak assertion failed: %d supervisor restart(s), expected at least %d\n",
+			restarts, c.expectRestarts)
+		code = 1
+	}
+	m.Shutdown()
+	if code == 0 {
+		fmt.Printf("tmerged: all %d streams drained cleanly (%d supervisor restarts)\n", len(fleet), restarts)
+	}
+	return code
+}
+
+// pipelineFactory builds one stream's isolated pipeline: fresh engine,
+// model, and device chain per call (initial start and every recovery).
+func pipelineFactory(seed uint64, faulty bool, transient float64, outageWin *fault.Outage) serve.PipelineFactory {
+	return func() (*track.Engine, *reid.Oracle) {
+		var dev device.Device = device.NewCPU(device.DefaultCPU)
+		if faulty {
+			fc := fault.Config{
+				Seed:           seed ^ 0xFA017,
+				TransientRate:  transient,
+				FailureLatency: 50 * time.Microsecond,
+			}
+			if outageWin != nil {
+				fc.Schedule = fault.NewSchedule(*outageWin)
+			}
+			dev = device.NewResilientDevice(fault.NewFlaky(dev, fc),
+				device.RetryPolicy{MaxAttempts: 2, Jitter: -1},
+				device.BreakerConfig{Threshold: 2, Cooldown: -1, CooldownRejections: -1},
+				seed^0xD1CE)
+		}
+		model := reid.NewModel(seed^0x5EED, dataset.AppearanceDim)
+		return track.Tracktor(), reid.NewOracle(model, dev)
+	}
+}
+
+// printStatus renders one health table from a snapshot.
+func printStatus(snap []serve.StreamStatus) {
+	fmt.Printf("%-12s %-12s %7s %6s %7s %9s %8s %8s %-9s %s\n",
+		"STREAM", "STATE", "FRAMES", "QUEUE", "WINDOWS", "DEGRADED", "RESTART", "REJECTS", "BREAKER", "ERR")
+	for _, st := range snap {
+		errStr := st.Err
+		if len(errStr) > 40 {
+			errStr = errStr[:37] + "..."
+		}
+		fmt.Printf("%-12s %-12s %7d %6d %7d %9d %8d %8d %-9s %s\n",
+			st.ID, st.State, st.Frames, st.Queued, st.Windows,
+			st.DegradedWindows, st.Restarts, st.Quarantined, st.Breaker, errStr)
+	}
+}

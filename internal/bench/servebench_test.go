@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServeBenchDeterministicAndClean pins the deterministic half of
+// the servebench row (windows, frames, fingerprint) across repeated
+// runs and fleet sizes, and that the gate passes a clean run.
+func TestServeBenchDeterministicAndClean(t *testing.T) {
+	cfg := ServeBenchConfig{
+		Seed:         55,
+		StreamCounts: []int{2, 3},
+		Frames:       80,
+		WindowLen:    40,
+		Workers:      2,
+		K:            DefaultK,
+	}
+	rows, err := RunServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if fails := CheckServeBench(rows, cfg.Frames); len(fails) > 0 {
+		t.Fatalf("gate failed a clean run: %v", fails)
+	}
+
+	again, err := RunServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].Fingerprint != again[i].Fingerprint {
+			t.Fatalf("streams=%d fingerprint not reproducible: %s vs %s",
+				rows[i].Streams, rows[i].Fingerprint, again[i].Fingerprint)
+		}
+		if rows[i].Windows != again[i].Windows || rows[i].Frames != again[i].Frames {
+			t.Fatalf("streams=%d deterministic fields drifted between runs", rows[i].Streams)
+		}
+	}
+
+	// NDJSON round trip, mixed with a foreign row that must be skipped.
+	var buf bytes.Buffer
+	buf.WriteString(`{"experiment":"parallel_windows","workers":1}` + "\n")
+	if err := WriteServeBench(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeServeBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(decoded), len(rows))
+	}
+	for i := range rows {
+		if decoded[i] != rows[i] {
+			t.Fatalf("row %d did not survive the NDJSON round trip: %+v vs %+v", i, decoded[i], rows[i])
+		}
+	}
+}
+
+// TestCheckServeBenchFailsDirtyRows pins the gate's failure modes.
+func TestCheckServeBenchFailsDirtyRows(t *testing.T) {
+	if fails := CheckServeBench(nil, 10); len(fails) != 1 {
+		t.Fatalf("empty run: %v", fails)
+	}
+	rows := []ServeBenchResult{{
+		Experiment: serveBenchExperiment, Streams: 2, Frames: 19, Windows: 0, LeakedGoroutines: 1,
+	}}
+	fails := CheckServeBench(rows, 10)
+	if len(fails) != 3 {
+		t.Fatalf("want 3 failures (frames, windows, leak), got %v", fails)
+	}
+}

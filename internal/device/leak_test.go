@@ -1,0 +1,203 @@
+package device
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkNoGoroutineLeak fails the test if the goroutine count has not
+// returned to (roughly) its before-value within a few seconds — the
+// PR 4 executor leak-check idiom, applied here to pin that the device
+// layer spawns no goroutines of its own under concurrent use.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, now)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// faultyDouble is a local Fallible that fails in bursts: of every
+// period calls, the first burst fail. Bursts are what trip a breaker —
+// isolated failures are absorbed by the retry budget. Device tests
+// cannot use internal/fault (it imports this package), so the breaker
+// is exercised with this double instead.
+type faultyDouble struct {
+	Fallible
+	mu     sync.Mutex
+	calls  int
+	period int
+	burst  int
+}
+
+var errDoubleInjected = errors.New("faulty double: injected failure")
+
+func (f *faultyDouble) TrySubmit(nExtract, nDistance int, run func(i int)) error {
+	f.mu.Lock()
+	f.calls++
+	fail := f.period > 0 && f.calls%f.period < f.burst
+	f.mu.Unlock()
+	if fail {
+		return errDoubleInjected
+	}
+	return f.Fallible.TrySubmit(nExtract, nDistance, run)
+}
+
+func newFaultyResilient(period, burst int, seed uint64) *ResilientDevice {
+	inner := &faultyDouble{Fallible: AsFallible(NewCPU(DefaultCPU)), period: period, burst: burst}
+	return NewResilientDevice(inner,
+		RetryPolicy{MaxAttempts: 2, Jitter: -1},
+		BreakerConfig{Threshold: 2, Cooldown: -1, CooldownRejections: 2}, seed)
+}
+
+// TestResilientConcurrentMultiStreamNoLeak hammers both shared and
+// per-stream resilient devices from many goroutines — submissions,
+// breaker trips, recoveries, and monitoring reads all interleaved — and
+// then checks the goroutine count returns to baseline: the device layer
+// owns no goroutines, so multi-stream serving cannot leak any here.
+func TestResilientConcurrentMultiStreamNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const streams = 8
+	const perStream = 150
+	shared := newFaultyResilient(9, 3, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := newFaultyResilient(7, 3, uint64(i))
+			for n := 0; n < perStream; n++ {
+				// Failures are expected: the double injects them and the
+				// breaker converts streaks into open-circuit rejections.
+				_ = own.TrySubmit(2, 1, func(int) {})
+				_ = shared.TrySubmit(1, 1, func(int) {})
+				_ = shared.State()
+				_ = own.Counters()
+			}
+		}()
+	}
+	wg.Wait()
+
+	c := shared.Counters()
+	if c.Submissions != streams*perStream {
+		t.Fatalf("shared device saw %d submissions, want %d", c.Submissions, streams*perStream)
+	}
+	if c.Trips == 0 {
+		t.Fatal("breaker never tripped; the concurrent fault path was not exercised")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestResilientDoubleClose pins the Close contract: idempotent, safe
+// concurrently with in-flight submissions, and terminal — submissions
+// after Close fail with an error matching both ErrClosed and
+// ErrUnavailable, Submit panics with *Unavailable, and the counters
+// stay frozen at their retirement values.
+func TestResilientDoubleClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d := newFaultyResilient(0, 0, 3)
+	for i := 0; i < 5; i++ {
+		if err := d.TrySubmit(1, 1, func(int) {}); err != nil {
+			t.Fatalf("pre-close submit %d: %v", i, err)
+		}
+	}
+
+	// Concurrent closers racing live submissions: every Close returns
+	// nil, every post-close submission is refused.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = d.TrySubmit(1, 0, func(int) {})
+			if err := d.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			if err := d.Close(); err != nil {
+				t.Errorf("double close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	frozen := d.Counters()
+	err := d.TrySubmit(1, 1, func(int) {})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close TrySubmit: got %v, want ErrClosed", err)
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("post-close error %v does not match ErrUnavailable; degradation paths would miss it", err)
+	}
+	if got := d.Counters(); got != frozen {
+		t.Fatalf("refused post-close submission perturbed counters: %+v != %+v", got, frozen)
+	}
+
+	func() {
+		defer func() {
+			u, ok := recover().(*Unavailable)
+			if !ok {
+				t.Fatal("post-close Submit did not panic with *Unavailable")
+			}
+			if !errors.Is(u.Err, ErrClosed) {
+				t.Fatalf("post-close Submit panic carries %v, want ErrClosed", u.Err)
+			}
+		}()
+		d.Submit(1, 1, func(int) {})
+	}()
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestBreakerRecoversAfterConcurrentTrips pins that the breaker state
+// machine stays consistent under contention: after the fault source
+// heals, the device must return to Closed and complete submissions.
+func TestBreakerRecoversAfterConcurrentTrips(t *testing.T) {
+	before := runtime.NumGoroutine()
+	inner := &faultyDouble{Fallible: AsFallible(NewCPU(DefaultCPU)), period: 1, burst: 1} // always failing
+	d := NewResilientDevice(inner,
+		RetryPolicy{MaxAttempts: 2, Jitter: -1},
+		BreakerConfig{Threshold: 2, Cooldown: -1, CooldownRejections: 2}, 5)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				_ = d.TrySubmit(1, 0, func(int) {})
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Counters().Trips == 0 {
+		t.Fatal("always-failing inner never tripped the breaker")
+	}
+
+	// Heal the fault source; the next probes must re-close the breaker.
+	inner.mu.Lock()
+	inner.burst = 0
+	inner.mu.Unlock()
+	var ok bool
+	for n := 0; n < 10 && !ok; n++ {
+		ok = d.TrySubmit(1, 0, func(int) {}) == nil
+	}
+	if !ok {
+		t.Fatal("breaker never recovered after the fault source healed")
+	}
+	if d.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful submission, want closed", d.State())
+	}
+	checkNoGoroutineLeak(t, before)
+}

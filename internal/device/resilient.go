@@ -1,12 +1,18 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/tmerge/tmerge/internal/xrand"
 )
+
+// ErrClosed reports a submission against a device retired with Close.
+// It wraps ErrUnavailable is-wise via the returned error chain, so
+// callers that degrade on unavailability degrade on closure too.
+var ErrClosed = errors.New("device closed")
 
 // RetryPolicy bounds how hard a ResilientDevice works to complete one
 // submission: up to MaxAttempts attempts, separated by exponential
@@ -144,6 +150,7 @@ type ResilientDevice struct {
 	consecutive int           // consecutive failed attempts
 	openedAt    time.Duration // inner clock reading at the last trip
 	rejects     int           // submissions rejected since the last trip
+	closed      bool          // retired via Close; all submissions refused
 	c           ResilientCounters
 }
 
@@ -270,6 +277,22 @@ func (d *ResilientDevice) ResetBreaker() {
 	d.rejects = 0
 }
 
+// Close retires the device: every subsequent TrySubmit fails with an
+// error matching both ErrClosed and ErrUnavailable, and Submit panics
+// with *Unavailable. The serving layer closes the device chain of a
+// pipeline it has replaced during crash recovery, so a stray goroutine
+// still holding the retired chain fails loudly instead of silently
+// advancing a clock nothing reads. Close is idempotent and safe to call
+// concurrently with in-flight submissions (it does not wait for them;
+// an in-flight submission completes normally). It never returns a
+// non-nil error; the signature matches the conventional closer shape.
+func (d *ResilientDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
+
 // Submit implements Device. It panics with *Unavailable when the
 // submission cannot be completed; see Fallible.
 func (d *ResilientDevice) Submit(nExtract, nDistance int, run func(i int)) {
@@ -284,6 +307,12 @@ func (d *ResilientDevice) TrySubmit(nExtract, nDistance int, run func(i int)) er
 	validateSubmission(nExtract, nDistance, run)
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		// Counters stay frozen at their retirement values: a closed
+		// device's state is already checkpointed or discarded, and a
+		// refused call must not perturb it.
+		return fmt.Errorf("resilient(%s): %w: %w", d.inner.Name(), ErrClosed, ErrUnavailable)
+	}
 	d.c.Submissions++
 
 	if d.state == BreakerOpen {

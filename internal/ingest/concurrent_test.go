@@ -1,0 +1,92 @@
+package ingest
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
+	"github.com/tmerge/tmerge/internal/synth"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// TestMonitoringAccessorsConcurrentWithPushAt pins the two documented
+// exceptions to the Ingestor's single-flight contract: Quarantine() and
+// the resilience/oracle counters reachable through Oracle() must be
+// safe to read from a monitoring goroutine while PushAt runs — the
+// serving layer's Snapshot does exactly that on every health poll. Run
+// under -race this fails on any unsynchronised access.
+func TestMonitoringAccessorsConcurrentWithPushAt(t *testing.T) {
+	sc := loadgen.DefaultTemplate()
+	sc.Seed, sc.NumFrames = 90, 160
+	v, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := fault.NewFlaky(device.NewCPU(device.DefaultCPU), fault.Config{
+		Seed: 90, TransientRate: 0.1, FailureLatency: 20 * time.Microsecond,
+	})
+	dev := device.NewResilientDevice(flaky,
+		device.RetryPolicy{MaxAttempts: 3, Jitter: -1},
+		device.BreakerConfig{Threshold: 4, Cooldown: -1, CooldownRejections: -1}, 90)
+	oracle := reid.NewOracle(reid.NewModel(90^0x5EED, dataset.AppearanceDim), dev)
+
+	in, err := New(track.Tracktor(), oracle, Config{
+		WindowLen: 40, K: 0.1,
+		Algorithm: core.NewTMerge(core.DefaultTMergeConfig(90)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			// Exactly the serving layer's health-poll reads.
+			q := in.Quarantine()
+			_ = q.TotalRejected
+			_ = q.Counts
+			_ = oracle.Stats()
+			_ = dev.Counters()
+			_ = dev.State().String()
+		}
+	}()
+
+	for f := 0; f < v.NumFrames; f++ {
+		dets := v.Detections[f]
+		if f%7 == 3 && len(dets) > 0 {
+			// Poison one detection per few frames so the quarantine ledger
+			// takes writes while the poller reads it.
+			bad := dets[0]
+			bad.Rect.W = math.NaN()
+			dets = append(append([]video.BBox(nil), dets...), bad)
+		}
+		in.PushAt(video.FrameIndex(f), dets)
+	}
+	close(done)
+	wg.Wait()
+	in.Close()
+
+	if got := in.Quarantine().TotalRejected; got == 0 {
+		t.Fatal("no detections quarantined; the ledger write path was never exercised")
+	}
+	if in.Quarantine().Counts[ReasonNonFiniteGeometry] == 0 {
+		t.Fatal("poisoned detections were not classified as non-finite geometry")
+	}
+}

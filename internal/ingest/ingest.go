@@ -125,7 +125,13 @@ type QueryDeltas struct {
 }
 
 // Ingestor is an online ingestion session. It is not safe for concurrent
-// use.
+// use: PushAt, Close, Subscribe, Checkpoint, and the other accessors
+// must all run on one goroutine. Two read-only exceptions exist for
+// monitoring: Quarantine() and the resilience/oracle counters reachable
+// through Oracle() (reid.Oracle.Stats, device.ResilientDevice.Counters /
+// State) are safe to call from another goroutine while a PushAt is in
+// flight — the serving layer's health snapshots poll them exactly that
+// way.
 type Ingestor struct {
 	cfg    Config
 	stream *track.Stream
@@ -332,12 +338,13 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 	inputs := make([]windowInput, len(ws))
 	for i, w := range ws {
 		cur := in.windowTracks(w)
+		total := in.quar.totalCount()
 		inputs[i] = windowInput{
 			w:           w,
 			ps:          video.BuildPairSet(w, cur, in.prevTc),
-			quarantined: in.quar.total - in.quarMark,
+			quarantined: total - in.quarMark,
 		}
-		in.quarMark = in.quar.total
+		in.quarMark = total
 		in.prevTc = cur
 	}
 
@@ -533,6 +540,9 @@ func (in *Ingestor) FramesSeen() int { return int(in.nextFrame) }
 
 // Quarantine returns a detached snapshot of the quarantine ledger:
 // per-reason reject counters and the retained dead-letter buffer.
+// Unlike the rest of the Ingestor API it is safe to call concurrently
+// with an in-flight PushAt (the ledger carries its own lock), so health
+// monitors can poll it from another goroutine.
 func (in *Ingestor) Quarantine() QuarantineReport { return in.quar.report() }
 
 func sortTracks(ts []*video.Track) []*video.Track {

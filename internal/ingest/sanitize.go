@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"math"
+	"sync"
 
 	"github.com/tmerge/tmerge/internal/checkpoint"
 	"github.com/tmerge/tmerge/internal/video"
@@ -62,8 +63,12 @@ type QuarantineReport struct {
 }
 
 // quarantine is the ingestor's dead-letter ledger: a capped buffer of
-// rejected detections plus unbounded per-reason counters.
+// rejected detections plus unbounded per-reason counters. It carries its
+// own mutex so Quarantine() snapshots are safe to take from a monitoring
+// goroutine while a PushAt is in flight (the serving layer's health
+// polls do exactly that); all other Ingestor state remains single-flight.
 type quarantine struct {
+	mu       sync.Mutex
 	cap      int
 	total    int
 	dropped  int
@@ -84,6 +89,8 @@ func newQuarantine(cap int) *quarantine {
 // records what was wrong, and the ledger must stay JSON-serialisable
 // (checkpoints embed it; JSON cannot carry NaN or Inf).
 func (q *quarantine) add(f video.FrameIndex, det video.BBox, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.total++
 	q.counts[reason]++
 	if len(q.rejected) >= q.cap {
@@ -91,6 +98,13 @@ func (q *quarantine) add(f video.FrameIndex, det video.BBox, reason string) {
 		return
 	}
 	q.rejected = append(q.rejected, RejectedDetection{Frame: f, Det: scrubNonFinite(det), Reason: reason})
+}
+
+// totalCount returns the all-time reject counter under the ledger lock.
+func (q *quarantine) totalCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
 }
 
 // scrubNonFinite returns det with every NaN/Inf float component replaced
@@ -133,6 +147,8 @@ func (q *quarantine) addFrame(f video.FrameIndex, dets []video.BBox, reason stri
 }
 
 func (q *quarantine) report() QuarantineReport {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	r := QuarantineReport{
 		TotalRejected: q.total,
 		Dropped:       q.dropped,
@@ -146,6 +162,8 @@ func (q *quarantine) report() QuarantineReport {
 }
 
 func (q *quarantine) state() checkpoint.QuarantineState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	st := checkpoint.QuarantineState{
 		Cap:           q.cap,
 		TotalRejected: q.total,

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
+	"github.com/tmerge/tmerge/internal/track"
+)
+
+// TestChaosBitIdenticalRecovery is the serving layer's headline
+// guarantee, pinned end to end: ten concurrent streams share a
+// four-worker pool while some streams run scripted oracle outages,
+// some run random transient faults, and two suffer injected crashes
+// that force checkpoint-restore recovery — and every surviving
+// stream's final result fingerprint is bit-identical to the same
+// stream's single-stream sequential run. A snapshot poller hammers the
+// health API concurrently throughout, and the pool must shut down with
+// zero leaked goroutines.
+func TestChaosBitIdenticalRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is long; skipped in -short")
+	}
+	before := runtime.NumGoroutine()
+
+	const nStreams = 10
+	const frames = 320
+	streams, err := loadgen.Generate(loadgen.Config{Seed: 1234, Streams: nStreams, Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-stream fault profile: even streams face a scripted mid-stream
+	// outage (degraded windows), odd streams a transient-failure rate the
+	// retry policy mostly absorbs. Streams 3 and 7 additionally crash
+	// mid-stream and must recover from checkpoint.
+	faultFor := func(i int) *fault.Config {
+		fc := fault.Config{
+			Seed:           loadgen.StreamSeed(1234, i) ^ 0xFA017,
+			FailureLatency: 50 * time.Microsecond,
+		}
+		if i%2 == 0 {
+			fc.Schedule = fault.NewSchedule(fault.Outage{From: 3, To: 6})
+		} else {
+			fc.TransientRate = 0.05
+		}
+		return &fc
+	}
+	crashAt := map[int]int{3: 130, 7: 210}
+
+	m := NewManager(Config{Workers: 4, TurnFrames: 8, DefaultQueueCap: 32})
+	defer m.Shutdown()
+
+	for i, s := range streams {
+		spec := StreamSpec{
+			ID:           s.ID,
+			Ingest:       testIngestCfg(s.Seed, 80, 2),
+			Pipeline:     testPipeline(s.Seed, faultFor(i)),
+			CrashAtFrame: crashAt[i],
+		}
+		if err := m.Register(spec); err != nil {
+			t.Fatalf("register %s: %v", s.ID, err)
+		}
+	}
+
+	// Snapshot poller: the health API must be safe concurrently with
+	// pushes, turns, crashes, and recoveries for the whole run.
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-pollDone:
+				return
+			default:
+			}
+			for _, st := range m.Snapshot() {
+				_ = st.State.String()
+				_ = st.Breaker
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// One pusher per stream: all ten streams contend for the pool at
+	// once, exercising backpressure (queue cap 32 < 320 frames).
+	var pushWG sync.WaitGroup
+	pushErrs := make(chan error, nStreams)
+	for _, s := range streams {
+		s := s
+		pushWG.Add(1)
+		go func() {
+			defer pushWG.Done()
+			for f, dets := range s.Video.Detections {
+				if err := m.Push(s.ID, ingestFrame(f), dets); err != nil {
+					pushErrs <- fmt.Errorf("push %s frame %d: %w", s.ID, f, err)
+					return
+				}
+			}
+		}()
+	}
+	pushWG.Wait()
+	close(pushErrs)
+	for err := range pushErrs {
+		t.Fatal(err)
+	}
+
+	served := make(map[string]string, nStreams)
+	for _, s := range streams {
+		res, err := m.Finish(s.ID)
+		if err != nil {
+			t.Fatalf("finish %s: %v", s.ID, err)
+		}
+		if res.FramesProcessed != frames {
+			t.Fatalf("%s processed %d frames, want %d (exactly-once violated)", s.ID, res.FramesProcessed, frames)
+		}
+		served[s.ID] = res.Fingerprint()
+	}
+	close(pollDone)
+	pollWG.Wait()
+
+	// The crashed streams must have actually recovered, and the scripted
+	// outages must have actually degraded windows somewhere.
+	snap := m.Snapshot()
+	degradedTotal := 0
+	for i, st := range snap {
+		degradedTotal += st.DegradedWindows
+		if _, crashed := crashAt[i]; crashed && st.Restarts < 1 {
+			t.Errorf("%s: restarts = %d, want >= 1 (injected crash never recovered)", st.ID, st.Restarts)
+		}
+		if st.State != Stopped {
+			t.Errorf("%s: state = %v after Finish, want Stopped", st.ID, st.State)
+		}
+	}
+	if degradedTotal == 0 {
+		t.Error("no degraded windows across the fleet; outage schedule did not bite")
+	}
+
+	m.Shutdown()
+	checkNoGoroutineLeak(t, before)
+
+	// Reference: each stream alone, sequential, same pipeline seeds and
+	// fault scripts, no manager, no crashes. Bit-identical fingerprints
+	// are the whole point of per-stream pipeline isolation plus
+	// checkpoint-replay recovery.
+	for i, s := range streams {
+		engine, oracle := testPipeline(s.Seed, faultFor(i))()
+		ref, err := ingest.New(engine, oracle, testIngestCfg(s.Seed, 80, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, dets := range s.Video.Detections {
+			ref.PushAt(ingestFrame(f), dets)
+		}
+		ref.Close()
+		if want := ref.Result().Fingerprint(); served[s.ID] != want {
+			t.Errorf("%s: served fingerprint %s != sequential %s", s.ID, served[s.ID], want)
+		}
+	}
+}
+
+// TestUnrecoverableQuarantineSurfaces pins the supervision contract
+// when recovery itself fails: the factory panics during the rebuild, so
+// the stream stays terminally Quarantined, the error reaches both the
+// snapshot and Finish, and the rest of the fleet is untouched.
+func TestUnrecoverableQuarantineSurfaces(t *testing.T) {
+	before := runtime.NumGoroutine()
+	streams, err := loadgen.Generate(loadgen.Config{Seed: 77, Streams: 2, Frames: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := testPipeline(77, nil)
+	var calls int
+	var callMu sync.Mutex
+	brokenFactory := func() (*track.Engine, *reid.Oracle) {
+		callMu.Lock()
+		calls++
+		c := calls
+		callMu.Unlock()
+		if c > 1 {
+			panic("pipeline hardware gone")
+		}
+		return inner()
+	}
+
+	m := NewManager(Config{Workers: 2, TurnFrames: 8, DefaultQueueCap: 32})
+	defer m.Shutdown()
+	if err := m.Register(StreamSpec{
+		ID: "doomed", Ingest: testIngestCfg(77, 80, 0),
+		Pipeline: brokenFactory, CrashAtFrame: 60,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(StreamSpec{
+		ID: "bystander", Ingest: testIngestCfg(78, 80, 0),
+		Pipeline: testPipeline(78, nil),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push only a little past the crash point: a terminally quarantined
+	// stream never drains its queue, and a blocking Push against a full
+	// dead queue would wedge the test. 64 frames leave at most a handful
+	// queued after the crash at frame 60 — far below the 32-frame cap.
+	for f := 0; f < 64; f++ {
+		if err := m.Push("doomed", ingestFrame(f), streams[0].Video.Detections[f]); err != nil {
+			t.Fatalf("doomed push %d: %v", f, err)
+		}
+	}
+	for f, dets := range streams[1].Video.Detections {
+		if err := m.Push("bystander", ingestFrame(f), dets); err != nil {
+			t.Fatalf("bystander push %d: %v", f, err)
+		}
+	}
+
+	if _, err := m.Finish("doomed"); err == nil {
+		t.Fatal("finish of unrecoverable stream succeeded")
+	}
+	st := m.Snapshot()[0]
+	if st.State != Quarantined {
+		t.Fatalf("doomed state = %v, want Quarantined", st.State)
+	}
+	if st.Err == "" {
+		t.Fatal("doomed stream surfaces no error in snapshot")
+	}
+
+	// Fault isolation: the bystander is unaffected.
+	res, err := m.Finish("bystander")
+	if err != nil {
+		t.Fatalf("finish bystander: %v", err)
+	}
+	if res.FramesProcessed != streams[1].Video.NumFrames {
+		t.Fatalf("bystander processed %d frames, want %d", res.FramesProcessed, streams[1].Video.NumFrames)
+	}
+
+	m.Shutdown()
+	checkNoGoroutineLeak(t, before)
+}

@@ -1,0 +1,95 @@
+// Package loadgen generates deterministic multi-stream load for the
+// serving layer: N synthetic camera streams over the synth scene
+// simulator, sharing one base seed with a fixed per-stream offset, so
+// servebench, the chaos test, and the tmerged soak all reproduce the
+// exact same fleet from (seed, streams, frames) alone. cmd/datagen's
+// -streams flag materialises the same fleet to disk.
+package loadgen
+
+import (
+	"fmt"
+
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/synth"
+)
+
+// seedStride separates per-stream seeds: the golden-ratio stride the
+// dataset curation loop also uses, far apart in the seed space while
+// derived from one shared base.
+const seedStride = 0x9E3779B97F4A7C15
+
+// StreamSeed derives stream i's scene seed from the shared base seed.
+// Every consumer of the multi-stream fixtures (servebench, the chaos
+// test, datagen -streams) must use this derivation so their fleets are
+// interchangeable.
+func StreamSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*seedStride
+}
+
+// StreamName names stream i of a fleet.
+func StreamName(i int) string { return fmt.Sprintf("stream-%02d", i) }
+
+// Config parameterises a generated fleet.
+type Config struct {
+	// Seed is the shared base seed; stream i runs at StreamSeed(Seed, i).
+	Seed uint64
+	// Streams is the fleet size.
+	Streams int
+	// Frames overrides the template's NumFrames when positive.
+	Frames int
+	// Template is the scene configuration every stream shares (Seed and
+	// Name are overridden per stream). Zero-valued fields take
+	// DefaultTemplate.
+	Template synth.Config
+}
+
+// DefaultTemplate is a compact street-camera scene: small enough that a
+// hundred streams generate in seconds, busy enough that every window
+// has real pairs to select over. The appearance dimensionality matches
+// dataset.AppearanceDim so the standard suite ReID model applies.
+func DefaultTemplate() synth.Config {
+	return synth.Config{
+		NumFrames: 300, Width: 800, Height: 600,
+		ArrivalRate: 0.05, MaxObjects: 6, MinSpan: 40, MaxSpan: 200,
+		SpeedMin: 0.5, SpeedMax: 2.0, SizeMin: 50, SizeMax: 110,
+		PosJitter:     0.6,
+		AppearanceDim: dataset.AppearanceDim, AppearanceNoise: 0.06,
+		PosAppearanceWeight: 0.45, AppearanceDrift: 0.004,
+		OutlierProb: 0.2, OutlierNoise: 0.15,
+		OcclusionCoverage: 0.45, MissProb: 0.02,
+		GlareRate: 0.01, GlareDuration: 30, GlareSize: 200,
+	}
+}
+
+// Stream is one generated camera stream.
+type Stream struct {
+	ID    string
+	Seed  uint64
+	Video *synth.Video
+}
+
+// Generate materialises the fleet.
+func Generate(cfg Config) ([]Stream, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("loadgen: Streams must be positive, got %d", cfg.Streams)
+	}
+	tmpl := cfg.Template
+	if tmpl.NumFrames == 0 && tmpl.Width == 0 {
+		tmpl = DefaultTemplate()
+	}
+	if cfg.Frames > 0 {
+		tmpl.NumFrames = cfg.Frames
+	}
+	out := make([]Stream, 0, cfg.Streams)
+	for i := 0; i < cfg.Streams; i++ {
+		sc := tmpl
+		sc.Seed = StreamSeed(cfg.Seed, i)
+		sc.Name = StreamName(i)
+		v, err := synth.Generate(sc)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stream %d: %w", i, err)
+		}
+		out = append(out, Stream{ID: sc.Name, Seed: sc.Seed, Video: v})
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/fault"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// retireDevice closes the resilient device (if any) in a discarded
+// pipeline's chain. Best-effort: chains without a ResilientDevice have
+// no lifecycle to end.
+func retireDevice(in *ingest.Ingestor) {
+	if in == nil {
+		return
+	}
+	for d := in.Oracle().Device(); d != nil; {
+		switch v := d.(type) {
+		case *device.ResilientDevice:
+			_ = v.Close()
+			d = v.Inner()
+		case *fault.Flaky:
+			d = v.Inner()
+		default:
+			d = nil
+		}
+	}
+}
+
+// timePoint aliases time.Time for the latency bookkeeping; zero when no
+// wall clock is injected.
+type timePoint = time.Time
+
+// pushItem is one queued frame.
+type pushItem struct {
+	frame video.FrameIndex
+	dets  []video.BBox
+}
+
+// stream is the manager's per-stream record. Every field below the spec
+// block is guarded by Manager.mu; the ingestor itself is touched only
+// by whichever goroutine holds the stream's active flag (a worker turn,
+// the supervisor's recovery, or Finish's final flush), plus the
+// concurrently-safe monitoring accessors Snapshot uses.
+type stream struct {
+	id       string
+	spec     StreamSpec
+	cfg      ingest.Config // spec.Ingest with the manager's checkpoint sink installed
+	queueCap int
+	cost     int // admission budget units
+
+	state       Health
+	queue       []pushItem
+	scheduled   bool // queued in Manager.ready
+	active      bool // a goroutine is processing the stream
+	inputClosed bool
+
+	ing *ingest.Ingestor
+	// ckpt is the latest sealed checkpoint; replay holds every frame
+	// handed to the ingestor since ckpt was sealed (appended before the
+	// push, truncated by the checkpoint sink), so ckpt+replay always
+	// reconstructs the live session exactly.
+	ckpt   []byte
+	replay []pushItem
+
+	lastErr    error
+	restarts   int
+	crashFired bool
+
+	frames   int // frames the stream cursor has passed
+	windows  int // committed windows
+	degraded int // committed windows selected in degraded mode
+}
+
+// worker is one shared-pool goroutine: pop the next ready stream, feed
+// it a bounded turn of queued frames, requeue it behind every other
+// ready stream if frames remain. Round-robin through the FIFO plus the
+// TurnFrames bound is the fairness guarantee — a hot stream advances at
+// most TurnFrames frames per pass through the queue.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if len(m.ready) == 0 {
+			m.cond.Wait()
+			continue
+		}
+		s := m.ready[0]
+		m.ready = m.ready[1:]
+		s.scheduled = false
+		if s.active || (s.state != Healthy && s.state != Degraded) || len(s.queue) == 0 {
+			continue // quarantined, finished, or drained while waiting its turn
+		}
+		n := m.cfg.TurnFrames
+		if n > len(s.queue) {
+			n = len(s.queue)
+		}
+		batch := make([]pushItem, n)
+		copy(batch, s.queue[:n])
+		s.queue = append(s.queue[:0], s.queue[n:]...)
+		s.active = true
+		m.cond.Broadcast() // queue room freed: wake blocked pushes
+		m.mu.Unlock()
+
+		rem, err := m.runTurn(s, batch)
+
+		m.mu.Lock()
+		s.active = false
+		if err != nil {
+			// Fault isolation: this stream is quarantined for the
+			// supervisor; every other stream keeps flowing. Frames the
+			// turn had dequeued but not yet handed to the ingestor go
+			// back to the queue front; the frame that crashed is already
+			// in the replay buffer and will be replayed.
+			s.state = Quarantined
+			s.lastErr = err
+			if len(rem) > 0 {
+				s.queue = append(append(make([]pushItem, 0, len(rem)+len(s.queue)), rem...), s.queue...)
+			}
+			m.recoverq = append(m.recoverq, s)
+		} else {
+			m.scheduleLocked(s)
+		}
+		m.cond.Broadcast()
+	}
+}
+
+// runTurn feeds one dequeued batch to the stream's ingestor, frame by
+// frame, maintaining the replay invariant (a frame enters the replay
+// buffer before it enters the ingestor) and firing the injected crash
+// when the spec scripts one. A panic — injected or real — is converted
+// to an error along with the batch's unprocessed tail.
+func (m *Manager) runTurn(s *stream, batch []pushItem) (rem []pushItem, err error) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: stream %q crashed at frame %d: %v", s.id, batch[i].frame, r)
+			rem = batch[i+1:]
+		}
+	}()
+	for ; i < len(batch); i++ {
+		it := batch[i]
+		m.mu.Lock()
+		s.replay = append(s.replay, it)
+		crash := s.spec.CrashAtFrame > 0 && !s.crashFired &&
+			it.frame >= video.FrameIndex(s.spec.CrashAtFrame)
+		if crash {
+			s.crashFired = true
+		}
+		m.mu.Unlock()
+		if crash {
+			panic(fmt.Sprintf("injected crash before frame %d", it.frame))
+		}
+		var start timePoint
+		if m.cfg.Now != nil {
+			start = m.cfg.Now()
+		}
+		results := s.ing.PushAt(it.frame, it.dets)
+		m.observe(s, results, start)
+		m.mu.Lock()
+		s.frames = s.ing.FramesSeen()
+		for _, r := range results {
+			s.windows++
+			if r.Degraded {
+				s.degraded++
+			}
+			// Health tracks the most recent window: one degraded window
+			// marks the stream Degraded until an oracle-backed window
+			// closes again.
+			if r.Degraded {
+				s.state = Degraded
+			} else {
+				s.state = Healthy
+			}
+		}
+		m.mu.Unlock()
+	}
+	return nil, nil
+}
+
+// observe reports closed windows to the configured observer with the
+// wall latency of the push that closed them.
+func (m *Manager) observe(s *stream, results []ingest.WindowResult, start timePoint) {
+	if m.cfg.OnWindow == nil || len(results) == 0 {
+		return
+	}
+	var lat time.Duration
+	if m.cfg.Now != nil {
+		lat = m.cfg.Now().Sub(start)
+	}
+	for _, r := range results {
+		m.cfg.OnWindow(s.id, r, lat)
+	}
+}
+
+// supervisor is the crash-recovery goroutine: it takes quarantined
+// streams, rebuilds their pipeline from the factory, restores the
+// latest checkpoint, and replays the frames pushed since — bit-identical
+// resumption, because the checkpoint restores the tracker, merger,
+// oracle cache, fault-injection cursor, and virtual clock exactly, and
+// the replayed frames then re-derive the exact state the stream had
+// when it crashed (DESIGN.md §12 sketches the proof).
+func (m *Manager) supervisor() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if len(m.recoverq) == 0 {
+			m.cond.Wait()
+			continue
+		}
+		s := m.recoverq[0]
+		m.recoverq = m.recoverq[1:]
+		s.state = Recovering
+		s.restarts++
+		s.active = true
+		old := s.ing
+		ckpt := s.ckpt
+		replay := append([]pushItem(nil), s.replay...)
+		// The replay buffer is rebuilt while replaying (the checkpoint
+		// sink may fire mid-replay and truncate it), preserving the
+		// ckpt+replay invariant for a crash during or after recovery.
+		s.replay = s.replay[:0]
+		m.mu.Unlock()
+
+		ing, err := m.rebuild(s, ckpt, replay)
+		if err == nil {
+			// The crashed pipeline is fully replaced: retire its device
+			// chain so anything still holding it fails loudly rather than
+			// silently advancing a clock nothing reads.
+			retireDevice(old)
+		}
+
+		m.mu.Lock()
+		s.active = false
+		if err != nil {
+			// Unrecoverable: stays quarantined with the error surfaced in
+			// the snapshot; Finish reports it.
+			s.state = Quarantined
+			s.lastErr = err
+			m.cond.Broadcast()
+			continue
+		}
+		s.ing = ing
+		s.lastErr = nil
+		s.frames = ing.FramesSeen()
+		s.windows = 0
+		s.degraded = 0
+		s.state = Healthy
+		for _, r := range ing.Results() {
+			s.windows++
+			if r.Degraded {
+				s.degraded++
+				s.state = Degraded
+			} else {
+				s.state = Healthy
+			}
+		}
+		m.scheduleLocked(s)
+		m.cond.Broadcast()
+	}
+}
+
+// rebuild constructs a fresh pipeline, restores the checkpoint (or
+// starts from scratch when the stream never sealed one), and replays
+// the since-checkpoint frames. Replayed windows are not re-observed —
+// they were already reported before the crash.
+func (m *Manager) rebuild(s *stream, ckpt []byte, replay []pushItem) (in *ingest.Ingestor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			in, err = nil, fmt.Errorf("serve: stream %q: recovery replay panicked: %v", s.id, r)
+		}
+	}()
+	engine, oracle := s.spec.Pipeline()
+	if len(ckpt) > 0 {
+		in, err = ingest.Restore(engine, oracle, s.cfg, ckpt)
+	} else {
+		in, err = ingest.New(engine, oracle, s.cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range replay {
+		m.mu.Lock()
+		s.replay = append(s.replay, it)
+		m.mu.Unlock()
+		in.PushAt(it.frame, it.dets)
+	}
+	return in, nil
+}
