@@ -50,6 +50,8 @@ func main() {
 		workers = flag.Int("workers", 3, "parallel workers across trials")
 		jsonOut = flag.String("json", "", "write experiment results as line-delimited JSON to this file ('-' for stdout)")
 
+		transport = flag.String("transport", "inproc", "servebench frame transport: inproc (direct serve.Manager pushes) or http (loopback NDJSON ingress)")
+
 		benchMode  = flag.Bool("bench", false, "run the pinned parallel window-executor benchmark instead of experiments")
 		benchOut   = flag.String("bench-out", "", "write parallel-benchmark rows as line-delimited JSON to this file ('-' for stdout)")
 		compare    = flag.String("compare", "", "baseline NDJSON file to gate the parallel benchmark against")
@@ -99,6 +101,7 @@ func main() {
 		"servebench": func() any {
 			cfg := bench.DefaultServeBench()
 			cfg.Clock = time.Now
+			cfg.Transport = *transport
 			rows, err := bench.ServeBench(w, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner: servebench:", err)

@@ -12,11 +12,30 @@
 // and -expect-restarts fails the process if supervision never actually
 // recovered anything.
 //
+// Beyond the in-process fleet, three network modes ride the
+// internal/ingress HTTP protocol:
+//
+//   - -http ADDR serves register/push/finish/status endpoints; SIGTERM
+//     (or SIGINT) drains every stream to a frame-boundary checkpoint in
+//     -checkpoint-dir before exiting, and a restarted daemon over the
+//     same directory resumes each stream exactly where the flush
+//     stopped.
+//   - -push URL runs the retrying client side: it feeds the loadgen
+//     fleet to a remote daemon with per-request deadlines, seeded
+//     backoff, and transparent re-registration after a daemon restart.
+//   - -net-soak is the CI chaos stage: fleet + fault-injecting TCP
+//     proxy + drain/restart handover, failing unless recovery was
+//     bit-identical and retries/reattaches/faults were actually
+//     observed.
+//
 // Usage:
 //
 //	tmerged -streams 4 -frames 300
 //	tmerged -streams 6 -frames 240 -outage 3:6 -transient 0.05 \
 //	        -crash 2:150 -expect-restarts 1 -status-ms 250
+//	tmerged -http 127.0.0.1:7171 -checkpoint-dir /var/lib/tmerged
+//	tmerged -push http://127.0.0.1:7171 -streams 4 -frames 300
+//	tmerged -net-soak -streams 3 -frames 160
 //
 // Status lines (one table per tick) show each stream's health state
 // (healthy/degraded/quarantined/recovering/stopped), frame progress,
@@ -62,15 +81,34 @@ func main() {
 
 		statusMS       = flag.Int("status-ms", 500, "status table interval in milliseconds (0 disables)")
 		expectRestarts = flag.Int("expect-restarts", 0, "fail unless the fleet performed at least N supervisor restarts (soak assertion)")
+
+		httpAddr = flag.String("http", "", "serve the network ingress API on this address (e.g. 127.0.0.1:7171) instead of the in-process loadgen fleet; SIGTERM drains to checkpoint")
+		ckptDir  = flag.String("checkpoint-dir", "", "durable checkpoint directory for -http mode (empty keeps resume state in memory)")
+		drainMS  = flag.Int("drain-timeout-ms", 30000, "bound on the SIGTERM drain in -http mode")
+		pushURL  = flag.String("push", "", "push the loadgen fleet to a remote daemon at this base URL (e.g. http://127.0.0.1:7171) instead of serving")
+		batch    = flag.Int("batch-frames", 4, "client push batch size for -push and -net-soak modes")
+		netSoak  = flag.Bool("net-soak", false, "run the self-contained network chaos soak (fault proxy + drain/restart) and exit nonzero unless recovery was bit-identical")
 	)
 	flag.Parse()
-	os.Exit(run(cfg{
+	c := cfg{
 		streams: *streams, frames: *frames, seed: *seed,
 		workers: *workers, queueCap: *queueCap, turn: *turn,
 		windowLen: *windowLen, budget: *budget, shed: *shed, ckptEvery: *ckptEvery,
 		outage: *outage, transient: *transient, crash: *crash,
 		statusMS: *statusMS, expectRestarts: *expectRestarts,
-	}))
+		httpAddr: *httpAddr, ckptDir: *ckptDir, drainMS: *drainMS,
+		pushURL: *pushURL, batchFrames: *batch,
+	}
+	switch {
+	case *netSoak:
+		os.Exit(runNetSoak(c))
+	case *httpAddr != "":
+		os.Exit(runServe(c))
+	case *pushURL != "":
+		os.Exit(runPush(c))
+	default:
+		os.Exit(run(c))
+	}
 }
 
 type cfg struct {
@@ -83,24 +121,37 @@ type cfg struct {
 	transient                    float64
 	crash                        string
 	statusMS, expectRestarts     int
+
+	httpAddr, ckptDir    string
+	drainMS, batchFrames int
+	pushURL              string
 }
 
-func run(c cfg) int {
-	var outageWin *fault.Outage
+// parseFaultFlags decodes the shared fault-injection flags; a nonzero
+// code means a flag was malformed (and has been reported).
+func parseFaultFlags(c cfg) (outageWin *fault.Outage, crashStream, crashFrame, code int) {
+	crashStream = -1
 	if c.outage != "" {
 		var from, to int64
 		if _, err := fmt.Sscanf(c.outage, "%d:%d", &from, &to); err != nil {
 			fmt.Fprintf(os.Stderr, "tmerged: bad -outage %q (want FROM:TO): %v\n", c.outage, err)
-			return 2
+			return nil, -1, 0, 2
 		}
 		outageWin = &fault.Outage{From: from, To: to}
 	}
-	crashStream, crashFrame := -1, 0
 	if c.crash != "" {
 		if _, err := fmt.Sscanf(c.crash, "%d:%d", &crashStream, &crashFrame); err != nil {
 			fmt.Fprintf(os.Stderr, "tmerged: bad -crash %q (want STREAM:FRAME): %v\n", c.crash, err)
-			return 2
+			return nil, -1, 0, 2
 		}
+	}
+	return outageWin, crashStream, crashFrame, 0
+}
+
+func run(c cfg) int {
+	outageWin, crashStream, crashFrame, code := parseFaultFlags(c)
+	if code != 0 {
+		return code
 	}
 
 	fleet, err := loadgen.Generate(loadgen.Config{Seed: c.seed, Streams: c.streams, Frames: c.frames})
@@ -184,7 +235,7 @@ func run(c cfg) int {
 		return 1
 	}
 
-	code := 0
+	code = 0
 	for _, s := range fleet {
 		res, err := m.Finish(s.ID)
 		if err != nil {

@@ -49,6 +49,17 @@ type ServeBenchConfig struct {
 	TauMax int
 	// K is the candidate proportion.
 	K float64
+	// Transport selects how frames reach the manager: "inproc" (default,
+	// also the zero value) pushes straight into serve.Manager; "http"
+	// stands up the ingress HTTP server on a loopback listener and pushes
+	// NDJSON batches through ingress.Client, so the row measures the wire
+	// protocol's cost against the in-process path. Windows, frames, and
+	// the fingerprint are identical across transports — only the wall
+	// metrics move.
+	Transport string
+	// BatchFrames is the ingress client's push batch size for the "http"
+	// transport; 0 defaults to 8. Ignored for "inproc".
+	BatchFrames int
 	// Clock reads wall time for the FPS and latency measurements. It must
 	// be injected by the caller — cmd/benchrunner is on the determinism
 	// allowlist, this package is not. Nil disables wall timing (FPS and
@@ -76,7 +87,10 @@ func DefaultServeBench() ServeBenchConfig {
 // are wall-clock measurements and vary run to run; Windows, Frames, and
 // Fingerprint are deterministic functions of the configuration.
 type ServeBenchResult struct {
-	Experiment      string  `json:"experiment"`
+	Experiment string `json:"experiment"`
+	// Transport is "inproc" or "http" — rows of both transports share one
+	// NDJSON stream, so the comparison is a filter on this field.
+	Transport       string  `json:"transport"`
 	Seed            uint64  `json:"seed"`
 	Streams         int     `json:"streams"`
 	Frames          int     `json:"frames"` // total across the fleet
@@ -114,9 +128,21 @@ func RunServeBench(cfg ServeBenchConfig) ([]ServeBenchResult, error) {
 	if cfg.WindowLen <= 0 {
 		cfg.WindowLen = 40
 	}
+	if cfg.Transport == "" {
+		cfg.Transport = "inproc"
+	}
+	if cfg.Transport != "inproc" && cfg.Transport != "http" {
+		return nil, fmt.Errorf("bench: unknown servebench transport %q (want inproc or http)", cfg.Transport)
+	}
 	out := make([]ServeBenchResult, 0, len(cfg.StreamCounts))
 	for _, n := range cfg.StreamCounts {
-		row, err := runServeBenchOnce(cfg, n)
+		var row ServeBenchResult
+		var err error
+		if cfg.Transport == "http" {
+			row, err = runServeBenchHTTP(cfg, n)
+		} else {
+			row, err = runServeBenchOnce(cfg, n)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -128,6 +154,7 @@ func RunServeBench(cfg ServeBenchConfig) ([]ServeBenchResult, error) {
 func runServeBenchOnce(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, error) {
 	row := ServeBenchResult{
 		Experiment: serveBenchExperiment,
+		Transport:  "inproc",
 		Seed:       cfg.Seed,
 		Streams:    nStreams,
 		WindowLen:  cfg.WindowLen,
@@ -285,13 +312,17 @@ func ServeBench(w io.Writer, cfg ServeBenchConfig) ([]ServeBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(w, "Serving layer — %d frames/stream, L=%d, %d workers\n",
-		cfg.Frames, cfg.WindowLen, cfg.Workers)
-	fmt.Fprintf(w, "%-8s %8s %8s %10s %10s %12s %12s %6s  %s\n",
-		"streams", "frames", "windows", "wall(ms)", "aggFPS", "p50 lat(ms)", "p99 lat(ms)", "leaks", "fingerprint")
+	transport := cfg.Transport
+	if transport == "" {
+		transport = "inproc"
+	}
+	fmt.Fprintf(w, "Serving layer (%s) — %d frames/stream, L=%d, %d workers\n",
+		transport, cfg.Frames, cfg.WindowLen, cfg.Workers)
+	fmt.Fprintf(w, "%-8s %-8s %8s %8s %10s %10s %12s %12s %6s  %s\n",
+		"streams", "via", "frames", "windows", "wall(ms)", "aggFPS", "p50 lat(ms)", "p99 lat(ms)", "leaks", "fingerprint")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8d %8d %8d %10.1f %10.1f %12.3f %12.3f %6d  %s\n",
-			r.Streams, r.Frames, r.Windows, r.WallMS, r.AggFPS, r.P50LatencyMS, r.P99LatencyMS, r.LeakedGoroutines, r.Fingerprint[:12])
+		fmt.Fprintf(w, "%-8d %-8s %8d %8d %10.1f %10.1f %12.3f %12.3f %6d  %s\n",
+			r.Streams, r.Transport, r.Frames, r.Windows, r.WallMS, r.AggFPS, r.P50LatencyMS, r.P99LatencyMS, r.LeakedGoroutines, r.Fingerprint[:12])
 	}
 	return rows, nil
 }

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/dataset"
+	"github.com/tmerge/tmerge/internal/device"
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/ingress"
+	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/serve"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
+	"github.com/tmerge/tmerge/internal/track"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// runServeBenchHTTP is the network-transport arm of the serving
+// benchmark: the same fleet, manager configuration, and pipelines as
+// runServeBenchOnce, but every frame crosses a loopback HTTP hop as an
+// NDJSON push through ingress.Client. The deterministic columns
+// (windows, frames, fingerprint) must equal the in-process row's; the
+// wall columns price the wire.
+func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, error) {
+	row := ServeBenchResult{
+		Experiment: serveBenchExperiment,
+		Transport:  "http",
+		Seed:       cfg.Seed,
+		Streams:    nStreams,
+		WindowLen:  cfg.WindowLen,
+		Workers:    cfg.Workers,
+	}
+	batch := cfg.BatchFrames
+	if batch <= 0 {
+		batch = 8
+	}
+	streams, err := loadgen.Generate(loadgen.Config{Seed: cfg.Seed, Streams: nStreams, Frames: cfg.Frames})
+	if err != nil {
+		return row, err
+	}
+	seeds := make(map[string]uint64, len(streams))
+	for _, s := range streams {
+		seeds[s.ID] = s.Seed
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	var latMu sync.Mutex
+	var lats []time.Duration
+	srv, err := ingress.NewServer(ingress.ServerConfig{
+		Serve: serve.Config{
+			Workers:         cfg.Workers,
+			TurnFrames:      cfg.TurnFrames,
+			DefaultQueueCap: cfg.QueueCap,
+			Now:             cfg.Clock,
+			OnWindow: func(_ string, _ ingest.WindowResult, lat time.Duration) {
+				latMu.Lock()
+				lats = append(lats, lat)
+				latMu.Unlock()
+			},
+		},
+		Spec: func(id string, _ ingress.RegisterRequest) (serve.StreamSpec, error) {
+			seed, ok := seeds[id]
+			if !ok {
+				return serve.StreamSpec{}, fmt.Errorf("bench: unknown stream %q", id)
+			}
+			return serve.StreamSpec{
+				Ingest: ingest.Config{
+					WindowLen: cfg.WindowLen,
+					K:         cfg.K,
+					Algorithm: core.NewTMerge(serveBenchTMerge(cfg, seed)),
+				},
+				Pipeline: func() (*track.Engine, *reid.Oracle) {
+					model := reid.NewModel(seed^0x5EED, dataset.AppearanceDim)
+					return track.Tracktor(), reid.NewOracle(model, device.NewCPU(device.DefaultCPU))
+				},
+			}, nil
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Shutdown()
+		return row, fmt.Errorf("bench: servebench listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan struct{})
+	go func() { _ = hs.Serve(ln); close(serveDone) }()
+	stop := func() {
+		srv.Shutdown()
+		_ = hs.Close()
+		<-serveDone
+	}
+
+	transport := &http.Transport{MaxIdleConns: 2 * nStreams, MaxIdleConnsPerHost: 2 * nStreams}
+	hc := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	base := "http://" + ln.Addr().String()
+	clients := make([]*ingress.Client, len(streams))
+	for i, s := range streams {
+		clients[i], err = ingress.NewClient(ingress.ClientConfig{
+			BaseURL:        base,
+			Stream:         s.ID,
+			Seed:           s.Seed,
+			HTTPClient:     hc,
+			BatchFrames:    batch,
+			RequestTimeout: 60 * time.Second, // blocking pushes ride the queue's backpressure
+		})
+		if err != nil {
+			stop()
+			return row, err
+		}
+		if _, err := clients[i].Register(ingress.RegisterRequest{Seed: s.Seed}); err != nil {
+			stop()
+			return row, fmt.Errorf("bench: register %s: %w", s.ID, err)
+		}
+	}
+
+	var start time.Time
+	if cfg.Clock != nil {
+		start = cfg.Clock()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, nStreams)
+	for i, s := range streams {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f, dets := range s.Video.Detections {
+				if err := clients[i].Push(video.FrameIndex(f), dets); err != nil {
+					errCh <- fmt.Errorf("bench: push %s frame %d: %w", s.ID, f, err)
+					return
+				}
+			}
+			if err := clients[i].Flush(); err != nil {
+				errCh <- fmt.Errorf("bench: flush %s: %w", s.ID, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		stop()
+		return row, err
+	}
+
+	fp := sha256.New()
+	for i, s := range streams {
+		fin, err := clients[i].Finish()
+		if err != nil {
+			stop()
+			return row, fmt.Errorf("bench: finish %s: %w", s.ID, err)
+		}
+		row.Frames += fin.Frames
+		row.Windows += fin.Windows
+		row.DegradedWindows += fin.DegradedWindows
+		fmt.Fprintln(fp, fin.Fingerprint)
+	}
+	var wall time.Duration
+	if cfg.Clock != nil {
+		wall = cfg.Clock().Sub(start)
+	}
+	stop()
+	transport.CloseIdleConnections()
+	row.Fingerprint = hex.EncodeToString(fp.Sum(nil))
+	row.LeakedGoroutines = leakedGoroutines(goroutinesBefore)
+
+	if wall > 0 {
+		row.WallMS = float64(wall) / float64(time.Millisecond)
+		row.AggFPS = float64(row.Frames) / wall.Seconds()
+	}
+	latMu.Lock()
+	defer latMu.Unlock()
+	if len(lats) > 0 && cfg.Clock != nil {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50LatencyMS = float64(quantile(lats, 0.50)) / float64(time.Millisecond)
+		row.P99LatencyMS = float64(quantile(lats, 0.99)) / float64(time.Millisecond)
+	}
+	return row, nil
+}

@@ -62,6 +62,48 @@ func TestServeBenchDeterministicAndClean(t *testing.T) {
 	}
 }
 
+// TestServeBenchHTTPTransportEquivalent pins the transport contract:
+// pushing the fleet over the loopback NDJSON ingress must leave every
+// deterministic column — windows, frames, fingerprint — identical to
+// the in-process run, so the two rows differ only in wall metrics.
+func TestServeBenchHTTPTransportEquivalent(t *testing.T) {
+	cfg := ServeBenchConfig{
+		Seed:         55,
+		StreamCounts: []int{3},
+		Frames:       80,
+		WindowLen:    40,
+		Workers:      2,
+		K:            DefaultK,
+	}
+	inproc, err := RunServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = "http"
+	overWire, err := RunServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := CheckServeBench(overWire, cfg.Frames); len(fails) > 0 {
+		t.Fatalf("gate failed the http run: %v", fails)
+	}
+	a, b := inproc[0], overWire[0]
+	if a.Transport != "inproc" || b.Transport != "http" {
+		t.Fatalf("transport tags %q/%q, want inproc/http", a.Transport, b.Transport)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("transport changed results: inproc %s != http %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Frames != b.Frames || a.Windows != b.Windows || a.DegradedWindows != b.DegradedWindows {
+		t.Fatalf("deterministic columns diverged: %+v vs %+v", a, b)
+	}
+
+	cfg.Transport = "carrier-pigeon"
+	if _, err := RunServeBench(cfg); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
 // TestCheckServeBenchFailsDirtyRows pins the gate's failure modes.
 func TestCheckServeBenchFailsDirtyRows(t *testing.T) {
 	if fails := CheckServeBench(nil, 10); len(fails) != 1 {

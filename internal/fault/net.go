@@ -1,0 +1,288 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// NetConfig scripts a Proxy's per-connection fault rolls. Each accepted
+// connection draws its fate from an RNG derived from Seed and the
+// connection's accept index, so a given seed always produces the same
+// fault pattern over the same connection sequence — the network-side
+// analogue of the Flaky device's seeded injection.
+//
+// Rates are evaluated in order: drop, then stall, then truncate; a
+// connection suffers at most one fault. All rates zero yields a
+// transparent proxy.
+type NetConfig struct {
+	// Seed keys the per-connection fault stream.
+	Seed uint64
+	// DropRate is the probability an accepted connection is closed
+	// immediately, before any byte is forwarded — the client observes a
+	// connection reset or an empty reply.
+	DropRate float64
+	// StallRate is the probability an accepted connection is held open
+	// without forwarding anything for StallFor, then closed — the client
+	// observes its request deadline expiring.
+	StallRate float64
+	// StallFor bounds how long a stalled connection is held; 0 defaults
+	// to 50ms. Keep it above the client's per-request deadline to
+	// actually exercise timeouts, or below to merely add latency.
+	StallFor time.Duration
+	// TruncateRate is the probability a connection is cut mid-exchange:
+	// a per-connection byte budget is drawn uniformly from [1,
+	// TruncateAfter], and the first copied byte past it severs both
+	// directions — the client observes a truncated response or a broken
+	// write.
+	TruncateRate float64
+	// TruncateAfter bounds the truncation byte budget; 0 defaults to 512.
+	TruncateAfter int
+}
+
+// NetCounters reports what a Proxy actually did — the evidence a chaos
+// test asserts on so a "passing" run cannot be one where no fault fired.
+type NetCounters struct {
+	// Conns counts accepted connections.
+	Conns int64
+	// Dropped, Stalled, Truncated count connections that suffered each
+	// fault.
+	Dropped   int64
+	Stalled   int64
+	Truncated int64
+	// Forwarded counts connections proxied transparently end to end.
+	Forwarded int64
+}
+
+// Proxy is a fault-injecting TCP proxy: it listens on a loopback port,
+// dials the backend for every accepted connection, and forwards bytes in
+// both directions, except when the seeded per-connection roll scripts a
+// drop, stall, or truncation. The backend address is retargetable at any
+// time (SetBackend), so the proxy endpoint stays stable across a backend
+// crash/restart — clients keep one address while the server behind it
+// dies and comes back, exactly the scenario the ingress chaos test
+// stages.
+type Proxy struct {
+	cfg NetConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	backend string
+	counts  NetCounters
+	nextID  uint64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy listening on addr (use "127.0.0.1:0" for an
+// ephemeral loopback port) and forwarding to backend. Close releases the
+// listener and every in-flight connection.
+func NewProxy(addr, backend string, cfg NetConfig) (*Proxy, error) {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 50 * time.Millisecond
+	}
+	if cfg.TruncateAfter <= 0 {
+		cfg.TruncateAfter = 512
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fault: proxy listen %s: %w", addr, err)
+	}
+	p := &Proxy{cfg: cfg, ln: ln, backend: backend}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address — the stable endpoint
+// clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend retargets where new connections are forwarded. In-flight
+// connections keep their original backend; only subsequent accepts see
+// the new one.
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// Counters returns a snapshot of the proxy's fault accounting.
+func (p *Proxy) Counters() NetCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// Close stops accepting and waits for every connection goroutine to
+// exit. Safe to call more than once.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// acceptLoop owns the listener: each accepted connection gets a stable
+// index, a derived RNG, and its own goroutine.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		id := p.nextID
+		p.nextID++
+		p.counts.Conns++
+		backend := p.backend
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			_ = conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn, id, backend)
+	}
+}
+
+// serve applies the connection's fault roll, then (unless dropped)
+// proxies bytes until either side closes or the truncation budget runs
+// out.
+func (p *Proxy) serve(conn net.Conn, id uint64, backend string) {
+	defer p.wg.Done()
+	defer conn.Close()
+
+	rng := xrand.Derive(p.cfg.Seed, fmt.Sprintf("conn-%d", id))
+	switch {
+	case rng.Float64() < p.cfg.DropRate:
+		p.bump(func(c *NetCounters) { c.Dropped++ })
+		return
+	case rng.Float64() < p.cfg.StallRate:
+		p.bump(func(c *NetCounters) { c.Stalled++ })
+		p.stall()
+		return
+	}
+	budget := -1 // unlimited
+	if rng.Float64() < p.cfg.TruncateRate {
+		budget = 1 + rng.Intn(p.cfg.TruncateAfter)
+		p.bump(func(c *NetCounters) { c.Truncated++ })
+	}
+
+	up, err := net.Dial("tcp", backend)
+	if err != nil {
+		return // backend down: the client sees the connection close, retries
+	}
+	defer up.Close()
+
+	lim := newLimiter(budget, func() {
+		// Budget exhausted: sever both directions mid-stream.
+		_ = conn.Close()
+		_ = up.Close()
+	})
+	done := make(chan struct{}, 2)
+	go func() { _, _ = io.Copy(up, lim.wrap(conn)); _ = closeWrite(up); done <- struct{}{} }()
+	go func() { _, _ = io.Copy(conn, lim.wrap(up)); _ = closeWrite(conn); done <- struct{}{} }()
+	<-done
+	<-done
+	if budget < 0 {
+		p.bump(func(c *NetCounters) { c.Forwarded++ })
+	}
+}
+
+// stall holds a connection without forwarding until StallFor elapses or
+// the proxy closes.
+func (p *Proxy) stall() {
+	deadline := p.cfg.StallFor
+	const step = 5 * time.Millisecond
+	for waited := time.Duration(0); waited < deadline; waited += step {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		time.Sleep(step)
+	}
+}
+
+// bump applies one counter mutation under the proxy lock.
+func (p *Proxy) bump(f func(*NetCounters)) {
+	p.mu.Lock()
+	f(&p.counts)
+	p.mu.Unlock()
+}
+
+// closeWrite half-closes a TCP connection's write side so the peer sees
+// EOF once the copied direction finishes.
+func closeWrite(c net.Conn) error {
+	if t, ok := c.(*net.TCPConn); ok {
+		return t.CloseWrite()
+	}
+	return nil
+}
+
+// limiter enforces a shared byte budget across both copy directions and
+// fires onExhaust exactly once when the budget is crossed.
+type limiter struct {
+	unlimited bool // immutable after construction
+
+	mu        sync.Mutex
+	remaining int
+	fired     bool
+	onExhaust func()
+}
+
+func newLimiter(budget int, onExhaust func()) *limiter {
+	return &limiter{unlimited: budget < 0, remaining: budget, onExhaust: onExhaust}
+}
+
+// wrap returns r limited by the shared budget.
+func (l *limiter) wrap(r io.Reader) io.Reader {
+	if l.unlimited {
+		return r
+	}
+	return &limitedReader{l: l, r: r}
+}
+
+type limitedReader struct {
+	l *limiter
+	r io.Reader
+}
+
+// Read forwards at most the remaining budget; crossing it fires the
+// exhaust hook and reports an unexpected EOF.
+func (lr *limitedReader) Read(b []byte) (int, error) {
+	lr.l.mu.Lock()
+	if lr.l.remaining <= 0 {
+		fire := !lr.l.fired
+		lr.l.fired = true
+		lr.l.mu.Unlock()
+		if fire {
+			lr.l.onExhaust()
+		}
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(b) > lr.l.remaining {
+		b = b[:lr.l.remaining]
+	}
+	lr.l.mu.Unlock()
+	n, err := lr.r.Read(b)
+	lr.l.mu.Lock()
+	lr.l.remaining -= n
+	lr.l.mu.Unlock()
+	return n, err
+}

@@ -1,0 +1,133 @@
+package ingress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+func validRecord(seq int64, frame video.FrameIndex) PushRecord {
+	return PushRecord{
+		Seq:   seq,
+		Frame: frame,
+		Dets: []video.BBox{{
+			ID: video.BBoxID(seq), Frame: frame,
+			Rect: geom.Rect{X: 1, Y: 2, W: 3, H: 4},
+			Obs:  []float64{0.5, -0.25},
+		}},
+	}
+}
+
+func TestPushBatchRoundTrip(t *testing.T) {
+	in := []PushRecord{validRecord(0, 0), validRecord(1, 1), {Seq: 5, Frame: 9}}
+	var buf bytes.Buffer
+	if err := EncodePushBatch(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePushBatch(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Seq != in[i].Seq || out[i].Frame != in[i].Frame || len(out[i].Dets) != len(in[i].Dets) {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodePushBatchRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"not json", "{nope\n", "line 1"},
+		{"negative seq", `{"seq":-1,"frame":0}` + "\n", "negative seq"},
+		{"seq regression", `{"seq":2,"frame":0}` + "\n" + `{"seq":1,"frame":1}` + "\n", "not increasing"},
+		{"seq duplicate", `{"seq":2,"frame":0}` + "\n" + `{"seq":2,"frame":1}` + "\n", "not increasing"},
+		{"frame regression", `{"seq":0,"frame":5}` + "\n" + `{"seq":1,"frame":4}` + "\n", "not increasing"},
+		{"frame negative", `{"seq":0,"frame":-3}` + "\n", "outside"},
+		{"frame too large", `{"seq":0,"frame":1099511627777}` + "\n", "outside"},
+		{"non-finite geometry", `{"seq":0,"frame":0,"dets":[{"ID":1,"Frame":0,"Rect":{"X":1e999,"Y":0,"W":1,"H":1}}]}` + "\n", ""},
+		{"non-positive size", `{"seq":0,"frame":0,"dets":[{"ID":1,"Frame":0,"Rect":{"X":0,"Y":0,"W":0,"H":1}}]}` + "\n", "non-positive size"},
+		{"det frame mismatch", `{"seq":0,"frame":3,"dets":[{"ID":1,"Frame":4,"Rect":{"X":0,"Y":0,"W":1,"H":1}}]}` + "\n", "does not match"},
+		{"non-finite obs", `{"seq":0,"frame":0,"dets":[{"ID":1,"Frame":0,"Rect":{"X":0,"Y":0,"W":1,"H":1},"Obs":[1e999]}]}` + "\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodePushBatch(strings.NewReader(tc.body), 0)
+			if err == nil {
+				t.Fatalf("decode accepted %q", tc.body)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodePushBatchOversizedLine(t *testing.T) {
+	long := `{"seq":0,"frame":0,"pad":"` + strings.Repeat("x", 4096) + `"}` + "\n"
+	_, err := DecodePushBatch(strings.NewReader(long), 256)
+	if err == nil || !strings.Contains(err.Error(), "exceeds 256 bytes") {
+		t.Fatalf("oversized line: got %v", err)
+	}
+}
+
+func TestDecodePushBatchSkipsBlankLines(t *testing.T) {
+	body := "\n  \n" + `{"seq":0,"frame":0}` + "\n\n" + `{"seq":1,"frame":1}` + "\n \n"
+	recs, err := DecodePushBatch(strings.NewReader(body), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(recs))
+	}
+}
+
+// FuzzDecodePushBatch is the hardened-decoder harness: arbitrary bytes
+// must never panic the decoder, and anything it accepts must satisfy
+// the protocol invariants the server relies on (monotone seq and frame,
+// frame range, valid finite detections).
+func FuzzDecodePushBatch(f *testing.F) {
+	var seedBuf bytes.Buffer
+	_ = EncodePushBatch(&seedBuf, []PushRecord{validRecord(0, 0), validRecord(1, 1)})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte(`{"seq":0,"frame":0}` + "\n"))
+	f.Add([]byte(`{"seq":-9,"frame":-9}`))
+	f.Add([]byte(`{"seq":1,"frame":2,"dets":[{"Rect":{"W":1e999}}]}`))
+	f.Add([]byte("\x00\xff{"))
+	f.Add([]byte(strings.Repeat(`{"seq":0,"frame":0}`+"\n", 50)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodePushBatch(bytes.NewReader(data), 1<<14)
+		if err != nil {
+			return
+		}
+		var prevSeq int64 = -1
+		prevFrame := video.FrameIndex(-1)
+		for i, r := range recs {
+			if r.Seq <= prevSeq {
+				t.Fatalf("record %d: seq %d <= previous %d", i, r.Seq, prevSeq)
+			}
+			if r.Frame < 0 || r.Frame > video.MaxFrameIndex {
+				t.Fatalf("record %d: frame %d out of range", i, r.Frame)
+			}
+			if prevFrame >= 0 && r.Frame <= prevFrame {
+				t.Fatalf("record %d: frame %d <= previous %d", i, r.Frame, prevFrame)
+			}
+			for j, d := range r.Dets {
+				if err := d.Validate(); err != nil {
+					t.Fatalf("record %d det %d invalid: %v", i, j, err)
+				}
+				if d.Frame != r.Frame {
+					t.Fatalf("record %d det %d frame mismatch", i, j)
+				}
+			}
+			prevSeq, prevFrame = r.Seq, r.Frame
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,13 +23,15 @@ type Manager struct {
 	mu   sync.Mutex
 	cond *sync.Cond // one condition for every wait: ready work, queue room, recovery, drain, shutdown
 
-	streams  map[string]*stream
-	order    []string  // registration order, the Snapshot order
-	ready    []*stream // FIFO of schedulable streams with queued frames (round-robin fairness)
-	recoverq []*stream // quarantined streams awaiting the supervisor
-	waiting  []*stream // Pending streams awaiting admission, FIFO
-	budget   int       // admitted window-budget units in use
-	closed   bool
+	streams    map[string]*stream
+	order      []string  // registration order, the Snapshot order
+	ready      []*stream // FIFO of schedulable streams with queued frames (round-robin fairness)
+	recoverq   []*stream // quarantined streams awaiting the supervisor
+	waiting    []*stream // Pending streams awaiting admission, FIFO
+	budget     int       // admitted window-budget units in use
+	draining   bool      // Drain in progress: intake closed, queues flushing
+	drainAbort bool      // Drain's context expired: stop waiting for the flush
+	closed     bool
 
 	wg sync.WaitGroup
 }
@@ -96,6 +99,10 @@ func (m *Manager) Register(spec StreamSpec) error {
 		m.mu.Unlock()
 		return ErrStopped
 	}
+	if m.draining {
+		m.mu.Unlock()
+		return ErrDraining
+	}
 	if _, dup := m.streams[spec.ID]; dup {
 		m.mu.Unlock()
 		return fmt.Errorf("serve: stream %q: %w", spec.ID, ErrDuplicateStream)
@@ -144,10 +151,21 @@ func (m *Manager) sinkedConfig(s *stream) ingest.Config {
 }
 
 // startStream builds an admitted stream's pipeline and session outside
-// the manager lock and makes it schedulable.
+// the manager lock and makes it schedulable. A spec carrying Resume
+// bytes restores the checkpointed session instead of starting empty and
+// seeds the crash-recovery state with those bytes, so a crash right
+// after resumption rebuilds from the same checkpoint.
 func (m *Manager) startStream(s *stream) error {
 	engine, oracle := s.spec.Pipeline()
-	ing, err := ingest.New(engine, oracle, s.cfg)
+	var (
+		ing *ingest.Ingestor
+		err error
+	)
+	if len(s.spec.Resume) > 0 {
+		ing, err = ingest.Restore(engine, oracle, s.cfg, s.spec.Resume)
+	} else {
+		ing, err = ingest.New(engine, oracle, s.cfg)
+	}
 
 	m.mu.Lock()
 	if err != nil {
@@ -160,6 +178,16 @@ func (m *Manager) startStream(s *stream) error {
 	}
 	s.ing = ing
 	s.state = Healthy
+	if len(s.spec.Resume) > 0 {
+		s.ckpt = s.spec.Resume
+		s.frames = ing.FramesSeen()
+		for _, r := range ing.Results() {
+			s.windows++
+			if r.Degraded {
+				s.degraded++
+			}
+		}
+	}
 	m.scheduleLocked(s)
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -195,6 +223,8 @@ func (m *Manager) Push(id string, f video.FrameIndex, dets []video.BBox) error {
 		switch {
 		case m.closed:
 			return ErrStopped
+		case m.draining:
+			return fmt.Errorf("serve: stream %q: %w", id, ErrDraining)
 		case s.state == Pending:
 			return fmt.Errorf("serve: stream %q: %w", id, ErrNotAdmitted)
 		case s.state == Stopped || s.inputClosed:
@@ -411,9 +441,151 @@ func (m *Manager) Snapshot() []StreamStatus {
 	return out
 }
 
+// Drain performs a graceful drain-to-checkpoint shutdown: intake is
+// closed (Push and Register fail with ErrDraining, and pushes blocked on
+// backpressure unblock with it), every queued frame of every admitted
+// stream flushes through the worker pool's in-flight windows, pending
+// crash recoveries complete, and then one final checkpoint is sealed
+// per live stream at a frame boundary. The manager is shut down before
+// Drain returns.
+//
+// The returned map holds each drained stream's final checkpoint bytes by
+// stream ID — the state a successor manager resumes from by registering
+// the same spec with StreamSpec.Resume set. Drain does not invoke
+// CheckpointSinks for these final seals; persisting the returned bytes
+// is the caller's responsibility. Streams that are Pending (never
+// admitted), Stopped (already finished), or terminally quarantined have
+// no live session and produce no entry.
+//
+// When ctx expires before the flush completes, Drain stops waiting,
+// lets in-flight turns finish (checkpoints are frame-boundary
+// snapshots), seals checkpoints covering whatever had been processed,
+// and returns the checkpoints alongside ctx's error; the still-queued
+// frames are abandoned, exactly as a crash would abandon them — an
+// at-least-once ingress replays them against the returned checkpoints.
+func (m *Manager) Drain(ctx context.Context) (map[string][]byte, error) {
+	m.mu.Lock()
+	switch {
+	case m.closed:
+		m.mu.Unlock()
+		return nil, ErrStopped
+	case m.draining:
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.draining = true
+	m.cond.Broadcast() // unblock backpressured pushes with ErrDraining
+	m.mu.Unlock()
+
+	// Context watcher: an expired deadline wakes the wait loop below via
+	// drainAbort. The quit channel bounds the goroutine to this call.
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.drainAbort = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		case <-quit:
+		}
+	}()
+
+	m.mu.Lock()
+	for !m.drainedLocked() && !m.drainAbort && !m.closed {
+		m.cond.Wait()
+	}
+	aborted := m.drainAbort
+	var firstErr error
+	out := make(map[string][]byte, len(m.order))
+	for _, id := range m.order {
+		s := m.streams[id]
+		if s.ing == nil || (s.state != Healthy && s.state != Degraded) {
+			continue
+		}
+		// Even on an aborted drain a checkpoint must sit at a frame
+		// boundary: wait out any in-flight turn (or Finish flush) first.
+		// Turns are bounded (TurnFrames) and aborted drains stop new
+		// dispatch, so this wait terminates.
+		for s.active && !m.closed && (s.state == Healthy || s.state == Degraded) {
+			m.cond.Wait()
+		}
+		if m.closed {
+			break
+		}
+		if s.state != Healthy && s.state != Degraded {
+			continue // crashed while we waited; no consistent boundary
+		}
+		s.active = true
+		ing := s.ing
+		m.mu.Unlock()
+		data, err := sealDrainCheckpoint(s.id, ing)
+		m.mu.Lock()
+		s.active = false
+		if err != nil {
+			s.lastErr = err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[id] = data
+		s.ckpt = data
+		s.replay = s.replay[:0]
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	m.Shutdown()
+	if firstErr == nil && aborted {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
+}
+
+// drainedLocked reports whether every admitted stream is idle with an
+// empty queue and no recovery is pending — the point at which final
+// checkpoints cover everything intake accepted.
+func (m *Manager) drainedLocked() bool {
+	if len(m.recoverq) > 0 {
+		return false
+	}
+	for _, s := range m.streams {
+		switch s.state {
+		case Recovering:
+			return false
+		case Healthy, Degraded:
+			if s.active || s.scheduled || len(s.queue) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sealDrainCheckpoint seals one stream's final drain checkpoint,
+// converting a panic into an error.
+func sealDrainCheckpoint(id string, ing *ingest.Ingestor) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			data, err = nil, fmt.Errorf("serve: stream %q: drain checkpoint panicked: %v", id, r)
+		}
+	}()
+	data, err = ing.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("serve: stream %q: drain checkpoint: %w", id, err)
+	}
+	return data, nil
+}
+
 // Shutdown stops the worker pool and the supervisor and waits for them
-// to exit. In-flight turns complete; queued frames of unfinished
-// streams are abandoned. Shutdown is idempotent.
+// to exit. Shutdown abandons in-flight state: running turns complete,
+// but queued frames of unfinished streams are dropped without
+// processing, no final checkpoint is sealed, and nothing is flushed —
+// frames accepted but not yet checkpointed are lost unless an
+// at-least-once ingress replays them. Use Drain for the graceful
+// flush-then-checkpoint variant. Shutdown is idempotent.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
 	m.closed = true

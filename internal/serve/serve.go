@@ -51,6 +51,10 @@ var (
 	ErrNotAdmitted = errors.New("serve: stream awaiting admission")
 	// ErrStopped reports an operation against a shut-down manager.
 	ErrStopped = errors.New("serve: manager shut down")
+	// ErrDraining reports a Push or Register against a manager that has
+	// begun a Drain: intake is closed so queued frames can flush to a
+	// final checkpoint, but in-flight work is still completing.
+	ErrDraining = errors.New("serve: manager draining")
 	// ErrStreamClosed reports a Push or Finish against a stream whose
 	// input was already closed.
 	ErrStreamClosed = errors.New("serve: stream input closed")
@@ -126,6 +130,13 @@ type StreamSpec struct {
 	// supervisor quarantines and recovers the stream; the frame itself is
 	// replayed, so it is processed exactly once. For chaos testing.
 	CrashAtFrame int
+	// Resume, when non-empty, registers the stream mid-history: the
+	// session is rebuilt from these checkpoint bytes (ingest.Restore
+	// against a fresh Pipeline() chain) instead of starting empty, and
+	// the first accepted frame continues from the restored cursor. This
+	// is how a restarted daemon re-admits streams drained to checkpoint
+	// by a previous incarnation (see Manager.Drain).
+	Resume []byte
 }
 
 // Config parameterises a Manager.

@@ -88,6 +88,13 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			return
 		}
+		if m.drainAbort {
+			// An aborted drain wants quiescence, not progress: stop
+			// dispatching turns so Drain can seal frame-boundary
+			// checkpoints; Shutdown ends the wait.
+			m.cond.Wait()
+			continue
+		}
 		if len(m.ready) == 0 {
 			m.cond.Wait()
 			continue

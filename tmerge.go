@@ -54,9 +54,11 @@ import (
 	"github.com/tmerge/tmerge/internal/fault"
 	"github.com/tmerge/tmerge/internal/geom"
 	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/ingress"
 	"github.com/tmerge/tmerge/internal/motmetrics"
 	"github.com/tmerge/tmerge/internal/query"
 	"github.com/tmerge/tmerge/internal/reid"
+	"github.com/tmerge/tmerge/internal/serve"
 	"github.com/tmerge/tmerge/internal/synth"
 	"github.com/tmerge/tmerge/internal/track"
 	"github.com/tmerge/tmerge/internal/trackdb"
@@ -630,3 +632,150 @@ func ReadMergeEventLog(r io.Reader) ([]MergeEvent, error) { return core.ReadEven
 // ReplayMergeEvents reconstructs a merger from a complete event journal,
 // validating every event against the evolving group structure.
 func ReplayMergeEvents(events []MergeEvent) (*Merger, error) { return core.ReplayEvents(events) }
+
+// Multi-stream serving (package serve). A StreamManager owns N per-stream
+// ingestion sessions sharded across a bounded shared worker pool — the
+// substrate a tmerged deployment multiplexes camera streams over.
+// Admission control bounds the fleet, backpressure bounds each stream,
+// and a supervisor recovers crashed streams from their latest periodic
+// checkpoint with bit-identical resumption (DESIGN.md §12).
+type (
+	// StreamManager schedules registered streams over a shared worker
+	// pool with admission control, backpressure, crash supervision, and
+	// drain-to-checkpoint shutdown.
+	StreamManager = serve.Manager
+	// StreamManagerConfig parameterises a StreamManager.
+	StreamManagerConfig = serve.Config
+	// StreamSpec registers one stream with a StreamManager.
+	StreamSpec = serve.StreamSpec
+	// StreamPipelineFactory builds one stream's fully isolated
+	// tracker-engine/oracle pipeline; called at admission and again at
+	// every crash recovery.
+	StreamPipelineFactory = serve.PipelineFactory
+	// StreamHealth is a stream's supervision state.
+	StreamHealth = serve.Health
+	// ServeStreamStatus is one stream's health snapshot, the unit of
+	// StreamManager.Snapshot.
+	ServeStreamStatus = serve.StreamStatus
+)
+
+// Stream supervision states, in escalation order.
+const (
+	// StreamPending awaits admission under the window budget.
+	StreamPending = serve.Pending
+	// StreamHealthy is schedulable and processing normally.
+	StreamHealthy = serve.Healthy
+	// StreamDegraded is schedulable but selecting on the spatial prior.
+	StreamDegraded = serve.Degraded
+	// StreamQuarantined awaits (or failed) crash recovery.
+	StreamQuarantined = serve.Quarantined
+	// StreamRecovering is being restored from checkpoint.
+	StreamRecovering = serve.Recovering
+	// StreamStopped finished processing.
+	StreamStopped = serve.Stopped
+)
+
+// Typed serving-layer errors; match with errors.Is.
+var (
+	// ErrServeOverloaded reports a shed Push: the stream's bounded frame
+	// queue is full and the manager is configured to shed rather than
+	// block. Over the network ingress this surfaces as HTTP 429 with a
+	// Retry-After hint.
+	ErrServeOverloaded = serve.ErrOverloaded
+	// ErrServeAdmission reports a rejected registration: admitting the
+	// stream would exceed the aggregate in-flight window budget (HTTP
+	// 503 over ingress).
+	ErrServeAdmission = serve.ErrAdmission
+	// ErrServeNotAdmitted reports an operation on a stream still parked
+	// in the admission queue.
+	ErrServeNotAdmitted = serve.ErrNotAdmitted
+	// ErrServeStopped reports an operation against a shut-down manager.
+	ErrServeStopped = serve.ErrStopped
+	// ErrServeDraining reports a Push or Register against a manager that
+	// has begun a Drain: intake is closed while queued frames flush to a
+	// final checkpoint (HTTP 503 over ingress).
+	ErrServeDraining = serve.ErrDraining
+	// ErrServeStreamClosed reports a Push or Finish against a stream
+	// whose input was already closed.
+	ErrServeStreamClosed = serve.ErrStreamClosed
+	// ErrServeUnknownStream reports an operation naming no registered
+	// stream.
+	ErrServeUnknownStream = serve.ErrUnknownStream
+	// ErrServeDuplicateStream reports a registration reusing a live
+	// stream ID.
+	ErrServeDuplicateStream = serve.ErrDuplicateStream
+)
+
+// NewStreamManager returns a StreamManager; zero-valued config fields
+// take documented defaults. Shut it down with Shutdown (abandons
+// in-flight work) or Drain (flushes every stream to a final checkpoint).
+func NewStreamManager(cfg StreamManagerConfig) *StreamManager { return serve.NewManager(cfg) }
+
+// Network ingress (package ingress). The tmerged daemon's HTTP/1.1 +
+// NDJSON frame-push boundary over a StreamManager, and a retrying client
+// speaking it. Delivery is at-least-once made effectively exactly-once:
+// per-stream sequence numbers, a server-side high-water mark, and
+// idempotent duplicate discard. Backpressure and admission surface as
+// protocol (429 + Retry-After, 503, typed JSON error bodies); SIGTERM in
+// tmerged drains every stream to a checkpoint a restarted daemon resumes
+// from with bit-identical results (DESIGN.md §13).
+type (
+	// IngressServer handles the frame-push protocol over a
+	// StreamManager; mount Handler on an http.Server.
+	IngressServer = ingress.Server
+	// IngressServerConfig parameterises an IngressServer.
+	IngressServerConfig = ingress.ServerConfig
+	// IngressSpecFunc builds each registered stream's pipeline spec from
+	// the wire-level registration knobs.
+	IngressSpecFunc = ingress.SpecFunc
+	// IngressClient is the retrying frame-push client: per-request
+	// deadlines, exponential backoff with deterministic seeded jitter,
+	// Retry-After honoured, reattach-on-404 after a daemon restart.
+	IngressClient = ingress.Client
+	// IngressClientConfig parameterises an IngressClient.
+	IngressClientConfig = ingress.ClientConfig
+	// IngressClientStats counts the client's retries, throttles, and
+	// reattaches.
+	IngressClientStats = ingress.ClientStats
+	// IngressRegisterRequest opens (or re-attaches to) a stream.
+	IngressRegisterRequest = ingress.RegisterRequest
+	// IngressRegisterResponse reports the stream's cursor and resume
+	// state.
+	IngressRegisterResponse = ingress.RegisterResponse
+	// IngressPushRecord is one NDJSON push line: a sequenced frame.
+	IngressPushRecord = ingress.PushRecord
+	// IngressPushResponse acks the sequence high-water mark.
+	IngressPushResponse = ingress.PushResponse
+	// IngressFinishResponse carries a finished stream's fingerprint and
+	// window counts.
+	IngressFinishResponse = ingress.FinishResponse
+	// IngressStreamStatus is one stream's wire-level status row.
+	IngressStreamStatus = ingress.StreamStatus
+	// IngressStatusResponse is the daemon-wide status document.
+	IngressStatusResponse = ingress.StatusResponse
+	// IngressErrorBody is the typed JSON error body of every non-2xx
+	// response.
+	IngressErrorBody = ingress.ErrorBody
+	// CheckpointStore persists drained stream checkpoints across daemon
+	// incarnations.
+	CheckpointStore = ingress.Store
+	// MemCheckpointStore is an in-memory CheckpointStore (tests,
+	// single-incarnation runs).
+	MemCheckpointStore = ingress.MemStore
+	// DirCheckpointStore is a directory-backed CheckpointStore with
+	// atomic writes.
+	DirCheckpointStore = ingress.DirStore
+)
+
+// NewIngressServer returns an IngressServer over cfg.Serve's manager.
+func NewIngressServer(cfg IngressServerConfig) (*IngressServer, error) { return ingress.NewServer(cfg) }
+
+// NewIngressClient returns a retrying frame-push client for one stream.
+func NewIngressClient(cfg IngressClientConfig) (*IngressClient, error) { return ingress.NewClient(cfg) }
+
+// NewMemCheckpointStore returns an empty in-memory checkpoint store.
+func NewMemCheckpointStore() *MemCheckpointStore { return ingress.NewMemStore() }
+
+// NewDirCheckpointStore returns a checkpoint store rooted at dir,
+// creating it if absent; writes are atomic (temp file + rename).
+func NewDirCheckpointStore(dir string) (*DirCheckpointStore, error) { return ingress.NewDirStore(dir) }
