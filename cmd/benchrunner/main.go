@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -102,7 +103,7 @@ func main() {
 			cfg := bench.DefaultServeBench()
 			cfg.Clock = time.Now
 			cfg.Transport = *transport
-			rows, err := bench.ServeBench(w, cfg)
+			rows, err := bench.ServeBench(context.Background(), w, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner: servebench:", err)
 				os.Exit(2)

@@ -97,7 +97,7 @@ func runServe(c cfg) int {
 		fmt.Fprintln(os.Stderr, "tmerged:", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Printf("tmerged: listening on http://%s (workers %d, checkpoints: %s)\n",
@@ -151,6 +151,7 @@ func runServe(c cfg) int {
 // backpressure and resuming transparently if the daemon restarts
 // mid-stream.
 func runPush(c cfg) int {
+	ctx := context.Background()
 	fleet, err := loadgen.Generate(loadgen.Config{Seed: c.seed, Streams: c.streams, Frames: c.frames})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmerged:", err)
@@ -185,7 +186,7 @@ func runPush(c cfg) int {
 				fail(err)
 				return
 			}
-			reg, err := cl.Register(ingress.RegisterRequest{
+			reg, err := cl.Register(ctx, ingress.RegisterRequest{
 				Seed: s.Seed, WindowLen: c.windowLen, CheckpointEvery: c.ckptEvery,
 			})
 			if err != nil {
@@ -196,12 +197,12 @@ func runPush(c cfg) int {
 				fmt.Printf("tmerged: %s resumed from checkpoint at frame %d\n", s.ID, reg.NextFrame)
 			}
 			for f, dets := range s.Video.Detections {
-				if err := cl.Push(video.FrameIndex(f), dets); err != nil {
+				if err := cl.Push(ctx, video.FrameIndex(f), dets); err != nil {
 					fail(fmt.Errorf("push frame %d: %w", f, err))
 					return
 				}
 			}
-			fin, err := cl.Finish()
+			fin, err := cl.Finish(ctx)
 			if err != nil {
 				fail(err)
 				return
@@ -226,6 +227,7 @@ func runPush(c cfg) int {
 // at least one push was retried, every client re-registered, and the
 // proxy actually injected faults.
 func runNetSoak(c cfg) int {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "tmerged-soak-")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmerged:", err)
@@ -247,25 +249,26 @@ func runNetSoak(c cfg) int {
 	fmt.Printf("tmerged: net soak: %d streams × %d frames, drain+restart at frame %d, checkpoints in %s\n",
 		c.streams, frames, half, dir)
 
-	up := func() (*ingress.Server, *http.Server, net.Listener, error) {
+	up := func() (*ingress.Server, *http.Server, net.Listener, chan struct{}, error) {
 		srv, err := ingress.NewServer(ingress.ServerConfig{
 			Serve: serveConfig(c),
 			Store: store,
 			Spec:  specFunc(c, nil),
 		})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			srv.Shutdown()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		hs := &http.Server{Handler: srv.Handler()}
-		go func() { _ = hs.Serve(ln) }()
-		return srv, hs, ln, nil
+		hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		served := make(chan struct{})
+		go func() { _ = hs.Serve(ln); close(served) }()
+		return srv, hs, ln, served, nil
 	}
-	srvA, hsA, lnA, err := up()
+	srvA, hsA, lnA, servedA, err := up()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmerged:", err)
 		return 1
@@ -295,6 +298,10 @@ func runNetSoak(c cfg) int {
 		clients  = make([]*ingress.Client, len(fleet))
 		fins     = make([]ingress.FinishResponse, len(fleet))
 	)
+	// Every abort path below releases the waiting clients; OnceFunc makes
+	// the overlapping paths (abort-at-half, drain failure, restart
+	// failure, normal handover) double-close-proof.
+	release := sync.OnceFunc(func() { close(resume) })
 	fail := func(id string, err error) {
 		mu.Lock()
 		fmt.Fprintf(os.Stderr, "tmerged: soak %s: %v\n", id, err)
@@ -308,7 +315,7 @@ func runNetSoak(c cfg) int {
 			BaseURL:        "http://" + proxy.Addr(),
 			Stream:         s.ID,
 			Seed:           s.Seed,
-			HTTPClient:     &http.Client{Transport: transport},
+			HTTPClient:     &http.Client{Transport: transport, Timeout: 2 * time.Minute},
 			RequestTimeout: 500 * time.Millisecond,
 			MaxAttempts:    64,
 			BackoffBase:    2 * time.Millisecond,
@@ -323,7 +330,7 @@ func runNetSoak(c cfg) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cl.Register(ingress.RegisterRequest{
+			if _, err := cl.Register(ctx, ingress.RegisterRequest{
 				Seed: s.Seed, WindowLen: c.windowLen, CheckpointEvery: c.ckptEvery,
 			}); err != nil {
 				fail(s.ID, err)
@@ -331,7 +338,7 @@ func runNetSoak(c cfg) int {
 				return
 			}
 			for f := 0; f < half; f++ {
-				if err := cl.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+				if err := cl.Push(ctx, video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 					fail(s.ID, fmt.Errorf("push %d: %w", f, err))
 					halfDone.Done()
 					return
@@ -340,12 +347,12 @@ func runNetSoak(c cfg) int {
 			halfDone.Done()
 			<-resume // daemon A drains and daemon B takes over while we wait
 			for f := half; f < frames; f++ {
-				if err := cl.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+				if err := cl.Push(ctx, video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 					fail(s.ID, fmt.Errorf("push %d after restart: %w", f, err))
 					return
 				}
 			}
-			fin, err := cl.Finish()
+			fin, err := cl.Finish(ctx)
 			if err != nil {
 				fail(s.ID, err)
 				return
@@ -359,7 +366,7 @@ func runNetSoak(c cfg) int {
 	aborted := code != 0
 	mu.Unlock()
 	if aborted {
-		close(resume)
+		release()
 		wg.Wait()
 		return 1
 	}
@@ -367,13 +374,14 @@ func runNetSoak(c cfg) int {
 	// Graceful handover: drain A (flush queues, seal frame-boundary
 	// checkpoints into the store), then take its listener away so the
 	// waiting clients' next pushes visibly fail and retry.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	err = srvA.Drain(ctx)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = srvA.Drain(drainCtx)
 	cancel()
 	_ = hsA.Close()
+	<-servedA
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmerged: soak drain:", err)
-		close(resume)
+		release()
 		wg.Wait()
 		return 1
 	}
@@ -389,22 +397,23 @@ func runNetSoak(c cfg) int {
 		code = 1
 	}
 
-	srvB, hsB, lnB, err := up()
+	srvB, hsB, lnB, servedB, err := up()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmerged:", err)
-		close(resume)
+		release()
 		wg.Wait()
 		return 1
 	}
 	defer func() {
 		srvB.Shutdown()
 		_ = hsB.Close()
+		<-servedB
 	}()
 	// Release the clients against the dead endpoint first and wait for
 	// fresh connection attempts — the soak must observe real retries —
 	// then point the proxy at daemon B.
 	base := proxy.Counters().Conns
-	close(resume)
+	release()
 	for i := 0; i < 5000 && proxy.Counters().Conns < base+3; i++ {
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -16,6 +16,21 @@
 //   - api-doc: every exported identifier of the root tmerge package is
 //     documented (see CheckAPIDoc).
 //
+// PR 8 added the concurrency-safety suite, mechanizing the DESIGN.md
+// §§10–13 serving/ingress invariants:
+//
+//   - goroutine-lifecycle: every go statement must have a provable
+//     shutdown tie — context, done channel, WaitGroup, or bounded work
+//     (see CheckGoroutineLifecycle);
+//   - context-discipline: ctx-taking functions must thread their ctx to
+//     blocking work; no context.Background()/TODO() outside main (see
+//     CheckContextDiscipline);
+//   - channel-hygiene: unbuffered sends need a select escape arm, close
+//     only by the owning side, one close site per channel (see
+//     CheckChannelHygiene);
+//   - http-hygiene: servers/clients carry timeouts, handlers bound
+//     request bodies (see CheckHTTPHygiene).
+//
 // A finding can be suppressed in place with a directive comment
 //
 //	//tmerge:allow <check-name> <reason>
@@ -40,13 +55,17 @@ import (
 // carry, the names //tmerge:allow directives must use, and the catalog
 // DESIGN.md §9 documents.
 const (
-	CheckDeterminismName   = "determinism"
-	CheckLockName          = "lock-discipline"
-	CheckErrorHygieneName  = "error-hygiene"
-	CheckAPIDocName        = "api-doc"
-	checkAllowName         = "allow" // malformed-directive findings; not suppressible
-	allowDirectivePrefix   = "//tmerge:allow"
-	allowDirectiveSpelling = "//tmerge:allow <check-name> <reason>"
+	CheckDeterminismName        = "determinism"
+	CheckLockName               = "lock-discipline"
+	CheckErrorHygieneName       = "error-hygiene"
+	CheckAPIDocName             = "api-doc"
+	CheckGoroutineLifecycleName = "goroutine-lifecycle"
+	CheckContextDisciplineName  = "context-discipline"
+	CheckChannelHygieneName     = "channel-hygiene"
+	CheckHTTPHygieneName        = "http-hygiene"
+	checkAllowName              = "allow" // directive findings (malformed/unused); not suppressible
+	allowDirectivePrefix        = "//tmerge:allow"
+	allowDirectiveSpelling      = "//tmerge:allow <check-name> <reason>"
 )
 
 // KnownChecks lists every valid check name for //tmerge:allow directives.
@@ -55,6 +74,10 @@ var KnownChecks = []string{
 	CheckLockName,
 	CheckErrorHygieneName,
 	CheckAPIDocName,
+	CheckGoroutineLifecycleName,
+	CheckContextDisciplineName,
+	CheckChannelHygieneName,
+	CheckHTTPHygieneName,
 }
 
 // Finding is one rule violation at one source position.
@@ -136,9 +159,9 @@ func DecodeJSON(r io.Reader) ([]Finding, error) {
 }
 
 // Run executes every checker over every package, applies //tmerge:allow
-// suppressions, reports malformed directives, and returns the surviving
-// findings sorted by position. CheckAPIDoc runs only on the module's root
-// package (where the public surface lives).
+// suppressions, reports malformed and unused directives, and returns the
+// surviving findings sorted by position. CheckAPIDoc runs only on the
+// module's root package (where the public surface lives).
 func Run(pkgs []*Package) []Finding {
 	var all []Finding
 	for _, p := range pkgs {
@@ -146,12 +169,17 @@ func Run(pkgs []*Package) []Finding {
 		fs = append(fs, CheckDeterminism(p)...)
 		fs = append(fs, CheckLockDiscipline(p)...)
 		fs = append(fs, CheckErrorHygiene(p)...)
+		fs = append(fs, CheckGoroutineLifecycle(p)...)
+		fs = append(fs, CheckContextDiscipline(p)...)
+		fs = append(fs, CheckChannelHygiene(p)...)
+		fs = append(fs, CheckHTTPHygiene(p)...)
 		if p.IsModuleRoot() {
 			fs = append(fs, CheckAPIDoc(p)...)
 		}
 		allowed, malformed := p.directives()
 		fs = filterAllowed(fs, allowed)
 		fs = append(fs, malformed...)
+		fs = append(fs, unusedDirectives(allowed)...)
 		all = append(all, fs...)
 	}
 	sortFindings(all)
@@ -165,11 +193,21 @@ type directiveKey struct {
 	check string
 }
 
+// directiveSite is one valid //tmerge:allow directive plus whether it
+// suppressed anything this run. A directive that suppresses nothing is
+// stale and is itself reported, so suppressions can't rot silently after
+// the code they excused moves or gets fixed.
+type directiveSite struct {
+	col  int
+	used bool
+}
+
 // directives scans the package's comments for //tmerge:allow directives.
-// It returns the set of valid suppressions and a finding for every
-// malformed directive (missing reason, unknown check name).
-func (p *Package) directives() (map[directiveKey]bool, []Finding) {
-	allowed := make(map[directiveKey]bool)
+// It returns the valid suppressions (keyed by file/line/check, tracking
+// use) and a finding for every malformed directive (missing reason,
+// unknown check name).
+func (p *Package) directives() (map[directiveKey]*directiveSite, []Finding) {
+	allowed := make(map[directiveKey]*directiveSite)
 	var malformed []Finding
 	known := make(map[string]bool, len(KnownChecks))
 	for _, c := range KnownChecks {
@@ -178,35 +216,20 @@ func (p *Package) directives() (map[directiveKey]bool, []Finding) {
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowDirectivePrefix) {
-					continue
+				d, ok, problem := parseAllowDirective(c.Text, func(name string) bool { return known[name] })
+				if !ok && problem == "" {
+					continue // not a directive at all
 				}
 				pos := p.Position(c.Slash)
-				rest := strings.TrimPrefix(c.Text, allowDirectivePrefix)
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
+				if !ok {
 					malformed = append(malformed, Finding{
 						File: pos.Filename, Line: pos.Line, Col: pos.Column,
 						Check:   checkAllowName,
-						Message: fmt.Sprintf("directive names no check: want %s", allowDirectiveSpelling),
+						Message: problem,
 					})
-				case !known[fields[0]]:
-					malformed = append(malformed, Finding{
-						File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Check: checkAllowName,
-						Message: fmt.Sprintf("directive names unknown check %q (known: %s)",
-							fields[0], strings.Join(KnownChecks, ", ")),
-					})
-				case len(fields) == 1:
-					malformed = append(malformed, Finding{
-						File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Check:   checkAllowName,
-						Message: fmt.Sprintf("directive for %q gives no reason: a suppression must say why the invariant holds anyway", fields[0]),
-					})
-				default:
-					allowed[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+					continue
 				}
+				allowed[directiveKey{pos.Filename, pos.Line, d.Check}] = &directiveSite{col: pos.Column}
 			}
 		}
 	}
@@ -214,18 +237,55 @@ func (p *Package) directives() (map[directiveKey]bool, []Finding) {
 }
 
 // filterAllowed drops findings covered by a valid directive on the same
-// line or the line directly above.
-func filterAllowed(fs []Finding, allowed map[directiveKey]bool) []Finding {
+// line or the line directly above, marking each matched directive used.
+func filterAllowed(fs []Finding, allowed map[directiveKey]*directiveSite) []Finding {
 	if len(allowed) == 0 {
 		return fs
 	}
 	out := fs[:0]
 	for _, f := range fs {
-		if allowed[directiveKey{f.File, f.Line, f.Check}] ||
-			allowed[directiveKey{f.File, f.Line - 1, f.Check}] {
+		if d := allowed[directiveKey{f.File, f.Line, f.Check}]; d != nil {
+			d.used = true
+			continue
+		}
+		if d := allowed[directiveKey{f.File, f.Line - 1, f.Check}]; d != nil {
+			d.used = true
 			continue
 		}
 		out = append(out, f)
+	}
+	return out
+}
+
+// unusedDirectives reports every valid directive that suppressed nothing:
+// either the violation it excused was fixed, or it was written against the
+// wrong check. Stale suppressions must be removed so the audit trail of
+// deliberate exceptions stays truthful.
+func unusedDirectives(allowed map[directiveKey]*directiveSite) []Finding {
+	var stale []directiveKey
+	for k, d := range allowed {
+		if !d.used {
+			stale = append(stale, k)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.check < b.check
+	})
+	var out []Finding
+	for _, k := range stale {
+		out = append(out, Finding{
+			File: k.file, Line: k.line, Col: allowed[k].col,
+			Check: checkAllowName,
+			Message: fmt.Sprintf("directive suppresses nothing: no %q finding on this line or the line below — stale suppressions must be removed",
+				k.check),
+		})
 	}
 	return out
 }

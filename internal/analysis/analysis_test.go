@@ -126,7 +126,8 @@ func TestCheckAPIDocGolden(t *testing.T) {
 // directives (line-above and same-line forms) must suppress, malformed
 // directives (missing reason, unknown check) must surface as "allow"
 // findings while the violations beneath them stay flagged, and a valid
-// directive for the wrong check must not suppress.
+// directive for the wrong check must not suppress — and is itself
+// reported as a stale (unused) suppression.
 func TestAllowSuppression(t *testing.T) {
 	p := loadTestdata(t, "allow")
 	fs := Run([]*Package{p})
@@ -144,14 +145,17 @@ func TestAllowSuppression(t *testing.T) {
 			t.Errorf("unexpected finding %v", f)
 		}
 	}
-	if len(allow) != 2 {
-		t.Fatalf("got %d malformed-directive findings, want 2: %v", len(allow), allow)
+	if len(allow) != 3 {
+		t.Fatalf("got %d directive findings, want 3 (two malformed, one stale): %v", len(allow), allow)
 	}
 	if !strings.Contains(allow[0].Message, "no reason") {
 		t.Errorf("first malformed directive should complain about the missing reason: %v", allow[0])
 	}
 	if !strings.Contains(allow[1].Message, `unknown check "speling"`) {
 		t.Errorf("second malformed directive should name the unknown check: %v", allow[1])
+	}
+	if !strings.Contains(allow[2].Message, "suppresses nothing") {
+		t.Errorf("wrong-check directive should be reported as stale: %v", allow[2])
 	}
 	got := make(map[int]bool)
 	for _, f := range determinism {

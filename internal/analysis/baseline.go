@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline is the committed findings-count ratchet (VET_baseline.json):
+// CI fails if any per-check count rises above it, so new findings cannot
+// land even while pre-existing ones are being worked off. The tree is
+// currently at zero everywhere; the ratchet keeps it there.
+type Baseline struct {
+	Version int            `json:"version"`
+	Total   int            `json:"total"`
+	Counts  map[string]int `json:"counts"`
+}
+
+// baselineVersion is the current Baseline schema version.
+const baselineVersion = 1
+
+// BaselineOf summarises findings into per-check counts.
+func BaselineOf(fs []Finding) Baseline {
+	b := Baseline{Version: baselineVersion, Total: len(fs), Counts: make(map[string]int)}
+	for _, f := range fs {
+		b.Counts[f.Check]++
+	}
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON. encoding/json
+// sorts map keys, so the output is byte-stable for a given count set.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// ReadBaseline decodes a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("analysis: bad baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return Baseline{}, fmt.Errorf("analysis: baseline version %d, tool expects %d — regenerate with -write-baseline", b.Version, baselineVersion)
+	}
+	if b.Counts == nil {
+		b.Counts = make(map[string]int)
+	}
+	return b, nil
+}
+
+// CompareBaseline reports one line per check whose current count exceeds
+// the baseline — the ratchet only tightens: counts may fall (commit the
+// lower baseline), never rise.
+func CompareBaseline(base, cur Baseline) []string {
+	var keys []string
+	for k := range cur.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		if cur.Counts[k] > base.Counts[k] {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d findings, baseline allows %d", k, cur.Counts[k], base.Counts[k]))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	fs := []Finding{
+		{File: "a.go", Line: 1, Check: CheckDeterminismName, Message: "x"},
+		{File: "a.go", Line: 2, Check: CheckDeterminismName, Message: "y"},
+		{File: "b.go", Line: 3, Check: CheckHTTPHygieneName, Message: "z"},
+	}
+	b := BaselineOf(fs)
+	if b.Total != 3 || b.Counts[CheckDeterminismName] != 2 || b.Counts[CheckHTTPHygieneName] != 1 {
+		t.Fatalf("BaselineOf miscounted: %+v", b)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", b, got)
+	}
+}
+
+// TestBaselineByteStable pins that regenerating an identical baseline
+// produces identical bytes, so the committed file never churns.
+func TestBaselineByteStable(t *testing.T) {
+	fs := []Finding{
+		{Check: CheckChannelHygieneName}, {Check: CheckDeterminismName},
+		{Check: CheckGoroutineLifecycleName}, {Check: CheckDeterminismName},
+	}
+	var a, b bytes.Buffer
+	if err := WriteBaseline(&a, BaselineOf(fs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBaseline(&b, BaselineOf(fs)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("unstable baseline bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestBaselineVersionMismatch(t *testing.T) {
+	_, err := ReadBaseline(strings.NewReader(`{"version": 99, "total": 0, "counts": {}}`))
+	if err == nil || !strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("want a version-mismatch error telling the user to regenerate, got %v", err)
+	}
+}
+
+// TestCompareBaseline pins the ratchet: counts above the baseline fail,
+// counts at or below pass (including checks the baseline never saw at
+// zero, and improvements that have not been committed yet).
+func TestCompareBaseline(t *testing.T) {
+	base := Baseline{Version: baselineVersion, Total: 3,
+		Counts: map[string]int{CheckDeterminismName: 2, CheckLockName: 1}}
+
+	for _, tc := range []struct {
+		name string
+		cur  Baseline
+		want []string
+	}{
+		{name: "identical", cur: base},
+		{name: "improved", cur: Baseline{Version: baselineVersion, Total: 1,
+			Counts: map[string]int{CheckDeterminismName: 1}}},
+		{name: "regressed-existing", cur: Baseline{Version: baselineVersion, Total: 4,
+			Counts: map[string]int{CheckDeterminismName: 3, CheckLockName: 1}},
+			want: []string{"determinism: 3 findings, baseline allows 2"}},
+		{name: "regressed-new-check", cur: Baseline{Version: baselineVersion, Total: 4,
+			Counts: map[string]int{CheckDeterminismName: 2, CheckLockName: 1, CheckHTTPHygieneName: 1}},
+			want: []string{"http-hygiene: 1 findings, baseline allows 0"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CompareBaseline(base, tc.cur)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("CompareBaseline = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckChannelHygiene enforces the backpressure and ownership idioms the
+// serving layer relies on (DESIGN.md §§12–13):
+//
+//   - a send on a channel that is not provably buffered must sit in a
+//     select with at least one other arm (cancel, done, or default shed)
+//     — a naked unbuffered send is an unbounded block;
+//   - a callee must never close a channel it received as a parameter:
+//     channels are closed by their owning sender;
+//   - a channel must have exactly one close site: multiple close sites
+//     are one interleaving away from a double-close panic — funnel them
+//     through a single owner (sync.Once if paths race).
+func CheckChannelHygiene(p *Package) []Finding {
+	facts := p.chanFacts()
+	params := p.chanParams()
+	var fs []Finding
+	for _, file := range p.Files {
+		guarded := p.guardedSends(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if guarded[send] || facts.knownBuffered(send.Chan) {
+				return true
+			}
+			fs = append(fs, p.finding(send.Pos(), CheckChannelHygieneName,
+				"send on %s blocks unboundedly (channel not provably buffered); wrap it in a select with a cancel or shed arm", p.render(send.Chan)))
+			return true
+		})
+	}
+	fs = append(fs, p.closeFindings(params)...)
+	return fs
+}
+
+// closeSite is one close(ch) call, keyed by the channel's object when the
+// argument resolves to one.
+type closeSite struct {
+	obj  types.Object
+	pos  token.Pos
+	name string
+}
+
+// closeFindings reports closes of parameter channels and channels closed
+// at more than one site. Sites are collected and re-walked in source
+// order so emission is deterministic without sorting.
+func (p *Package) closeFindings(params map[types.Object]bool) []Finding {
+	var sites []closeSite
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.isBuiltinClose(call) || len(call.Args) != 1 {
+				return true
+			}
+			var obj types.Object
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.Ident:
+				obj = p.objectOf(arg)
+			case *ast.SelectorExpr:
+				obj = p.fieldObject(arg)
+			}
+			if obj == nil {
+				return true
+			}
+			if params[obj] {
+				fs = append(fs, p.finding(call.Pos(), CheckChannelHygieneName,
+					"close of channel parameter %q: channels are closed by their owning sender, never by a callee", obj.Name()))
+			}
+			sites = append(sites, closeSite{obj: obj, pos: call.Pos(), name: obj.Name()})
+			return true
+		})
+	}
+	counts := make(map[types.Object]int, len(sites))
+	for _, s := range sites {
+		counts[s.obj]++
+	}
+	for _, s := range sites {
+		if counts[s.obj] > 1 {
+			fs = append(fs, p.finding(s.pos, CheckChannelHygieneName,
+				"channel %q is closed at %d sites; a second close panics — funnel closes through one owner (sync.Once if paths race)",
+				s.name, counts[s.obj]))
+		}
+	}
+	return fs
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// This file holds the shared type/AST facts the concurrency checkers
+// (goroutine-lifecycle, context-discipline, channel-hygiene, http-hygiene)
+// build over a package: which expressions are context.Context-typed, which
+// channels are provably buffered, and where package-local function bodies
+// live so checkers can follow `go f()` into f.
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isNamedType reports whether t (after stripping one pointer) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// takesContext reports whether the function type declares a
+// context.Context parameter.
+func (p *Package) takesContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanExpr reports whether the expression's type is a channel. It works
+// on value expressions and on type expressions (make's first argument)
+// alike, since the checker records a type for both.
+func (p *Package) isChanExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// localFuncBodies maps every package-local function and method to its
+// body, so checkers can follow `go f()` into f's implementation.
+func (p *Package) localFuncBodies() map[*types.Func]*ast.BlockStmt {
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd.Body
+			}
+		}
+	}
+	return bodies
+}
+
+// chanFacts records which channel-valued objects the package provably
+// constructs with nonzero capacity. A channel made at several sites is
+// buffered only if every site is. Channels the package never makes
+// (parameters, fields set elsewhere) are absent, i.e. not known buffered.
+type chanFacts struct {
+	p *Package
+	// buffered maps a channel variable or struct field to whether every
+	// make site gave it capacity; elemBuffered does the same for the base
+	// of per-element makes like done[i] = make(chan T, 1).
+	buffered     map[types.Object]bool
+	elemBuffered map[types.Object]bool
+}
+
+// chanFacts scans the package once for channel make sites.
+func (p *Package) chanFacts() *chanFacts {
+	cf := &chanFacts{
+		p:            p,
+		buffered:     make(map[types.Object]bool),
+		elemBuffered: make(map[types.Object]bool),
+	}
+	record := func(m map[types.Object]bool, obj types.Object, buffered bool) {
+		if obj == nil {
+			return
+		}
+		if prev, seen := m[obj]; seen {
+			m[obj] = prev && buffered
+			return
+		}
+		m[obj] = buffered
+	}
+	target := func(lhs ast.Expr, buffered bool) {
+		switch t := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			record(cf.buffered, p.objectOf(t), buffered)
+		case *ast.SelectorExpr:
+			record(cf.buffered, p.fieldObject(t), buffered)
+		case *ast.IndexExpr:
+			if base, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+				record(cf.elemBuffered, p.objectOf(base), buffered)
+			}
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if buffered, ok := p.chanMake(rhs); ok {
+						target(n.Lhs[i], buffered)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					if buffered, ok := p.chanMake(v); ok {
+						record(cf.buffered, p.objectOf(n.Names[i]), buffered)
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Struct-literal field init: &Server{ch: make(chan T, n)}.
+				if key, ok := n.Key.(*ast.Ident); ok {
+					if buffered, ok := p.chanMake(n.Value); ok {
+						record(cf.buffered, p.Info.Uses[key], buffered)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cf
+}
+
+// chanMake reports whether e is a make of a channel and, if so, whether
+// the make gives it nonzero capacity. A non-constant capacity counts as
+// buffered: make(chan T, workers) is the bounded-pool idiom.
+func (p *Package) chanMake(e ast.Expr) (buffered, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false, false
+	}
+	if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return false, false
+	}
+	if len(call.Args) == 0 || !p.isChanExpr(call.Args[0]) {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return false, true
+	}
+	if tv, okV := p.Info.Types[call.Args[1]]; okV && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v > 0, true
+		}
+	}
+	return true, true
+}
+
+// knownBuffered reports whether the channel expression provably has
+// capacity at every site the package constructs it.
+func (cf *chanFacts) knownBuffered(ch ast.Expr) bool {
+	switch ch := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		return cf.buffered[cf.p.objectOf(ch)]
+	case *ast.SelectorExpr:
+		return cf.buffered[cf.p.fieldObject(ch)]
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(ch.X).(*ast.Ident); ok {
+			return cf.elemBuffered[cf.p.objectOf(base)]
+		}
+	}
+	return false
+}
+
+// fieldObject resolves a selector to the field or variable object it
+// denotes, preferring the type checker's selection record (stable across
+// different receiver names).
+func (p *Package) fieldObject(sel *ast.SelectorExpr) types.Object {
+	if s, ok := p.Info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return p.Info.Uses[sel.Sel]
+}
+
+// chanParams collects every function parameter of channel type declared
+// in the package — the channels callees must never close.
+func (p *Package) chanParams() map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				addFields(n.Type.Params)
+			case *ast.FuncLit:
+				addFields(n.Type.Params)
+			}
+			return true
+		})
+	}
+	return params
+}
+
+// isBuiltinClose reports whether the call is the predeclared close.
+func (p *Package) isBuiltinClose(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// minSelectArms is the fewest select clauses (default included) that give
+// a communication an escape path: one arm blocks exactly like the naked
+// operation would.
+const minSelectArms = 2
+
+// guardedSends returns the set of send statements that appear as the comm
+// op of a select with at least minSelectArms arms.
+func (p *Package) guardedSends(file *ast.File) map[*ast.SendStmt]bool {
+	guarded := make(map[*ast.SendStmt]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || len(sel.Body.List) < minSelectArms {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				guarded[send] = true
+			}
+		}
+		return true
+	})
+	return guarded
+}

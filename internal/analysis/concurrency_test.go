@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func TestCheckGoroutineLifecycleGolden(t *testing.T) {
+	p := loadTestdata(t, "goroutine")
+	rel := "testdata/src/goroutine/goroutine.go"
+	checkGolden(t, rel, CheckGoroutineLifecycle(p), wantedLines(t, rel))
+}
+
+func TestCheckContextDisciplineGolden(t *testing.T) {
+	p := loadTestdata(t, "ctxdisc")
+	rel := "testdata/src/ctxdisc/ctxdisc.go"
+	checkGolden(t, rel, CheckContextDiscipline(p), wantedLines(t, rel))
+}
+
+func TestCheckChannelHygieneGolden(t *testing.T) {
+	p := loadTestdata(t, "chanhyg")
+	rel := "testdata/src/chanhyg/chanhyg.go"
+	checkGolden(t, rel, CheckChannelHygiene(p), wantedLines(t, rel))
+}
+
+func TestCheckHTTPHygieneGolden(t *testing.T) {
+	p := loadTestdata(t, "httphyg")
+	rel := "testdata/src/httphyg/httphyg.go"
+	checkGolden(t, rel, CheckHTTPHygiene(p), wantedLines(t, rel))
+}
+
+// funcFindings counts the findings that land inside the named top-level
+// function or method of the package's single file.
+func funcFindings(t *testing.T, p *Package, fs []Finding, name string) int {
+	t.Helper()
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			start := p.Position(fd.Pos()).Line
+			end := p.Position(fd.End()).Line
+			n := 0
+			for _, f := range fs {
+				if f.Line >= start && f.Line <= end {
+					n++
+				}
+			}
+			return n
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, p.ImportPath)
+	return 0
+}
+
+// TestGoroutineLifecycleEdges pins the checker's behavior on the shapes
+// that trip naive goroutine analyses: generic instantiations, method
+// values, closures, and cross-function recursion.
+func TestGoroutineLifecycleEdges(t *testing.T) {
+	p := loadTestdata(t, "goroutine")
+	fs := CheckGoroutineLifecycle(p)
+	for _, tc := range []struct {
+		fn   string
+		want int
+	}{
+		{"SpawnGeneric", 0},     // go drain[int](c): index expr unwrapped, body followed
+		{"SpawnGenericLeak", 1}, // go spin[int](0): followed and still tieless
+		{"SpawnMethod", 0},      // go w.run(): method body followed
+		{"SpawnMethodValue", 1}, // bound method value: unprovable
+		{"SpawnWithCtxArg", 0},  // ctx argument ties an opaque function value
+		{"FireRecursive", 1},    // visited set terminates on recursion
+		{"FireUnbufferedSend", 1},
+		{"SpawnBufferedSignal", 0},
+	} {
+		if got := funcFindings(t, p, fs, tc.fn); got != tc.want {
+			t.Errorf("%s: %d findings, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestContextDisciplineEdges pins loop attribution and literal-signature
+// scoping.
+func TestContextDisciplineEdges(t *testing.T) {
+	p := loadTestdata(t, "ctxdisc")
+	fs := CheckContextDiscipline(p)
+	for _, tc := range []struct {
+		fn   string
+		want int
+	}{
+		{"NestedLoops", 1},   // channel op belongs to the inner loop only
+		{"SpawnsWorker", 0},  // returned literal takes no ctx: out of scope
+		{"PumpGuarded", 0},   // select on ctx.Done covers the loop
+		{"ShedWhenFull", 0},  // default arm is an escape too
+		{"DialBounded", 0},   // (net.Dialer).Dial is exempt
+		{"SleepNoCtx", 0},    // no ctx parameter, no discipline to enforce
+		{"PumpUnguarded", 1}, // range loop with naked send
+	} {
+		if got := funcFindings(t, p, fs, tc.fn); got != tc.want {
+			t.Errorf("%s: %d findings, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestChannelHygieneEdges pins ownership and buffering analysis:
+// defer-in-loop over loop-variant channels, struct-field and
+// per-element buffering.
+func TestChannelHygieneEdges(t *testing.T) {
+	p := loadTestdata(t, "chanhyg")
+	fs := CheckChannelHygiene(p)
+	for _, tc := range []struct {
+		fn   string
+		want int
+	}{
+		{"CloseEach", 0},    // defer close(ch) over loop-variant channels: one site each
+		{"acquire", 0},      // field channel buffered at its struct-literal make
+		{"PerElem", 0},      // per-element makes all buffered
+		{"SingleOwner", 0},  // one make, one close
+		{"CloseParam", 1},   // callee closing a parameter channel
+		{"closeEarly", 1},   // two close sites on one package channel...
+		{"closeLate", 1},    // ...both reported
+		{"BufferedSend", 0}, // send on a provably buffered channel
+	} {
+		if got := funcFindings(t, p, fs, tc.fn); got != tc.want {
+			t.Errorf("%s: %d findings, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPHygieneEdges pins the method/package-level split and the
+// handler-shape gate.
+func TestHTTPHygieneEdges(t *testing.T) {
+	p := loadTestdata(t, "httphyg")
+	fs := CheckHTTPHygiene(p)
+	for _, tc := range []struct {
+		fn   string
+		want int
+	}{
+		{"ViaClient", 0},         // client method rides its Timeout
+		{"NotAHandler", 0},       // wrong shape: body reads not judged
+		{"CloseOnlyHandler", 0},  // Body.Close alone is not a read
+		{"BoundedHandler", 0},    // MaxBytesReader bounds the body
+		{"ReadBoundedServer", 0}, // ReadTimeout alone satisfies the server rule
+		{"Routes", 1},            // only the unbounded literal inside is flagged
+		{"Banned", 3},            // each convenience call reported
+	} {
+		if got := funcFindings(t, p, fs, tc.fn); got != tc.want {
+			t.Errorf("%s: %d findings, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestVetTree runs the full suite over the whole module from its root —
+// the same invocation CI ratchets — and requires a clean tree. Every
+// fix PR 8 made (ctx threading, server/client timeouts, single-owner
+// closes) is pinned by this test.
+func TestVetTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped with -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	fs := Run(pkgs)
+	for _, f := range fs {
+		t.Errorf("tree finding: %v", f)
+	}
+	if len(fs) == 0 && testing.Verbose() {
+		t.Logf("tree clean across %d packages", len(pkgs))
+	}
+}
+
+// TestGoroutineFindingMentionsWhy pins that the finding explains what
+// the checker could not prove, not just that it failed.
+func TestGoroutineFindingMentionsWhy(t *testing.T) {
+	p := loadTestdata(t, "goroutine")
+	sawValue, sawExternal := false, false
+	for _, f := range CheckGoroutineLifecycle(p) {
+		if strings.Contains(f.Message, "function value") {
+			sawValue = true
+		}
+		if strings.Contains(f.Message, "outside the package") {
+			sawExternal = true
+		}
+	}
+	if !sawValue || !sawExternal {
+		t.Errorf("findings should explain unprovable spawns (value=%v external=%v)", sawValue, sawExternal)
+	}
+}

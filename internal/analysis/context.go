@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckContextDiscipline enforces that cancellation actually reaches the
+// places that block (DESIGN.md §13's drain-to-checkpoint contract depends
+// on it):
+//
+//   - context.Background()/context.TODO() are banned outside package main
+//     — a library that mints its own root context detaches its blocking
+//     work from the caller's deadline;
+//   - net.Dial is banned everywhere — use a net.Dialer with a Timeout or
+//     DialContext so a dead peer cannot hang the dialer forever;
+//   - inside a function that takes a context.Context, a literal
+//     time.Sleep ignores the ctx it was handed — select on a timer and
+//     ctx.Done() instead;
+//   - inside a function that takes a context.Context, a loop performing
+//     channel operations must contain a select with an escape arm
+//     (ctx.Done(), a done channel, or default) so cancellation can
+//     interrupt every iteration.
+//
+// Nested function literals are judged by their own parameter lists: a
+// closure that does not take the ctx is the spawn site's problem
+// (goroutine-lifecycle), not this checker's.
+func CheckContextDiscipline(p *Package) []Finding {
+	var fs []Finding
+	isMain := p.Types != nil && p.Types.Name() == "main"
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := p.callee(n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "context":
+					if !isMain && (fn.Name() == "Background" || fn.Name() == "TODO") {
+						fs = append(fs, p.finding(n.Pos(), CheckContextDisciplineName,
+							"context.%s mints a root context outside package main; accept and thread the caller's ctx instead", fn.Name()))
+					}
+				case "net":
+					// Only the package-level net.Dial is deadline-less;
+					// (net.Dialer).Dial rides its configured Timeout.
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+					if fn.Name() == "Dial" {
+						fs = append(fs, p.finding(n.Pos(), CheckContextDisciplineName,
+							"net.Dial has no deadline; use a net.Dialer with Timeout or DialContext"))
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil && p.takesContext(n.Type) {
+					fs = append(fs, p.ctxBodyFindings(n.Body)...)
+				}
+			case *ast.FuncLit:
+				if p.takesContext(n.Type) {
+					fs = append(fs, p.ctxBodyFindings(n.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// ctxBodyFindings scans one ctx-taking function body, stopping at nested
+// function literals (they are judged by their own signatures).
+func (p *Package) ctxBodyFindings(body *ast.BlockStmt) []Finding {
+	var fs []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := p.callee(n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				fs = append(fs, p.finding(n.Pos(), CheckContextDisciplineName,
+					"time.Sleep in a ctx-taking function ignores cancellation; select on a time.Timer and ctx.Done() instead"))
+			}
+		case *ast.ForStmt:
+			if f := p.ctxLoopFinding(n, n.Body); f != nil {
+				fs = append(fs, *f)
+			}
+		case *ast.RangeStmt:
+			if f := p.ctxLoopFinding(n, n.Body); f != nil {
+				fs = append(fs, *f)
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// ctxLoopFinding flags a loop (inside a ctx-taking function) that
+// performs channel operations without any multi-arm select: such a loop
+// has no iteration-level escape path, so cancellation cannot interrupt
+// it. Nested loops and function literals are judged separately — channel
+// ops are attributed to their nearest enclosing loop.
+func (p *Package) ctxLoopFinding(loop ast.Node, body *ast.BlockStmt) *Finding {
+	hasChanOp := false
+	hasSelect := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.SelectStmt:
+			if len(n.Body.List) >= minSelectArms {
+				hasSelect = true
+			}
+			return true
+		case *ast.SendStmt:
+			hasChanOp = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hasChanOp = true
+			}
+		}
+		return true
+	})
+	if !hasChanOp || hasSelect {
+		return nil
+	}
+	f := p.finding(loop.Pos(), CheckContextDisciplineName,
+		"loop in a ctx-taking function performs channel operations with no select escape arm; add a select on ctx.Done()")
+	return &f
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// allowDirective is one parsed //tmerge:allow directive.
+type allowDirective struct {
+	Check  string
+	Reason string
+}
+
+// parseAllowDirective classifies one comment's raw text against the
+// //tmerge:allow grammar. It returns:
+//
+//   - (d, true, "") for a well-formed directive — d.Check names a known
+//     check and d.Reason is the mandatory non-empty justification;
+//   - (zero, false, "") when the text is not an allow directive at all
+//     (any ordinary comment);
+//   - (zero, false, problem) for a malformed directive — the prefix
+//     matched but the check name is missing or unknown, or the reason
+//     is absent. problem is the finding message to report.
+//
+// known reports whether a check name exists; it must not be nil. The
+// parser is pure (no package or position state) so the fuzz harness can
+// drive it directly.
+func parseAllowDirective(text string, known func(string) bool) (allowDirective, bool, string) {
+	if !strings.HasPrefix(text, allowDirectivePrefix) {
+		return allowDirective{}, false, ""
+	}
+	rest := strings.TrimPrefix(text, allowDirectivePrefix)
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return allowDirective{}, false,
+			fmt.Sprintf("directive names no check: want %s", allowDirectiveSpelling)
+	case !known(fields[0]):
+		return allowDirective{}, false,
+			fmt.Sprintf("directive names unknown check %q (known: %s)",
+				fields[0], strings.Join(KnownChecks, ", "))
+	case len(fields) == 1:
+		return allowDirective{}, false,
+			fmt.Sprintf("directive for %q gives no reason: a suppression must say why the invariant holds anyway", fields[0])
+	}
+	return allowDirective{
+		Check:  fields[0],
+		Reason: strings.Join(fields[1:], " "),
+	}, true, ""
+}

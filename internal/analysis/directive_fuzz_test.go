@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"slices"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// knownForTest is the membership predicate the real directive scanner
+// passes to the parser.
+func knownForTest(name string) bool { return slices.Contains(KnownChecks, name) }
+
+// TestParseAllowDirective tables the grammar's fixed points before the
+// fuzzer explores around them.
+func TestParseAllowDirective(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		text    string
+		ok      bool
+		problem string // substring of the malformed-directive message, "" if none
+		check   string
+		reason  string
+	}{
+		{name: "valid", text: "//tmerge:allow determinism seeded clock for replay", ok: true,
+			check: "determinism", reason: "seeded clock for replay"},
+		{name: "valid-new-check", text: "//tmerge:allow goroutine-lifecycle joined in Close", ok: true,
+			check: "goroutine-lifecycle", reason: "joined in Close"},
+		{name: "extra-whitespace", text: "//tmerge:allow   channel-hygiene \t owner closes", ok: true,
+			check: "channel-hygiene", reason: "owner closes"},
+		{name: "ordinary-comment", text: "// just a comment"},
+		{name: "empty", text: ""},
+		{name: "prefix-only", text: "//tmerge:allow", problem: "names no check"},
+		{name: "prefix-spaces", text: "//tmerge:allow   ", problem: "names no check"},
+		{name: "unknown-check", text: "//tmerge:allow speling why", problem: `unknown check "speling"`},
+		{name: "missing-reason", text: "//tmerge:allow determinism", problem: "gives no reason"},
+		{name: "unicode-check", text: "//tmerge:allow détérminisme accents", problem: "unknown check"},
+		{name: "case-sensitive", text: "//tmerge:allow Determinism upper", problem: `unknown check "Determinism"`},
+		// The prefix must match exactly: these are ordinary comments.
+		{name: "wrong-tag", text: "//tmerge:alow determinism typo in the tag"},
+		{name: "spaced-tag", text: "// tmerge:allow determinism spaced tag"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, ok, problem := parseAllowDirective(tc.text, knownForTest)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v (problem=%q)", ok, tc.ok, problem)
+			}
+			if tc.problem == "" && problem != "" {
+				t.Fatalf("unexpected problem %q", problem)
+			}
+			if tc.problem != "" && !strings.Contains(problem, tc.problem) {
+				t.Fatalf("problem %q does not mention %q", problem, tc.problem)
+			}
+			if tc.ok && (d.Check != tc.check || d.Reason != tc.reason) {
+				t.Fatalf("parsed (%q, %q), want (%q, %q)", d.Check, d.Reason, tc.check, tc.reason)
+			}
+		})
+	}
+}
+
+// FuzzDirective throws arbitrary comment text at the directive parser
+// and checks its invariants: never panic, valid iff a known check plus a
+// non-empty reason, and the three outcomes (valid / not-a-directive /
+// malformed) stay mutually exclusive.
+func FuzzDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//tmerge:allow determinism seeded clock",
+		"//tmerge:allow determinism",
+		"//tmerge:allow",
+		"//tmerge:allow speling reason",
+		"//tmerge:allow lock-discipline éé unicode reason",
+		"//tmerge:allow\tdeterminism tab split",
+		"//tmerge:allow determinism nbsp is not a field break",
+		"// not a directive",
+		"//tmerge:allowdeterminism glued",
+		"//tmerge:allow 爬 reason",
+		"\ufeff//tmerge:allow determinism bom prefix",
+		"//tmerge:allow determinism \x00 nul reason",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok, problem := parseAllowDirective(text, knownForTest)
+
+		isDirective := strings.HasPrefix(text, allowDirectivePrefix)
+		if !isDirective {
+			if ok || problem != "" || d != (allowDirective{}) {
+				t.Fatalf("non-directive %q produced (%v, %v, %q)", text, d, ok, problem)
+			}
+			return
+		}
+		if ok == (problem != "") {
+			t.Fatalf("directive %q: valid and malformed must be exclusive, got ok=%v problem=%q", text, ok, problem)
+		}
+		if ok {
+			if !knownForTest(d.Check) {
+				t.Fatalf("directive %q accepted unknown check %q", text, d.Check)
+			}
+			if strings.TrimSpace(d.Reason) == "" {
+				t.Fatalf("directive %q accepted without a reason", text)
+			}
+			if !utf8.ValidString(d.Check) || !utf8.ValidString(d.Reason) {
+				// Fields of a valid UTF-8 input stay valid; garbage input
+				// must not be laundered into findings output.
+				if utf8.ValidString(text) {
+					t.Fatalf("valid input %q parsed into invalid UTF-8", text)
+				}
+			}
+		} else if d != (allowDirective{}) {
+			t.Fatalf("malformed directive %q still returned a parse %v", text, d)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckGoroutineLifecycle flags fire-and-forget goroutines: every go
+// statement must carry a provable shutdown tie, because an untied
+// goroutine is exactly the leak class the serve/ingress zero-leak tests
+// hunt dynamically (DESIGN.md §§12–13). A spawn is tied if the spawned
+// body (followed through package-local callees) does any of:
+//
+//   - use a context.Context (ctx.Done selects, ctx-threaded calls);
+//   - receive from or range over a channel (done-channel and worker
+//     patterns — the sender side controls the lifetime);
+//   - close a channel (completion signal owned by the goroutine);
+//   - call (*sync.WaitGroup).Done or Wait (join-pattern membership);
+//   - send on a channel the package provably made with capacity (a
+//     bounded completion or error signal that cannot block forever).
+//
+// Spawns through function values or external functions are unprovable
+// unless a context.Context is among the call's arguments.
+func CheckGoroutineLifecycle(p *Package) []Finding {
+	facts := p.chanFacts()
+	bodies := p.localFuncBodies()
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			tied, why := p.goTie(g.Call, facts, bodies)
+			if !tied {
+				fs = append(fs, p.finding(g.Pos(), CheckGoroutineLifecycleName,
+					"go statement has no provable shutdown tie (%s); tie it to a ctx, done channel, WaitGroup, or bounded signal", why))
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// goTie reports whether the spawned call has a shutdown tie, and if not,
+// why the checker could not prove one.
+func (p *Package) goTie(call *ast.CallExpr, facts *chanFacts, bodies map[*types.Func]*ast.BlockStmt) (bool, string) {
+	// A ctx handed to the goroutine is a tie regardless of what we can
+	// see of the body.
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true, ""
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if p.bodyHasTie(lit.Body, facts, bodies, make(map[*types.Func]bool)) {
+			return true, ""
+		}
+		return false, "the function literal's body never consults a ctx, channel, or WaitGroup"
+	}
+	fn := p.callee(call)
+	if fn == nil {
+		return false, "the spawn goes through a function value the checker cannot follow"
+	}
+	body, ok := bodies[fn]
+	if !ok {
+		return false, "callee " + fn.Name() + " is outside the package and takes no ctx"
+	}
+	if p.bodyHasTie(body, facts, bodies, map[*types.Func]bool{fn: true}) {
+		return true, ""
+	}
+	return false, "callee " + fn.Name() + "'s body never consults a ctx, channel, or WaitGroup"
+}
+
+// bodyHasTie walks a function body (following package-local calls through
+// visited-set recursion) looking for any shutdown-tie evidence.
+func (p *Package) bodyHasTie(body *ast.BlockStmt, facts *chanFacts, bodies map[*types.Func]*ast.BlockStmt, visited map[*types.Func]bool) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// Channel receive, covering select comm clauses too.
+			if n.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if p.isChanExpr(n.X) {
+				tied = true
+			}
+		case *ast.SendStmt:
+			// A send on a provably buffered channel is a bounded
+			// completion/error signal that cannot block forever. An
+			// unbuffered send proves nothing — it is the classic
+			// abandoned-result leak when the receiver times out first.
+			if facts.knownBuffered(n.Chan) {
+				tied = true
+			}
+		case *ast.Ident:
+			if obj := p.objectOf(n); obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if p.isBuiltinClose(n) {
+				tied = true
+				return false
+			}
+			fn := p.callee(n)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+				(fn.Name() == "Done" || fn.Name() == "Wait") {
+				tied = true
+				return false
+			}
+			if callee, ok := bodies[fn]; ok && !visited[fn] {
+				visited[fn] = true
+				if p.bodyHasTie(callee, facts, bodies, visited) {
+					tied = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return tied
+}

@@ -10,9 +10,18 @@ import (
 
 // callee resolves a call expression to the *types.Func it invokes, or nil
 // for builtins, conversions, and calls through function-typed values.
+// Generic instantiations (f[T](...) parses as an index expression) are
+// unwrapped to the underlying function.
 func (p *Package) callee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CheckHTTPHygiene enforces the ingress wire spec's resource bounds
+// (DESIGN.md §13): every HTTP endpoint this module stands up or calls
+// must be impossible to wedge open by a slow or malicious peer.
+//
+//   - an http.Server literal must set ReadHeaderTimeout or ReadTimeout —
+//     the zero value accepts slowloris connections forever;
+//   - an http.Client literal must set Timeout as a transport-level
+//     backstop (per-request ctx deadlines compose with it, they do not
+//     replace it);
+//   - the package-level conveniences http.ListenAndServe(TLS),
+//     http.Get/Head/Post/PostForm, and http.NewRequest are banned: they
+//     use the timeout-less defaults or detach the request from a ctx;
+//   - a handler body that reads the request body must bound it first
+//     (http.MaxBytesReader or io.LimitReader), matching the ingress
+//     bounded-body protocol.
+func CheckHTTPHygiene(p *Package) []Finding {
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				fs = append(fs, p.httpLiteralFindings(n)...)
+			case *ast.CallExpr:
+				fs = append(fs, p.httpCallFindings(n)...)
+			case *ast.FuncDecl:
+				if n.Body != nil && p.isHandlerType(n.Type) {
+					fs = append(fs, p.handlerBodyFindings(n.Body)...)
+				}
+			case *ast.FuncLit:
+				if p.isHandlerType(n.Type) {
+					fs = append(fs, p.handlerBodyFindings(n.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// httpLiteralFindings checks http.Server / http.Client composite
+// literals for their mandatory timeout fields.
+func (p *Package) httpLiteralFindings(cl *ast.CompositeLit) []Finding {
+	tv, ok := p.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	keys := make(map[string]bool, len(cl.Elts))
+	for _, e := range cl.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				keys[id.Name] = true
+			}
+		}
+	}
+	switch {
+	case isNamedType(tv.Type, "net/http", "Server"):
+		if !keys["ReadHeaderTimeout"] && !keys["ReadTimeout"] {
+			f := p.finding(cl.Pos(), CheckHTTPHygieneName,
+				"http.Server without ReadHeaderTimeout or ReadTimeout accepts slowloris connections forever; set a header deadline")
+			return []Finding{f}
+		}
+	case isNamedType(tv.Type, "net/http", "Client"):
+		if !keys["Timeout"] {
+			f := p.finding(cl.Pos(), CheckHTTPHygieneName,
+				"http.Client without Timeout can hang on a dead peer; set a transport-level backstop (ctx deadlines compose with it)")
+			return []Finding{f}
+		}
+	}
+	return nil
+}
+
+// httpBannedCalls maps banned net/http package-level functions to the
+// replacement each finding should name.
+var httpBannedCalls = map[string]string{
+	"ListenAndServe":    "construct an http.Server with ReadHeaderTimeout and call its Serve",
+	"ListenAndServeTLS": "construct an http.Server with ReadHeaderTimeout and call its ServeTLS",
+	"Get":               "use a client with Timeout and http.NewRequestWithContext",
+	"Head":              "use a client with Timeout and http.NewRequestWithContext",
+	"Post":              "use a client with Timeout and http.NewRequestWithContext",
+	"PostForm":          "use a client with Timeout and http.NewRequestWithContext",
+	"NewRequest":        "use http.NewRequestWithContext so the request dies with its ctx",
+}
+
+// httpCallFindings flags banned net/http convenience calls.
+func (p *Package) httpCallFindings(call *ast.CallExpr) []Finding {
+	fn := p.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return nil
+	}
+	// Only package-level functions are banned; methods on a constructed
+	// client or server ride on its configured timeouts.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	fix, banned := httpBannedCalls[fn.Name()]
+	if !banned {
+		return nil
+	}
+	f := p.finding(call.Pos(), CheckHTTPHygieneName,
+		"http.%s uses the timeout-less defaults; %s", fn.Name(), fix)
+	return []Finding{f}
+}
+
+// isHandlerType reports whether the function type has the
+// (http.ResponseWriter, *http.Request) handler shape.
+func (p *Package) isHandlerType(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var flat []types.Type
+	for _, field := range ft.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flat = append(flat, tv.Type)
+		}
+	}
+	return len(flat) == 2 &&
+		isNamedType(flat[0], "net/http", "ResponseWriter") &&
+		isNamedType(flat[1], "net/http", "Request")
+}
+
+// handlerBodyFindings flags request-body reads in a handler that never
+// bounds the body. Body.Close alone is not a read.
+func (p *Package) handlerBodyFindings(body *ast.BlockStmt) []Finding {
+	bounded := false
+	closeOnly := make(map[*ast.SelectorExpr]bool)
+	var reads []*ast.SelectorExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		full := fn.Pkg().Path() + "." + fn.Name()
+		if full == "net/http.MaxBytesReader" || full == "io.LimitReader" {
+			bounded = true
+		}
+		// Mark r.Body.Close() receivers so a bare close doesn't count as
+		// a read below.
+		if fn.Name() == "Close" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					closeOnly[inner] = true
+				}
+			}
+		}
+		return true
+	})
+	if bounded {
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" || closeOnly[sel] {
+			return true
+		}
+		if tv, ok := p.Info.Types[sel.X]; ok && isNamedType(tv.Type, "net/http", "Request") {
+			reads = append(reads, sel)
+		}
+		return true
+	})
+	var fs []Finding
+	for _, sel := range reads {
+		fs = append(fs, p.finding(sel.Pos(), CheckHTTPHygieneName,
+			"handler reads the request body without bounding it; wrap it in http.MaxBytesReader (or io.LimitReader) first"))
+	}
+	return fs
+}

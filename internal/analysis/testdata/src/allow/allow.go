@@ -29,7 +29,9 @@ func UnknownCheck() time.Time {
 	return time.Now() // want determinism (directive above is malformed)
 }
 
-// WrongCheck suppresses a different check than the one that fires.
+// WrongCheck suppresses a different check than the one that fires: the
+// determinism finding survives AND the api-doc directive, having
+// suppressed nothing, is itself reported as stale.
 func WrongCheck() time.Time {
 	//tmerge:allow api-doc valid directive, but for the wrong check
 	return time.Now() // want determinism

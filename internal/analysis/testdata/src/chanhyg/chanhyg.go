@@ -1,0 +1,80 @@
+// Package chanhyg seeds positive and negative cases for the
+// channel-hygiene checker: no naked unbuffered sends, close only by the
+// owning sender, exactly one close site per channel.
+package chanhyg
+
+// NakedSend blocks unboundedly: the channel is not provably buffered
+// and the send has no select escape arm.
+func NakedSend(out chan int) {
+	out <- 1 // want channel-hygiene
+}
+
+// GuardedSend sits in a select with a shed arm.
+func GuardedSend(out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// BufferedSend sends on a channel every make site gives capacity.
+func BufferedSend() {
+	errc := make(chan error, 1)
+	errc <- nil
+	<-errc
+}
+
+// CloseParam closes a channel it received as a parameter: channels are
+// closed by their owning sender, never by a callee.
+func CloseParam(done chan struct{}) {
+	close(done) // want channel-hygiene
+}
+
+// lifecycle is closed from two different functions below: one
+// interleaving away from a double-close panic.
+var lifecycle = make(chan struct{})
+
+func closeEarly() {
+	close(lifecycle) // want channel-hygiene
+}
+
+func closeLate() {
+	close(lifecycle) // want channel-hygiene
+}
+
+// SingleOwner makes and closes its own channel at one site.
+func SingleOwner() {
+	done := make(chan struct{})
+	close(done)
+}
+
+// CloseEach closes a distinct loop-variant channel per iteration: one
+// textual site over different objects, not a double close.
+func CloseEach(chans []chan int) {
+	for _, ch := range chans {
+		defer close(ch)
+	}
+}
+
+// pool's semaphore field is provably buffered at its struct-literal
+// make site, so acquire's send is a bounded block, not a hang.
+type pool struct{ sem chan struct{} }
+
+func newPool(n int) *pool {
+	return &pool{sem: make(chan struct{}, n)}
+}
+
+func (p *pool) acquire() {
+	p.sem <- struct{}{}
+}
+
+// PerElem tracks per-element makes: done[i] is buffered at every site.
+func PerElem(n int) {
+	done := make([]chan int, n)
+	for i := range done {
+		done[i] = make(chan int, 1)
+	}
+	for i := range done {
+		done[i] <- i
+	}
+}

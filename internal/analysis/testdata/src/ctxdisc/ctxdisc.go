@@ -1,0 +1,90 @@
+// Package ctxdisc seeds positive and negative cases for the
+// context-discipline checker: no root contexts outside main, no
+// deadline-less dials, and cancellation must reach blocking loops.
+package ctxdisc
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Mint mints root contexts outside package main: both forms flagged.
+func Mint() context.Context {
+	_ = context.TODO()          // want context-discipline
+	return context.Background() // want context-discipline
+}
+
+// DialNaked uses the deadline-less package-level dial.
+func DialNaked() (net.Conn, error) {
+	return net.Dial("tcp", "localhost:1") // want context-discipline
+}
+
+// DialBounded rides the Dialer's configured Timeout: method calls named
+// Dial are exempt.
+func DialBounded() (net.Conn, error) {
+	d := net.Dialer{Timeout: time.Second}
+	return d.Dial("tcp", "localhost:1")
+}
+
+// SleepInCtx ignores the ctx it was handed.
+func SleepInCtx(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want context-discipline
+}
+
+// SleepNoCtx has no ctx to ignore: not this checker's business.
+func SleepNoCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+// PumpUnguarded loops over channel ops with no select escape arm, so
+// cancellation can never interrupt an iteration.
+func PumpUnguarded(ctx context.Context, in, out chan int) {
+	for v := range in { // want context-discipline
+		out <- v
+	}
+}
+
+// PumpGuarded selects on ctx.Done every iteration.
+func PumpGuarded(ctx context.Context, in, out chan int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ShedWhenFull escapes through a default arm instead: also fine.
+func ShedWhenFull(ctx context.Context, out chan int) {
+	for i := 0; i < 3; i++ {
+		select {
+		case out <- i:
+		default:
+		}
+	}
+}
+
+// NestedLoops attributes the channel op to its nearest enclosing loop:
+// the outer loop is clean, the inner one is flagged.
+func NestedLoops(ctx context.Context, out chan int) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ { // want context-discipline
+			out <- i * j
+		}
+	}
+}
+
+// SpawnsWorker returns a literal that takes no ctx: the literal's sleep
+// is the spawn site's problem (goroutine-lifecycle), not this checker's.
+func SpawnsWorker(ctx context.Context) func() {
+	return func() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// handler is a ctx-taking function literal: judged by its own params.
+var handler = func(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want context-discipline
+}

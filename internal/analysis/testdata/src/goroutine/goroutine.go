@@ -1,0 +1,145 @@
+// Package goroutine seeds positive and negative cases for the
+// goroutine-lifecycle checker: every go statement needs a provable
+// shutdown tie (ctx, channel, WaitGroup, or bounded signal).
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// leakForever has no ctx, channel, or WaitGroup in sight.
+func leakForever() {
+	for {
+	}
+}
+
+// recurse exercises the visited set: following it must terminate.
+func recurse() {
+	recurse()
+}
+
+// compute is a leaf callee with no tie of its own.
+func compute() int { return 42 }
+
+// Fire spawns goroutines with no tie at all.
+func Fire() {
+	go leakForever() // want goroutine-lifecycle
+	go func() {      // want goroutine-lifecycle
+		_ = 1 + 1
+	}()
+}
+
+// FireValue spawns through a function value the checker cannot follow.
+func FireValue(f func()) {
+	go f() // want goroutine-lifecycle
+}
+
+// FireExternal spawns an out-of-package callee that takes no ctx.
+func FireExternal(mu *sync.Mutex) {
+	go mu.Unlock() // want goroutine-lifecycle
+}
+
+// FireRecursive follows the callee graph without looping forever.
+func FireRecursive() {
+	go recurse() // want goroutine-lifecycle
+}
+
+// FireUnbufferedSend is the classic abandoned-result leak: a send on an
+// unbuffered channel proves nothing — if the receiver times out first,
+// the goroutine blocks forever.
+func FireUnbufferedSend() int {
+	res := make(chan int)
+	go func() { // want goroutine-lifecycle
+		res <- compute()
+	}()
+	return <-res
+}
+
+type worker struct{ done chan struct{} }
+
+// run blocks on the worker's done channel — a tie.
+func (w *worker) run() {
+	<-w.done
+}
+
+// SpawnMethod follows a method spawn into its body.
+func SpawnMethod(w *worker) {
+	go w.run()
+}
+
+// SpawnMethodValue loses the method behind a bound value: unprovable.
+func SpawnMethodValue(w *worker) {
+	run := w.run
+	go run() // want goroutine-lifecycle
+}
+
+// SpawnWithCtxArg: a ctx among the call's arguments ties even a spawn
+// the checker cannot otherwise follow.
+func SpawnWithCtxArg(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// SpawnReceiver ties through a channel receive in the closure.
+func SpawnReceiver(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// SpawnRange ties through ranging over a channel.
+func SpawnRange(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// SpawnCloser ties through owning a completion close.
+func SpawnCloser() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// SpawnWaitGroup ties through WaitGroup membership.
+func SpawnWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// SpawnBufferedSignal ties through a send on a provably buffered
+// channel: a bounded completion signal that cannot block forever.
+func SpawnBufferedSignal() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// drain is a generic callee whose body ranges over its channel.
+func drain[T any](c chan T) {
+	for range c {
+	}
+}
+
+// spin is a generic callee with no tie.
+func spin[T any](v T) {
+	_ = v
+}
+
+// SpawnGeneric follows a generic instantiation (an index expression in
+// the AST) into the callee's body.
+func SpawnGeneric(c chan int) {
+	go drain[int](c)
+}
+
+// SpawnGenericLeak flags the tieless generic spawn the same way.
+func SpawnGenericLeak() {
+	go spin[int](0) // want goroutine-lifecycle
+}

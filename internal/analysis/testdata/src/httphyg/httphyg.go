@@ -1,0 +1,85 @@
+// Package httphyg seeds positive and negative cases for the
+// http-hygiene checker: servers and clients carry timeouts, the
+// timeout-less package conveniences are banned, handlers bound bodies.
+package httphyg
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// NakedServer accepts slowloris connections forever.
+func NakedServer() *http.Server {
+	return &http.Server{Addr: ":0"} // want http-hygiene
+}
+
+// BoundedServer sets a header deadline.
+func BoundedServer() *http.Server {
+	return &http.Server{ReadHeaderTimeout: time.Second}
+}
+
+// ReadBoundedServer: ReadTimeout alone also satisfies the check.
+func ReadBoundedServer() *http.Server {
+	return &http.Server{ReadTimeout: time.Second}
+}
+
+// NakedClient can hang on a dead peer.
+func NakedClient() *http.Client {
+	return &http.Client{} // want http-hygiene
+}
+
+// BoundedClient carries the transport-level backstop.
+func BoundedClient() *http.Client {
+	return &http.Client{Timeout: time.Minute}
+}
+
+// Banned uses the package-level conveniences that ride the timeout-less
+// defaults or detach requests from their ctx.
+func Banned() {
+	_ = http.ListenAndServe(":0", nil)      // want http-hygiene
+	_, _ = http.Get("http://localhost")     // want http-hygiene
+	_, _ = http.NewRequest("GET", "/", nil) // want http-hygiene
+}
+
+// ViaClient calls the method of a constructed client: it rides the
+// client's Timeout and is exempt.
+func ViaClient(c *http.Client) {
+	_, _ = c.Get("http://localhost")
+}
+
+// UnboundedHandler reads the request body with no limit.
+func UnboundedHandler(w http.ResponseWriter, r *http.Request) {
+	b, _ := io.ReadAll(r.Body) // want http-hygiene
+	_ = b
+	_ = r.Body.Close()
+}
+
+// BoundedHandler wraps the body in MaxBytesReader first.
+func BoundedHandler(w http.ResponseWriter, r *http.Request) {
+	b, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	_ = b
+}
+
+// CloseOnlyHandler never reads the body: Close alone is not a read.
+func CloseOnlyHandler(w http.ResponseWriter, r *http.Request) {
+	_ = r.Body.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Routes exercises handler-shaped function literals.
+func Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(w, r.Body) // want http-hygiene
+	})
+	mux.HandleFunc("/lim", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(w, io.LimitReader(r.Body, 1024))
+	})
+}
+
+// NotAHandler has the wrong shape: its body reads are the caller's
+// concern, not a handler-bounding violation.
+func NotAHandler(r *http.Request) error {
+	_, err := io.ReadAll(r.Body)
+	return err
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -120,8 +121,9 @@ const serveBenchExperiment = "servebench"
 // RunServeBench measures the fleet at every configured stream count and
 // returns one row per count, in StreamCounts order. Stream videos are
 // generated before any timing; the wall window covers push, scheduling,
-// processing, and the final flushes.
-func RunServeBench(cfg ServeBenchConfig) ([]ServeBenchResult, error) {
+// processing, and the final flushes. ctx bounds the http-transport arm's
+// network operations; the in-process arm ignores it.
+func RunServeBench(ctx context.Context, cfg ServeBenchConfig) ([]ServeBenchResult, error) {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 120
 	}
@@ -139,7 +141,7 @@ func RunServeBench(cfg ServeBenchConfig) ([]ServeBenchResult, error) {
 		var row ServeBenchResult
 		var err error
 		if cfg.Transport == "http" {
-			row, err = runServeBenchHTTP(cfg, n)
+			row, err = runServeBenchHTTP(ctx, cfg, n)
 		} else {
 			row, err = runServeBenchOnce(cfg, n)
 		}
@@ -307,8 +309,8 @@ func leakedGoroutines(before int) int {
 }
 
 // ServeBench runs RunServeBench and prints the human table.
-func ServeBench(w io.Writer, cfg ServeBenchConfig) ([]ServeBenchResult, error) {
-	rows, err := RunServeBench(cfg)
+func ServeBench(ctx context.Context, w io.Writer, cfg ServeBenchConfig) ([]ServeBenchResult, error) {
+	rows, err := RunServeBench(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -29,7 +30,7 @@ import (
 // NDJSON push through ingress.Client. The deterministic columns
 // (windows, frames, fingerprint) must equal the in-process row's; the
 // wall columns price the wire.
-func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, error) {
+func runServeBenchHTTP(ctx context.Context, cfg ServeBenchConfig, nStreams int) (ServeBenchResult, error) {
 	row := ServeBenchResult{
 		Experiment: serveBenchExperiment,
 		Transport:  "http",
@@ -92,7 +93,7 @@ func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, er
 		srv.Shutdown()
 		return row, fmt.Errorf("bench: servebench listener: %w", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	serveDone := make(chan struct{})
 	go func() { _ = hs.Serve(ln); close(serveDone) }()
 	stop := func() {
@@ -102,7 +103,9 @@ func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, er
 	}
 
 	transport := &http.Transport{MaxIdleConns: 2 * nStreams, MaxIdleConnsPerHost: 2 * nStreams}
-	hc := &http.Client{Transport: transport}
+	// The backstop Timeout must outlive the 60s RequestTimeout below —
+	// blocking pushes deliberately ride the queue's backpressure.
+	hc := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
 	defer transport.CloseIdleConnections()
 
 	base := "http://" + ln.Addr().String()
@@ -120,7 +123,7 @@ func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, er
 			stop()
 			return row, err
 		}
-		if _, err := clients[i].Register(ingress.RegisterRequest{Seed: s.Seed}); err != nil {
+		if _, err := clients[i].Register(ctx, ingress.RegisterRequest{Seed: s.Seed}); err != nil {
 			stop()
 			return row, fmt.Errorf("bench: register %s: %w", s.ID, err)
 		}
@@ -138,12 +141,12 @@ func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, er
 		go func() {
 			defer wg.Done()
 			for f, dets := range s.Video.Detections {
-				if err := clients[i].Push(video.FrameIndex(f), dets); err != nil {
+				if err := clients[i].Push(ctx, video.FrameIndex(f), dets); err != nil {
 					errCh <- fmt.Errorf("bench: push %s frame %d: %w", s.ID, f, err)
 					return
 				}
 			}
-			if err := clients[i].Flush(); err != nil {
+			if err := clients[i].Flush(ctx); err != nil {
 				errCh <- fmt.Errorf("bench: flush %s: %w", s.ID, err)
 			}
 		}()
@@ -157,7 +160,7 @@ func runServeBenchHTTP(cfg ServeBenchConfig, nStreams int) (ServeBenchResult, er
 
 	fp := sha256.New()
 	for i, s := range streams {
-		fin, err := clients[i].Finish()
+		fin, err := clients[i].Finish(ctx)
 		if err != nil {
 			stop()
 			return row, fmt.Errorf("bench: finish %s: %w", s.ID, err)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func TestServeBenchDeterministicAndClean(t *testing.T) {
 		Workers:      2,
 		K:            DefaultK,
 	}
-	rows, err := RunServeBench(cfg)
+	rows, err := RunServeBench(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestServeBenchDeterministicAndClean(t *testing.T) {
 		t.Fatalf("gate failed a clean run: %v", fails)
 	}
 
-	again, err := RunServeBench(cfg)
+	again, err := RunServeBench(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +76,12 @@ func TestServeBenchHTTPTransportEquivalent(t *testing.T) {
 		Workers:      2,
 		K:            DefaultK,
 	}
-	inproc, err := RunServeBench(cfg)
+	inproc, err := RunServeBench(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Transport = "http"
-	overWire, err := RunServeBench(cfg)
+	overWire, err := RunServeBench(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestServeBenchHTTPTransportEquivalent(t *testing.T) {
 	}
 
 	cfg.Transport = "carrier-pigeon"
-	if _, err := RunServeBench(cfg); err == nil {
+	if _, err := RunServeBench(context.Background(), cfg); err == nil {
 		t.Fatal("unknown transport accepted")
 	}
 }

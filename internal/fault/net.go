@@ -182,7 +182,10 @@ func (p *Proxy) serve(conn net.Conn, id uint64, backend string) {
 		p.bump(func(c *NetCounters) { c.Truncated++ })
 	}
 
-	up, err := net.Dial("tcp", backend)
+	// Deadline-bounded dial: a black-holed backend must not pin proxy
+	// goroutines past Close.
+	dialer := net.Dialer{Timeout: 10 * time.Second}
+	up, err := dialer.Dial("tcp", backend)
 	if err != nil {
 		return // backend down: the client sees the connection close, retries
 	}

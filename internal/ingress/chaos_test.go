@@ -1,6 +1,7 @@
 package ingress
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -105,13 +106,13 @@ func TestNetworkChaosKillRestart(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			s, c := streams[i], clients[i]
-			if _, err := c.Register(RegisterRequest{Seed: s.Seed, WindowLen: windowLen, CheckpointEvery: ckptEvery}); err != nil {
+			if _, err := c.Register(context.Background(), RegisterRequest{Seed: s.Seed, WindowLen: windowLen, CheckpointEvery: ckptEvery}); err != nil {
 				errs[i] = fmt.Errorf("register: %w", err)
 				halfDone.Done()
 				return
 			}
 			for f := 0; f < half; f++ {
-				if err := c.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+				if err := c.Push(context.Background(), video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 					errs[i] = fmt.Errorf("push %d: %w", f, err)
 					halfDone.Done()
 					return
@@ -120,12 +121,12 @@ func TestNetworkChaosKillRestart(t *testing.T) {
 			halfDone.Done()
 			<-resume // the daemon dies and is replaced while we wait
 			for f := half; f < nFrames; f++ {
-				if err := c.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+				if err := c.Push(context.Background(), video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 					errs[i] = fmt.Errorf("push %d after restart: %w", f, err)
 					return
 				}
 			}
-			if err := c.Flush(); err != nil {
+			if err := c.Flush(context.Background()); err != nil {
 				errs[i] = fmt.Errorf("final flush: %w", err)
 				return
 			}
@@ -135,7 +136,7 @@ func TestNetworkChaosKillRestart(t *testing.T) {
 			var st StreamStatus
 			var err error
 			for attempt := 0; attempt < 16; attempt++ {
-				if st, err = c.Status(); err == nil {
+				if st, err = c.Status(context.Background()); err == nil {
 					break
 				}
 			}
@@ -215,7 +216,7 @@ func TestNetworkChaosKillRestart(t *testing.T) {
 	// The decisive check: fingerprints equal the sequential single-stream
 	// runs, bit for bit, despite the faults, the kill, and the replays.
 	for i, s := range streams {
-		fin, err := clients[i].Finish()
+		fin, err := clients[i].Finish(context.Background())
 		if err != nil {
 			t.Fatalf("finish %s: %v", s.ID, err)
 		}

@@ -72,7 +72,9 @@ type ClientStats struct {
 // sequence numbers, buffers frames until the server reports them
 // durable, resends on timeout or connection failure, honors Retry-After
 // on 429/503, and transparently re-registers and replays after a daemon
-// restart (404). Not safe for concurrent use; feed one stream from one
+// restart (404). Every network-touching method takes a ctx: per-attempt
+// deadlines are derived from it and the retry loops stop at its
+// cancellation. Not safe for concurrent use; feed one stream from one
 // goroutine, which is what frame order means anyway.
 type Client struct {
 	cfg   ClientConfig
@@ -119,7 +121,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
-		hc = &http.Client{}
+		// Transport-level backstop: the per-request ctx deadlines are the
+		// real control, but a zero-Timeout client could still hang on a
+		// pathological transport. Finish is the longest-lived request.
+		hc = &http.Client{Timeout: cfg.FinishTimeout + cfg.RequestTimeout}
 	}
 	sleep := cfg.Sleep
 	if sleep == nil {
@@ -142,13 +147,14 @@ func (c *Client) Stats() ClientStats {
 }
 
 // Register opens (or re-attaches to) the stream, retrying transport
-// failures and 503s. The request is remembered for automatic
-// re-registration after a daemon restart.
-func (c *Client) Register(req RegisterRequest) (RegisterResponse, error) {
+// failures and 503s until ctx is cancelled or attempts run out. The
+// request is remembered for automatic re-registration after a daemon
+// restart.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.regReq = req
-	resp, err := c.registerLocked()
+	resp, err := c.registerLocked(ctx)
 	if err == nil {
 		c.registered = true
 	}
@@ -157,14 +163,17 @@ func (c *Client) Register(req RegisterRequest) (RegisterResponse, error) {
 
 // registerLocked performs the registration retry loop and applies the
 // server's resume point to the client marks.
-func (c *Client) registerLocked() (RegisterResponse, error) {
+func (c *Client) registerLocked(ctx context.Context) (RegisterResponse, error) {
 	body, err := json.Marshal(c.regReq)
 	if err != nil {
 		return RegisterResponse{}, fmt.Errorf("ingress: register %s: %w", c.cfg.Stream, err)
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		status, hdr, respBody, err := c.attempt("POST", "/v1/streams/"+c.cfg.Stream, body, c.cfg.RequestTimeout)
+		if err := ctx.Err(); err != nil {
+			return RegisterResponse{}, fmt.Errorf("ingress: register %s: %w", c.cfg.Stream, err)
+		}
+		status, hdr, respBody, err := c.attempt(ctx, "POST", "/v1/streams/"+c.cfg.Stream, body, c.cfg.RequestTimeout)
 		if err != nil {
 			c.stats.Retries++
 			lastErr = err
@@ -202,7 +211,7 @@ func (c *Client) registerLocked() (RegisterResponse, error) {
 // already covers are dropped locally — the checkpoint has them. The dets
 // slice is retained until the frame is durable; the caller must not
 // modify it.
-func (c *Client) Push(frame video.FrameIndex, dets []video.BBox) error {
+func (c *Client) Push(ctx context.Context, frame video.FrameIndex, dets []video.BBox) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.registered {
@@ -216,25 +225,25 @@ func (c *Client) Push(frame video.FrameIndex, dets []video.BBox) error {
 	if c.pendingCount() < c.cfg.BatchFrames {
 		return nil
 	}
-	return c.flushLocked()
+	return c.flushLocked(ctx)
 }
 
 // Flush sends every unacknowledged record, retrying until the server's
 // high-water mark covers them (or attempts are exhausted).
-func (c *Client) Flush() error {
+func (c *Client) Flush(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.registered {
 		return fmt.Errorf("ingress: flush %s: not registered", c.cfg.Stream)
 	}
-	return c.flushLocked()
+	return c.flushLocked(ctx)
 }
 
 // Finish flushes, then closes the stream and returns its fingerprinted
 // result. Finish is idempotent server-side, so a timed-out attempt is
 // simply retried; after a daemon restart it re-registers and replays the
 // buffer before closing.
-func (c *Client) Finish() (FinishResponse, error) {
+func (c *Client) Finish(ctx context.Context) (FinishResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.registered {
@@ -242,10 +251,13 @@ func (c *Client) Finish() (FinishResponse, error) {
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if err := c.flushLocked(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return FinishResponse{}, fmt.Errorf("ingress: finish %s: %w", c.cfg.Stream, err)
+		}
+		if err := c.flushLocked(ctx); err != nil {
 			return FinishResponse{}, err
 		}
-		status, hdr, respBody, err := c.attempt("POST", "/v1/streams/"+c.cfg.Stream+"/finish", nil, c.cfg.FinishTimeout)
+		status, hdr, respBody, err := c.attempt(ctx, "POST", "/v1/streams/"+c.cfg.Stream+"/finish", nil, c.cfg.FinishTimeout)
 		if err != nil {
 			c.stats.Retries++
 			lastErr = err
@@ -263,7 +275,7 @@ func (c *Client) Finish() (FinishResponse, error) {
 			// Daemon restarted between flush and finish: reattach, replay,
 			// and try again.
 			c.stats.Reattaches++
-			if _, err := c.registerLocked(); err != nil {
+			if _, err := c.registerLocked(ctx); err != nil {
 				return FinishResponse{}, err
 			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -279,10 +291,10 @@ func (c *Client) Finish() (FinishResponse, error) {
 
 // Status fetches the stream's server-side status row (single attempt —
 // monitoring, not delivery).
-func (c *Client) Status() (StreamStatus, error) {
+func (c *Client) Status(ctx context.Context) (StreamStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	status, _, body, err := c.attempt("GET", "/v1/streams/"+c.cfg.Stream, nil, c.cfg.RequestTimeout)
+	status, _, body, err := c.attempt(ctx, "GET", "/v1/streams/"+c.cfg.Stream, nil, c.cfg.RequestTimeout)
 	if err != nil {
 		return StreamStatus{}, err
 	}
@@ -301,19 +313,22 @@ func (c *Client) Status() (StreamStatus, error) {
 // (dedup absorbs the overlap), 429/503 honor the server's hint, 404
 // re-registers and replays. Every exit path leaves the buffer
 // consistent with the server's marks.
-func (c *Client) flushLocked() error {
+func (c *Client) flushLocked(ctx context.Context) error {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		pending := c.pending()
 		if len(pending) == 0 {
 			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("ingress: push %s: %w", c.cfg.Stream, err)
+		}
 		var body bytes.Buffer
 		if err := EncodePushBatch(&body, pending); err != nil {
 			return err
 		}
 		c.stats.RecordsSent += int64(len(pending))
-		status, hdr, respBody, err := c.attempt("POST", "/v1/streams/"+c.cfg.Stream+"/frames", body.Bytes(), c.cfg.RequestTimeout)
+		status, hdr, respBody, err := c.attempt(ctx, "POST", "/v1/streams/"+c.cfg.Stream+"/frames", body.Bytes(), c.cfg.RequestTimeout)
 		if err != nil {
 			c.stats.Retries++
 			lastErr = err
@@ -329,7 +344,7 @@ func (c *Client) flushLocked() error {
 			c.applyAck(pr)
 		case http.StatusNotFound:
 			c.stats.Reattaches++
-			if _, err := c.registerLocked(); err != nil {
+			if _, err := c.registerLocked(ctx); err != nil {
 				return err
 			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -387,13 +402,13 @@ func (c *Client) pendingCount() int {
 	return n
 }
 
-// attempt performs one HTTP exchange under a per-request deadline and
-// returns the status with the (bounded) body. A transport error, a
-// timeout, or a truncated body all come back as err — the retryable
-// class.
-func (c *Client) attempt(method, path string, body []byte, timeout time.Duration) (int, http.Header, []byte, error) {
+// attempt performs one HTTP exchange under a per-request deadline
+// derived from the caller's ctx and returns the status with the
+// (bounded) body. A transport error, a timeout, or a truncated body all
+// come back as err — the retryable class.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, timeout time.Duration) (int, http.Header, []byte, error) {
 	c.stats.Requests++
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {

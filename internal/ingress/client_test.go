@@ -1,6 +1,7 @@
 package ingress
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -127,10 +128,10 @@ func TestClientHonorsThrottleSchedule(t *testing.T) {
 
 	var slept []time.Duration
 	c := newTestClient(t, srv.URL, 3, &slept)
-	if _, err := c.Register(RegisterRequest{Seed: 1}); err != nil {
+	if _, err := c.Register(context.Background(), RegisterRequest{Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Push(0, nil); err != nil {
+	if err := c.Push(context.Background(), 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := []time.Duration{7 * time.Millisecond, 13 * time.Millisecond, 29 * time.Millisecond}
@@ -196,10 +197,10 @@ func TestClientResendsOnTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Register(RegisterRequest{Seed: 1}); err != nil {
+	if _, err := c.Register(context.Background(), RegisterRequest{Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Push(0, nil); err != nil {
+	if err := c.Push(context.Background(), 0, nil); err != nil {
 		t.Fatalf("push: %v", err)
 	}
 	st := c.Stats()

@@ -109,15 +109,15 @@ func TestServerPushFinishMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Register(RegisterRequest{Seed: s.Seed, CheckpointEvery: 2}); err != nil {
+		if _, err := c.Register(context.Background(), RegisterRequest{Seed: s.Seed, CheckpointEvery: 2}); err != nil {
 			t.Fatalf("register %s: %v", s.ID, err)
 		}
 		for f, dets := range s.Video.Detections {
-			if err := c.Push(video.FrameIndex(f), dets); err != nil {
+			if err := c.Push(context.Background(), video.FrameIndex(f), dets); err != nil {
 				t.Fatalf("push %s frame %d: %v", s.ID, f, err)
 			}
 		}
-		fin, err := c.Finish()
+		fin, err := c.Finish(context.Background())
 		if err != nil {
 			t.Fatalf("finish %s: %v", s.ID, err)
 		}
@@ -129,7 +129,7 @@ func TestServerPushFinishMatchesSequential(t *testing.T) {
 			t.Errorf("%s: frames %d, want %d", s.ID, fin.Frames, wantFrames)
 		}
 		// Finish is idempotent: a retried finish returns the same body.
-		again, err := c.Finish()
+		again, err := c.Finish(context.Background())
 		if err != nil || again != fin {
 			t.Errorf("%s: re-finish got %+v, %v; want cached %+v", s.ID, again, err, fin)
 		}
@@ -316,7 +316,7 @@ func TestServerDrainThenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg, err := c.Register(RegisterRequest{Seed: s.Seed, CheckpointEvery: 2})
+	reg, err := c.Register(context.Background(), RegisterRequest{Seed: s.Seed, CheckpointEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestServerDrainThenResume(t *testing.T) {
 	}
 	const cut = 80
 	for f := 0; f < cut; f++ {
-		if err := c.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+		if err := c.Push(context.Background(), video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 			t.Fatalf("push %d: %v", f, err)
 		}
 	}
@@ -346,7 +346,7 @@ func TestServerDrainThenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg2, err := c2.Register(RegisterRequest{Seed: s.Seed, CheckpointEvery: 2})
+	reg2, err := c2.Register(context.Background(), RegisterRequest{Seed: s.Seed, CheckpointEvery: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,11 +356,11 @@ func TestServerDrainThenResume(t *testing.T) {
 	// An at-least-once replay: resend everything; the server discards
 	// what its checkpoint covers.
 	for f := 0; f < len(s.Video.Detections); f++ {
-		if err := c2.Push(video.FrameIndex(f), s.Video.Detections[f]); err != nil {
+		if err := c2.Push(context.Background(), video.FrameIndex(f), s.Video.Detections[f]); err != nil {
 			t.Fatalf("replay %d: %v", f, err)
 		}
 	}
-	fin, err := c2.Finish()
+	fin, err := c2.Finish(context.Background())
 	if err != nil {
 		t.Fatalf("finish: %v", err)
 	}

@@ -731,6 +731,8 @@ type (
 	// IngressClient is the retrying frame-push client: per-request
 	// deadlines, exponential backoff with deterministic seeded jitter,
 	// Retry-After honoured, reattach-on-404 after a daemon restart.
+	// Every blocking method takes a context.Context that bounds the
+	// whole retry loop (per-request deadlines still apply within it).
 	IngressClient = ingress.Client
 	// IngressClientConfig parameterises an IngressClient.
 	IngressClientConfig = ingress.ClientConfig
