@@ -21,12 +21,16 @@
 // fingerprint mismatch between worker counts or against the baseline,
 // or a virtual-FPS regression beyond -max-regression, exits nonzero.
 // -min-speedup additionally requires the measured wall-clock speedup of
-// the highest worker count over Workers=1; it is skipped when the
-// machine has fewer CPUs than that worker count, because the speedup
-// would be physically unreachable (the deterministic checks still
-// run). Every gate decision — ok, skipped, failed — is emitted as an
-// explicit gate_status NDJSON row in -bench-out and echoed to the run
-// log, so a skipped gate is visible in CI instead of silently absent.
+// the highest worker count over Workers=1, and -min-speedup-2w puts a
+// floor (strictly above) under the Workers=2 row; either is skipped when
+// the machine has fewer CPUs than that worker count, because the
+// speedup would be physically unreachable (the deterministic checks
+// still run). Every gate decision — ok, skipped, failed — is emitted as
+// an explicit gate_status NDJSON row in -bench-out, carrying the worker
+// count, the measured speedup, and the enforced threshold, and echoed to
+// the run log, so a skipped gate is visible in CI instead of silently
+// absent. -trend-out writes a markdown wall-time trend table (run vs the
+// -compare baseline) for the CI job summary.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -53,13 +58,24 @@ func main() {
 
 		transport = flag.String("transport", "inproc", "servebench frame transport: inproc (direct serve.Manager pushes) or http (loopback NDJSON ingress)")
 
-		benchMode  = flag.Bool("bench", false, "run the pinned parallel window-executor benchmark instead of experiments")
-		benchOut   = flag.String("bench-out", "", "write parallel-benchmark rows as line-delimited JSON to this file ('-' for stdout)")
-		compare    = flag.String("compare", "", "baseline NDJSON file to gate the parallel benchmark against")
-		maxRegress = flag.Float64("max-regression", 0.15, "maximum allowed virtual-FPS regression vs the baseline (fraction)")
-		minSpeedup = flag.Float64("min-speedup", 0, "required wall-clock speedup of the largest worker count over Workers=1 (0 disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (after a final GC) to this file")
+
+		benchMode    = flag.Bool("bench", false, "run the pinned parallel window-executor benchmark instead of experiments")
+		benchOut     = flag.String("bench-out", "", "write parallel-benchmark rows as line-delimited JSON to this file ('-' for stdout)")
+		compare      = flag.String("compare", "", "baseline NDJSON file to gate the parallel benchmark against")
+		maxRegress   = flag.Float64("max-regression", 0.15, "maximum allowed virtual-FPS regression vs the baseline (fraction)")
+		minSpeedup   = flag.Float64("min-speedup", 0, "required wall-clock speedup of the largest worker count over Workers=1 (0 disables)")
+		minSpeedup2w = flag.Float64("min-speedup-2w", 0, "wall-clock speedup floor the Workers=2 row must stay strictly above (0 disables)")
+		trendOut     = flag.String("trend-out", "", "write a markdown wall-time trend table (run vs -compare baseline) to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(2)
+	}
 
 	s := bench.NewSuite(*seed)
 	s.VideosPerDataset = *videos
@@ -76,7 +92,9 @@ func main() {
 				videosSet = true
 			}
 		})
-		os.Exit(runBenchGate(s, videosSet, *benchOut, *compare, *maxRegress, *minSpeedup))
+		code := runBenchGate(s, videosSet, *benchOut, *compare, *trendOut, *maxRegress, *minSpeedup, *minSpeedup2w)
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	runners := map[string]func() any{
@@ -162,11 +180,56 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	stopProfiles()
+}
+
+// startProfiles begins CPU profiling and/or arms a heap-profile dump,
+// returning a stop function that must run before the process exits (the
+// bench path exits via os.Exit, so defers would not fire). Empty paths
+// disable the corresponding profile; the returned stop is never nil.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			if cerr := cpuFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: closing cpu profile:", cerr)
+			}
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: closing cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: mem profile:", err)
+				return
+			}
+			// A final GC makes the allocation profile reflect live and
+			// cumulative allocations at end-of-run, not GC timing noise.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: writing mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: closing mem profile:", err)
+			}
+		}
+	}, nil
 }
 
 // runBenchGate runs the pinned parallel benchmark and applies the CI
 // gate, returning the process exit code.
-func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRegress, minSpeedup float64) int {
+func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath, trendOut string, maxRegress, minSpeedup, minSpeedup2w float64) int {
 	cfg := bench.DefaultParallelBench()
 	if videosSet && s.VideosPerDataset > 0 {
 		cfg.Videos = s.VideosPerDataset
@@ -191,25 +254,46 @@ func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRe
 
 	fails := bench.CheckParallelBench(rows, baseline, maxRegress)
 	var statuses []bench.GateStatus
-	const speedupGate = "parallel_windows_wall_speedup"
-	if minSpeedup > 0 && len(rows) > 0 {
-		top := rows[len(rows)-1]
+
+	// speedupGate applies one wall-speedup floor to the given row,
+	// producing exactly one gate_status row (ok, skipped on a too-small
+	// machine, or failed) that records the worker count, the measurement,
+	// and the enforced threshold. strict requires the speedup strictly
+	// above the floor (the Workers=2 floor is ">1.0": parallelism must
+	// not lose to sequential, but need not win by a margin there).
+	speedupGate := func(gate string, row bench.ParallelBenchResult, floor float64, strict bool) {
+		st := bench.NewGateStatus(gate, bench.GateOK, "", runtime.NumCPU())
+		st.Workers = row.Workers
+		st.Speedup = row.WallSpeedup
+		st.MinSpeedup = floor
+		failed := row.WallSpeedup < floor || (strict && row.WallSpeedup == floor)
 		switch {
-		case runtime.NumCPU() < top.Workers:
+		case runtime.NumCPU() < row.Workers:
 			// The speedup is physically unreachable here; skip the gate —
 			// loudly. The explicit row keeps a skipped gate from being
 			// mistaken for a passed one in the artifact.
-			reason := fmt.Sprintf("%d CPU(s) < %d workers; %.1fx wall speedup unreachable (determinism and FPS gates still apply)",
-				runtime.NumCPU(), top.Workers, minSpeedup)
-			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateSkipped, reason, runtime.NumCPU()))
-			fmt.Printf("benchrunner: gate %s SKIPPED: %s\n", speedupGate, reason)
-		case top.WallSpeedup < minSpeedup:
-			reason := fmt.Sprintf("%.2fx wall speedup at %d workers, gate requires %.1fx", top.WallSpeedup, top.Workers, minSpeedup)
-			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateFailed, reason, runtime.NumCPU()))
-			fails = append(fails, "speedup: "+reason)
+			st.Status = bench.GateSkipped
+			st.Reason = fmt.Sprintf("%d CPU(s) < %d workers; %.1fx wall speedup unreachable (determinism and FPS gates still apply)",
+				runtime.NumCPU(), row.Workers, floor)
+			fmt.Printf("benchrunner: gate %s SKIPPED: %s\n", gate, st.Reason)
+		case failed:
+			st.Status = bench.GateFailed
+			st.Reason = fmt.Sprintf("%.2fx wall speedup at %d workers, gate requires %.1fx", row.WallSpeedup, row.Workers, floor)
+			fails = append(fails, "speedup: "+st.Reason)
 		default:
-			statuses = append(statuses, bench.NewGateStatus(speedupGate, bench.GateOK,
-				fmt.Sprintf("%.2fx wall speedup at %d workers", top.WallSpeedup, top.Workers), runtime.NumCPU()))
+			st.Reason = fmt.Sprintf("%.2fx wall speedup at %d workers (floor %.1fx)", row.WallSpeedup, row.Workers, floor)
+		}
+		statuses = append(statuses, st)
+	}
+	if minSpeedup > 0 && len(rows) > 0 {
+		speedupGate("parallel_windows_wall_speedup", rows[len(rows)-1], minSpeedup, false)
+	}
+	if minSpeedup2w > 0 {
+		for _, r := range rows {
+			if r.Workers == 2 {
+				speedupGate("parallel_windows_wall_speedup_2w", r, minSpeedup2w, true)
+				break
+			}
 		}
 	}
 
@@ -219,6 +303,16 @@ func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath string, maxRe
 				return err
 			}
 			return bench.WriteGateStatuses(f, statuses)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			return 2
+		}
+	}
+	if trendOut != "" {
+		err := writeTo(trendOut, func(f *os.File) error {
+			_, err := fmt.Fprint(f, bench.TrendTable(baseline, rows))
+			return err
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)

@@ -40,6 +40,15 @@ type GateStatus struct {
 	// NumCPU records the runner's CPU count — the condition the
 	// wall-speedup gate skips on.
 	NumCPU int `json:"num_cpu"`
+	// Workers is the worker count the gate examined (0 when the gate is
+	// not about a specific worker count).
+	Workers int `json:"workers,omitempty"`
+	// Speedup is the measured wall-clock speedup the gate judged, and
+	// MinSpeedup the enforced threshold — recorded even on skip and
+	// failure so the artifact states what was (or would have been)
+	// required, not just the verdict.
+	Speedup    float64 `json:"speedup,omitempty"`
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
 // NewGateStatus builds a row with the experiment tag set.

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGateStatusJSONRoundTrip(t *testing.T) {
+	ok := NewGateStatus("parallel_windows_wall_speedup", GateOK, "2.10x wall speedup at 4 workers (floor 1.7x)", 4)
+	ok.Workers = 4
+	ok.Speedup = 2.1
+	ok.MinSpeedup = 1.7
+	skipped := NewGateStatus("parallel_windows_wall_speedup_2w", GateSkipped, "1 CPU(s) < 2 workers", 1)
+	skipped.Workers = 2
+	skipped.MinSpeedup = 1.0
+	failed := NewGateStatus("parallel_windows_wall_speedup", GateFailed, "1.31x wall speedup at 4 workers, gate requires 1.7x", 4)
+	failed.Workers = 4
+	failed.Speedup = 1.31
+	failed.MinSpeedup = 1.7
+	rows := []GateStatus{ok, skipped, failed}
+
+	var buf bytes.Buffer
+	if err := WriteGateStatuses(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	// One object per line, no surrounding array — the NDJSON convention.
+	if got := strings.Count(strings.TrimSpace(buf.String()), "\n"); got != 2 {
+		t.Fatalf("expected 3 lines, got %d newlines in %q", got+1, buf.String())
+	}
+	for _, field := range []string{`"workers":4`, `"speedup":2.1`, `"min_speedup":1.7`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("encoded rows missing %s:\n%s", field, buf.String())
+		}
+	}
+	back, err := DecodeGateStatuses(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", rows, back)
+	}
+}
+
+func TestDecodeGateStatusesSkipsForeignRows(t *testing.T) {
+	in := strings.NewReader(`
+{"experiment":"parallel_windows","dataset":"pathtrack","workers":1}
+
+{"experiment":"gate_status","gate":"parallel_windows_wall_speedup","status":"ok","num_cpu":4,"workers":4,"speedup":2.05,"min_speedup":1.7}
+`)
+	rows, err := DecodeGateStatuses(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Gate != "parallel_windows_wall_speedup" {
+		t.Fatalf("got %+v, want the single gate_status row", rows)
+	}
+	if rows[0].Workers != 4 || rows[0].Speedup != 2.05 || rows[0].MinSpeedup != 1.7 {
+		t.Fatalf("threshold fields lost in decode: %+v", rows[0])
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -67,12 +68,17 @@ func DefaultParallelBench() ParallelBenchConfig {
 // REC, and Fingerprint are deterministic functions of the configuration;
 // WallMS and WallSpeedup are measured and vary run to run.
 type ParallelBenchResult struct {
-	Experiment  string  `json:"experiment"`
-	Dataset     string  `json:"dataset"`
-	Seed        uint64  `json:"seed"`
-	Videos      int     `json:"videos"`
-	WindowLen   int     `json:"window_len"`
-	Workers     int     `json:"workers"`
+	Experiment string `json:"experiment"`
+	Dataset    string `json:"dataset"`
+	Seed       uint64 `json:"seed"`
+	Videos     int    `json:"videos"`
+	WindowLen  int    `json:"window_len"`
+	Workers    int    `json:"workers"`
+	// NumCPU records the CPU count of the machine that produced the row.
+	// Wall-clock fields are only interpretable next to it: a 4-worker row
+	// measured on 1 CPU cannot show parallel speedup no matter how good
+	// the executor is. Like WallMS it is measurement context, never gated.
+	NumCPU      int     `json:"num_cpu,omitempty"`
 	Frames      int     `json:"frames"`
 	REC         float64 `json:"rec"`
 	FPS         float64 `json:"fps"`
@@ -120,6 +126,7 @@ func (s *Suite) RunParallelBench(cfg ParallelBenchConfig) []ParallelBenchResult 
 			Videos:     len(ds.Videos),
 			WindowLen:  windowLen,
 			Workers:    workers,
+			NumCPU:     runtime.NumCPU(),
 		}
 		fp := sha256.New()
 		var recSum float64

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TrendTable renders a GitHub-flavoured markdown table comparing a PR
+// benchmark run against the committed baseline, row by row (rows pair up
+// on the pinned identity: dataset, seed, videos, window length,
+// workers). It is informational CI output — wall numbers are
+// machine-dependent, so the table shows the trend a reviewer should
+// glance at, while the hard gating stays with CheckParallelBench and the
+// speedup floors. Baseline rows with no PR counterpart (and vice versa)
+// still appear, with the missing side dashed, so a narrowed benchmark is
+// visible in the summary too.
+func TrendTable(baseline, run []ParallelBenchResult) string {
+	key := func(r ParallelBenchResult) string {
+		return fmt.Sprintf("%s/seed%d/videos%d/L%d/workers%d", r.Dataset, r.Seed, r.Videos, r.WindowLen, r.Workers)
+	}
+	base := make(map[string]ParallelBenchResult, len(baseline))
+	var order []string
+	for _, b := range baseline {
+		k := key(b)
+		if _, dup := base[k]; !dup {
+			order = append(order, k)
+		}
+		base[k] = b
+	}
+	runs := make(map[string]ParallelBenchResult, len(run))
+	for _, r := range run {
+		k := key(r)
+		if _, inBase := base[k]; !inBase {
+			if _, dup := runs[k]; !dup {
+				order = append(order, k)
+			}
+		}
+		runs[k] = r
+	}
+
+	var sb strings.Builder
+	sb.WriteString("| row | baseline wall_ms | PR wall_ms | Δ wall | baseline speedup | PR speedup |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	ms := func(r ParallelBenchResult, ok bool) string {
+		if !ok || r.WallMS == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.1f", r.WallMS)
+	}
+	sp := func(r ParallelBenchResult, ok bool) string {
+		if !ok || r.WallSpeedup == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.2fx", r.WallSpeedup)
+	}
+	for _, k := range order {
+		b, inBase := base[k]
+		r, inRun := runs[k]
+		delta := "—"
+		if inBase && inRun && b.WallMS > 0 && r.WallMS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.WallMS-b.WallMS)/b.WallMS*100)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			k, ms(b, inBase), ms(r, inRun), delta, sp(b, inBase), sp(r, inRun))
+	}
+	return sb.String()
+}

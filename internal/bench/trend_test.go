@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func trendRow(workers int, wallMS, speedup float64) ParallelBenchResult {
+	r := benchRow(workers, 650, "aaa")
+	r.WallMS = wallMS
+	r.WallSpeedup = speedup
+	return r
+}
+
+func TestTrendTablePairsRows(t *testing.T) {
+	base := []ParallelBenchResult{trendRow(1, 1000, 1), trendRow(4, 500, 2)}
+	run := []ParallelBenchResult{trendRow(1, 900, 1), trendRow(4, 400, 2.25)}
+	table := TrendTable(base, run)
+
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 { // header, separator, two data rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[0], "baseline wall_ms") || !strings.Contains(lines[0], "PR wall_ms") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(table, "pathtrack/seed42/videos2/L400/workers4") {
+		t.Fatalf("row key missing:\n%s", table)
+	}
+	// workers4: 500 -> 400 is -20%.
+	if !strings.Contains(table, "-20.0%") {
+		t.Fatalf("delta missing:\n%s", table)
+	}
+	if !strings.Contains(table, "2.25x") {
+		t.Fatalf("PR speedup missing:\n%s", table)
+	}
+}
+
+func TestTrendTableShowsUnpairedRows(t *testing.T) {
+	base := []ParallelBenchResult{trendRow(1, 1000, 1), trendRow(2, 800, 1.25)}
+	run := []ParallelBenchResult{trendRow(1, 1000, 1), trendRow(4, 500, 2)}
+	table := TrendTable(base, run)
+
+	// The baseline-only workers2 row and the run-only workers4 row both
+	// appear, each with the missing side dashed.
+	for _, key := range []string{"workers2", "workers4"} {
+		found := false
+		for _, line := range strings.Split(table, "\n") {
+			if strings.Contains(line, key) {
+				found = true
+				if !strings.Contains(line, "—") {
+					t.Errorf("unpaired row %s should dash its missing side: %s", key, line)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("row %s missing from table:\n%s", key, table)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/reid"
+)
+
+// maxSpeculateAllocsPerWindow caps the steady-state allocation count of
+// one window's speculative selection (session setup, one TMerge clone,
+// the full bandit run, and the submission log) on the fixture below.
+// The cap carries ~3x headroom over the measured count; its job is to
+// catch the kind of regression that reintroduces per-iteration garbage
+// — which multiplies the figure a hundredfold — not to pin the exact
+// value.
+const maxSpeculateAllocsPerWindow = 4000
+
+func speculateAllocFixture() (*fixture, *reid.Oracle, *reid.FeatureStore, Algorithm) {
+	fx := newFixture(7, 6, 4, 8)
+	oracle := newFixtureOracle(7)
+	store := reid.NewFeatureStore()
+	cfg := DefaultTMergeConfig(7)
+	cfg.TauMax = 500
+	return fx, oracle, store, NewTMerge(cfg)
+}
+
+// TestSpeculateSelectionAllocs pins the per-window allocation count of
+// the speculate path — the quantity that governs how well the parallel
+// executor scales, since allocation is the one resource the otherwise
+// independent workers still share (via the GC).
+func TestSpeculateSelectionAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("testing.AllocsPerRun is unreliable under the race detector")
+	}
+	fx, oracle, store, algo := speculateAllocFixture()
+	// Warm: fills the feature store, so steady-state windows re-embed
+	// nothing (like overlapping windows of one pass), and grows the
+	// pooled plan scratch.
+	SpeculateSelection(algo, fx.ps, oracle, store, 0.2)
+	got := testing.AllocsPerRun(10, func() {
+		SpeculateSelection(algo, fx.ps, oracle, store, 0.2)
+	})
+	if got > maxSpeculateAllocsPerWindow {
+		t.Errorf("speculative window selection: %v allocs, cap %v", got, maxSpeculateAllocsPerWindow)
+	}
+	t.Logf("speculative window selection: %v allocs/window (cap %v)", got, maxSpeculateAllocsPerWindow)
+}
+
+func BenchmarkSpeculateSelection(b *testing.B) {
+	fx, oracle, store, algo := speculateAllocFixture()
+	SpeculateSelection(algo, fx.ps, oracle, store, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpeculateSelection(algo, fx.ps, oracle, store, 0.2)
+	}
+}

@@ -83,17 +83,53 @@ func (ws *WindowSelection) Selected() []video.PairKey { return ws.selected }
 // candidates are re-ranked by the spatial prior. Commit must be called
 // once per selection, in canonical window order.
 func (ws *WindowSelection) Commit(oracle *reid.Oracle, store *reid.FeatureStore) (selected []video.PairKey, degraded bool) {
-	if err := oracle.ReplayLog(ws.log, store); err != nil {
-		var ua *device.Unavailable
-		if !errors.As(err, &ua) {
-			// Not a device fault: a corrupted log or store. This is a
-			// programming error, reported like any other invariant
-			// violation on the infallible pipeline path.
-			panic(err)
+	sel, deg := CommitSelections(oracle, store, []*WindowSelection{ws})
+	return sel[0], deg[0]
+}
+
+// CommitSelections certifies several consecutive windows' selections in
+// one batched replay pass — the TMerge-B batching insight applied to
+// certification. sels must be the windows' selections in canonical
+// window order; their logs are handed to Oracle.ReplayBatch together, so
+// the batch shares one planning-scratch set and one fallible-device
+// lookup while reproducing exactly the per-record cache hits, stats,
+// virtual time, and fault-path activity of committing each window alone.
+// A nil entry (a window with no selection to certify) replays nothing
+// and yields a nil candidate set.
+//
+// Per-window outcomes mirror Commit: a window whose replay hits an
+// unavailable device degrades to the spatial prior (completed
+// submissions stay charged, later windows still replay), and any other
+// replay error is a programming bug and panics.
+func CommitSelections(oracle *reid.Oracle, store *reid.FeatureStore, sels []*WindowSelection) (selected [][]video.PairKey, degraded []bool) {
+	logs := make([][]reid.SubmissionRecord, len(sels))
+	for i, ws := range sels {
+		if ws != nil {
+			logs[i] = ws.log
 		}
-		return SpatialSelect(ws.ps, ws.k), true
 	}
-	return ws.selected, false
+	errs := oracle.ReplayBatch(logs, store)
+	selected = make([][]video.PairKey, len(sels))
+	degraded = make([]bool, len(sels))
+	for i, ws := range sels {
+		if ws == nil {
+			continue
+		}
+		if err := errs[i]; err != nil {
+			var ua *device.Unavailable
+			if !errors.As(err, &ua) {
+				// Not a device fault: a corrupted log or store. This is a
+				// programming error, reported like any other invariant
+				// violation on the infallible pipeline path.
+				panic(err)
+			}
+			selected[i] = SpatialSelect(ws.ps, ws.k)
+			degraded[i] = true
+			continue
+		}
+		selected[i] = ws.selected
+	}
+	return selected, degraded
 }
 
 // ForEachOrdered runs work(i) for every i in [0, n) on a bounded pool of
@@ -108,6 +144,29 @@ func (ws *WindowSelection) Commit(oracle *reid.Oracle, store *reid.FeatureStore)
 // the same panic a sequential loop would have produced and no goroutine
 // outlives the call.
 func ForEachOrdered[T any](n, workers int, work func(i int) T, commit func(i int, v T)) {
+	ForEachOrderedBatch(n, workers, work, func(start int, vs []T) {
+		for k := range vs {
+			commit(start+k, vs[k])
+		}
+	})
+}
+
+// ForEachOrderedBatch is ForEachOrdered delivering results to
+// commitBatch(start, vs) — vs[k] being work(start+k)'s result — instead
+// of one call per index. Each batch is the maximal run of consecutive
+// indices already finished when the committer reaches its head: the head
+// is awaited, then ready successors are drained without blocking, so a
+// caller whose commit has batch economies (the window certifier's
+// oracle replay, for instance) amortises them over every window that
+// finished while earlier ones were being committed, without ever
+// delaying a ready result to grow a batch. Batches arrive in ascending
+// order, cover every index exactly once, and vs is only valid during the
+// call (it is reused).
+//
+// Panic semantics match ForEachOrdered index-for-index: results before
+// the first panicking index are still committed (as a final, possibly
+// shortened batch) before the panic value is re-raised.
+func ForEachOrderedBatch[T any](n, workers int, work func(i int) T, commitBatch func(start int, vs []T)) {
 	if n <= 0 {
 		return
 	}
@@ -115,8 +174,10 @@ func ForEachOrdered[T any](n, workers int, work func(i int) T, commit func(i int
 		workers = n
 	}
 	if workers <= 1 {
+		buf := make([]T, 1)
 		for i := 0; i < n; i++ {
-			commit(i, work(i))
+			buf[0] = work(i)
+			commitBatch(i, buf)
 		}
 		return
 	}
@@ -176,26 +237,55 @@ func ForEachOrdered[T any](n, workers int, work func(i int) T, commit func(i int
 		}()
 	}
 
-	// Committer (calling goroutine): consume in ascending order. The
-	// dispatcher also dispatches in ascending order, so if index i was
-	// never dispatched, some j < i panicked and the loop re-raises it
-	// before reaching i — the receive below can never deadlock. The
-	// deferred cancel-and-drain runs on every exit (normal, work panic,
-	// commit panic): it stops the dispatcher and waits for the pool, so
-	// no goroutine outlives this call, and a re-raised panic surfaces
-	// only after the pool is quiet.
+	// Committer (calling goroutine): consume in ascending order, one
+	// maximal ready run per commitBatch call. The dispatcher also
+	// dispatches in ascending order, so if index i was never dispatched,
+	// some j < i panicked and the loop re-raises it before reaching i —
+	// the blocking receive below can never deadlock. The deferred
+	// cancel-and-drain runs on every exit (normal, work panic, commit
+	// panic): it stops the dispatcher and waits for the pool, so no
+	// goroutine outlives this call, and a re-raised panic surfaces only
+	// after the pool is quiet.
 	defer func() {
 		close(stop)
 		for w := 0; w < workers; w++ {
 			<-workerDone
 		}
 	}()
-	for i := 0; i < n; i++ {
+	var batch []T
+	for i := 0; i < n; {
+		// Await the head of the next batch.
 		s := <-done[i]
 		<-inFlight
 		if s.panicked {
 			panic(s.pval)
 		}
-		commit(i, s.v)
+		start := i
+		batch = append(batch[:0], s.v)
+		i++
+		// Drain every consecutively-ready successor without blocking; a
+		// panicked slot ends the run so the preceding results still
+		// commit before the re-raise.
+		var pval any
+		panicked := false
+	drain:
+		for i < n {
+			select {
+			case s := <-done[i]:
+				<-inFlight
+				if s.panicked {
+					panicked, pval = true, s.pval
+					break drain
+				}
+				batch = append(batch, s.v)
+				i++
+			default:
+				break drain
+			}
+		}
+		commitBatch(start, batch)
+		if panicked {
+			panic(pval)
+		}
 	}
 }

@@ -267,7 +267,8 @@ func runWindowsParallel(jobs []windowJob, oracle *reid.Oracle, cfg PipelineConfi
 		sel   *WindowSelection
 	}
 	store := reid.NewFeatureStore()
-	ForEachOrdered(len(jobs), workers,
+	var sels []*WindowSelection // reused batch scratch for the committer
+	ForEachOrderedBatch(len(jobs), workers,
 		func(i int) speculated {
 			j := jobs[i]
 			ps := video.BuildPairSet(j.w, j.cur, j.prev)
@@ -277,9 +278,16 @@ func runWindowsParallel(jobs []windowJob, oracle *reid.Oracle, cfg PipelineConfi
 				sel:   SpeculateSelection(cfg.Algorithm, ps, oracle, store, cfg.K),
 			}
 		},
-		func(i int, s speculated) {
-			selected, degraded := s.sel.Commit(oracle, store)
-			commitWindow(res, merger, cfg, jobs[i].w, s.ps, s.truth, selected, degraded)
+		func(start int, batch []speculated) {
+			sels = sels[:0]
+			for k := range batch {
+				sels = append(sels, batch[k].sel)
+			}
+			selected, degraded := CommitSelections(oracle, store, sels)
+			for k := range batch {
+				s := &batch[k]
+				commitWindow(res, merger, cfg, jobs[start+k].w, s.ps, s.truth, selected[k], degraded[k])
+			}
 		})
 }
 

@@ -25,12 +25,15 @@ type indexSampler struct {
 	rng       *xrand.RNG
 }
 
-// newIndexSampler returns a sampler over [0, n).
+// newIndexSampler returns a sampler over [0, n). The displacement map is
+// allocated lazily on the first draw: TMerge initialises one sampler per
+// track pair but touches only the pairs Thompson sampling steers it to,
+// so most samplers never need the map at all.
 func newIndexSampler(n int, rng *xrand.RNG) *indexSampler {
 	if n < 0 {
 		panic(fmt.Sprintf("core: negative sampler domain %d", n))
 	}
-	return &indexSampler{n: n, remaining: n, moved: make(map[int]int), rng: rng}
+	return &indexSampler{n: n, remaining: n, rng: rng}
 }
 
 // Remaining returns how many indices have not been drawn yet.
@@ -49,6 +52,9 @@ func (s *indexSampler) Next() int {
 	v := s.valueAt(k)
 	last := s.remaining - 1
 	// Move the value at the end of the virtual array into slot k.
+	if s.moved == nil {
+		s.moved = make(map[int]int)
+	}
 	s.moved[k] = s.valueAt(last)
 	delete(s.moved, last)
 	s.remaining--

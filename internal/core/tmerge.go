@@ -126,6 +126,16 @@ type TMerge struct {
 	// diag holds the diagnostics of the most recent Select call. TMerge
 	// is not safe for concurrent Select calls.
 	diag TMergeDiagnostics
+
+	// ulb scratch, reused across the (up to τmax) pruning passes of one
+	// Select call and across Select calls. Every element is overwritten
+	// before use, so reuse cannot leak state between windows; the
+	// parallel executor clones TMerge per window (CloneAlgorithm), so no
+	// two concurrent Selects share these buffers.
+	ulbLB, ulbUB, ulbSortedLB, ulbSortedUB []float64
+	// dists is the reused DistanceBatchInto output buffer of the
+	// per-round oracle call.
+	dists []float64
 }
 
 // NewTMerge returns a TMerge instance for the configuration.
@@ -238,8 +248,10 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 	}
 	kCount := ps.TopCount(K)
 
-	// Line 1: initialise Beta posteriors (Algorithm 3).
-	arms := make([]*pairState, n)
+	// Line 1: initialise Beta posteriors (Algorithm 3). The arm states
+	// live in one contiguous slice — one allocation for the whole window
+	// instead of one per pair.
+	arms := make([]pairState, n)
 	tsRng := xrand.Derive(a.cfg.Seed, "tmerge:thompson")
 	bernRng := xrand.Derive(a.cfg.Seed, "tmerge:bernoulli")
 	for i, p := range ps.Pairs {
@@ -249,7 +261,7 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 			// they are explored first (Algorithm 3, line 3).
 			beta = stats.NewBeta(1, 2)
 		}
-		arms[i] = &pairState{
+		arms[i] = pairState{
 			beta:        beta,
 			priorMean:   beta.Mean(),
 			priorWeight: beta.S + beta.F,
@@ -272,7 +284,8 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 		}
 		chosen = chosen[:0]
 		thetas = thetas[:0]
-		for i, s := range arms {
+		for i := range arms {
+			s := &arms[i]
 			if !s.active() {
 				continue
 			}
@@ -304,14 +317,15 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 			ba, bb := ps.Pairs[idx].BBoxPairAt(arms[idx].sampler.Next())
 			batch = append(batch, [2]video.BBox{ba, bb})
 		}
-		dists := oracle.DistanceBatch(batch)
+		a.dists = oracle.DistanceBatchInto(a.dists[:0], batch)
+		dists := a.dists
 
 		// Lines 9-13: posterior update from d̃ — a literal Bernoulli trial
 		// or the fractional bounded-reward update (see
 		// TMergeConfig.LiteralBernoulli).
 		for k, idx := range chosen {
 			d := dists[k]
-			s := arms[idx]
+			s := &arms[idx]
 			s.count++
 			s.sum += d
 			s.sumSq += d * d
@@ -330,8 +344,8 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 			a.ulb(arms, tau, kCount)
 			if a.cfg.StopWhenSettled {
 				settled := 0
-				for _, s := range arms {
-					if s.prunedIn {
+				for i := range arms {
+					if arms[i].prunedIn {
 						settled++
 					}
 				}
@@ -342,7 +356,8 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 		}
 	}
 
-	for _, s := range arms {
+	for i := range arms {
+		s := &arms[i]
 		if s.prunedIn {
 			a.diag.PrunedIn++
 		}
@@ -397,11 +412,16 @@ func insertCandidate(chosen *[]int, thetas *[]float64, idx int, theta float64) {
 // confidently outside it. Counting comparisons against all other pairs is
 // done with sorted bound arrays and binary search, making the pass
 // O(n log n) instead of the naive O(n²).
-func (a *TMerge) ulb(arms []*pairState, tau, kCount int) {
+func (a *TMerge) ulb(arms []pairState, tau, kCount int) {
 	n := len(arms)
-	lbs := make([]float64, n)
-	ubs := make([]float64, n)
-	for i, s := range arms {
+	// The four bound arrays are scratch reused across pruning passes and
+	// Select calls (this pass used to allocate them every iteration —
+	// the single largest allocation site of the whole pipeline). Every
+	// element is written below before any read.
+	lbs := sizeScratch(&a.ulbLB, n)
+	ubs := sizeScratch(&a.ulbUB, n)
+	for i := range arms {
+		s := &arms[i]
 		u := a.radius(s, tau)
 		if math.IsInf(u, 1) {
 			lbs[i] = math.Inf(-1)
@@ -412,12 +432,15 @@ func (a *TMerge) ulb(arms []*pairState, tau, kCount int) {
 		lbs[i] = m - u
 		ubs[i] = m + u
 	}
-	sortedLB := append([]float64(nil), lbs...)
-	sortedUB := append([]float64(nil), ubs...)
+	sortedLB := sizeScratch(&a.ulbSortedLB, n)
+	sortedUB := sizeScratch(&a.ulbSortedUB, n)
+	copy(sortedLB, lbs)
+	copy(sortedUB, ubs)
 	sort.Float64s(sortedLB)
 	sort.Float64s(sortedUB)
 
-	for i, s := range arms {
+	for i := range arms {
+		s := &arms[i]
 		if !s.active() || s.count == 0 {
 			continue
 		}
@@ -474,6 +497,17 @@ func max2(a, b int) int {
 	return b
 }
 
+// sizeScratch resizes *buf to exactly n elements, growing the backing
+// array only when needed, and returns the resized slice. Contents are
+// unspecified; callers overwrite every element.
+func sizeScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // countLess returns the number of elements of sorted that are < x.
 func countLess(sorted []float64, x float64) int {
 	return sort.SearchFloat64s(sorted, x)
@@ -483,13 +517,13 @@ func countLess(sorted []float64, x float64) int {
 // distances over the smallest estimated track-pair score (§IV-E). The true
 // s̃min is unknown; the estimate uses the smallest sample mean among pairs
 // with at least one observation.
-func (a *TMerge) computeRegret(arms []*pairState, tau int) {
+func (a *TMerge) computeRegret(arms []pairState, tau int) {
 	if tau == 0 {
 		return
 	}
 	sMin := math.Inf(1)
-	for _, s := range arms {
-		if s.count > 0 && s.mean() < sMin {
+	for i := range arms {
+		if s := &arms[i]; s.count > 0 && s.mean() < sMin {
 			sMin = s.mean()
 		}
 	}

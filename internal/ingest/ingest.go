@@ -383,20 +383,18 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 	out := make([]WindowResult, len(ws))
 	if workers := core.EffectiveWorkers(in.cfg.Workers); workers > 1 && len(ws) > 1 {
 		store := reid.NewFeatureStore()
-		core.ForEachOrdered(len(inputs), workers,
+		core.ForEachOrderedBatch(len(inputs), workers,
 			func(i int) *core.WindowSelection {
 				if inputs[i].ps.Len() == 0 {
 					return nil
 				}
 				return core.SpeculateSelection(in.cfg.Algorithm, inputs[i].ps, in.oracle, store, in.cfg.K)
 			},
-			func(i int, sel *core.WindowSelection) {
-				var selected []video.PairKey
-				var degraded bool
-				if sel != nil {
-					selected, degraded = sel.Commit(in.oracle, store)
+			func(start int, sels []*core.WindowSelection) {
+				selected, degraded := core.CommitSelections(in.oracle, store, sels)
+				for k := range sels {
+					out[start+k] = commit(start+k, selected[k], degraded[k])
 				}
-				out[i] = commit(i, selected, degraded)
 			})
 	} else {
 		for i := range inputs {

@@ -29,6 +29,12 @@ type Model struct {
 
 	w1, w2 *vecmath.Mat
 	scale  float64 // distance normaliser: dNorm = clamp01(d / scale)
+	// hidden pools the MLP's hidden-activation scratch: the forward pass
+	// is the hot loop of every selection algorithm, and allocating the
+	// hidden layer per call was a measurable share of its GC pressure.
+	// The output vector is NOT pooled — it escapes into caches and
+	// feature stores and must stay owned by the caller.
+	hidden *vecmath.VecPool
 }
 
 // NewModel constructs a model with deterministic weights derived from seed.
@@ -40,6 +46,7 @@ func NewModel(seed uint64, inDim int) *Model {
 	hidden := 2 * inDim
 	out := inDim
 	m := &Model{InDim: inDim, HiddenDim: hidden, OutDim: out}
+	m.hidden = vecmath.NewVecPool(hidden)
 	r := xrand.Derive(seed, "reid-weights")
 	m.w1 = randomMat(r, hidden, inDim)
 	m.w2 = randomMat(r, out, hidden)
@@ -93,16 +100,21 @@ func randomUnit(r *xrand.RNG, n int) vecmath.Vec {
 }
 
 // Embed runs the MLP forward pass and returns a fresh embedding vector.
+// The returned vector is owned by the caller; the hidden-layer scratch
+// is pooled internally, so concurrent Embed calls stay safe and the per
+// call allocation is exactly the returned embedding.
 func (m *Model) Embed(obs vecmath.Vec) vecmath.Vec {
 	if len(obs) != m.InDim {
 		panic(fmt.Sprintf("reid: observation dim %d, model expects %d", len(obs), m.InDim))
 	}
-	h := vecmath.NewVec(m.HiddenDim)
-	m.w1.MulVec(h, obs)
+	hp := m.hidden.Get()
+	h := *hp
+	m.w1.MulVec(h, obs) // overwrites every element: no clearing needed
 	vecmath.Tanh(h)
 	out := vecmath.NewVec(m.OutDim)
 	m.w2.MulVec(out, h)
 	vecmath.Tanh(out)
+	m.hidden.Put(hp)
 	return out
 }
 

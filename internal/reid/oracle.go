@@ -49,9 +49,12 @@ type Oracle struct {
 	// store, when non-nil, marks a speculative session oracle (see
 	// Speculate): feature lookups and commits go through the shared
 	// FeatureStore instead of cache, and every submission plan is
-	// appended to rec instead of charging the real device.
+	// appended to rec instead of charging the real device. arena is the
+	// flat backing for the records' box-ID slices — one growing buffer
+	// per session instead of one small allocation per submission.
 	store *FeatureStore
 	rec   []SubmissionRecord
+	arena []video.BBoxID
 }
 
 // NewOracle returns an oracle executing on dev with caching enabled.
@@ -162,6 +165,13 @@ func (o *Oracle) Distance(b1, b2 video.BBox) float64 {
 // amortise launch costs over. Uncached embeddings across the whole batch
 // are extracted jointly.
 func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
+	return o.DistanceBatchInto(nil, pairs)
+}
+
+// DistanceBatchInto is DistanceBatch appending into dst — the selection
+// loops call the oracle once per bandit round, and reusing the output
+// buffer keeps the round allocation-free. dst may be nil.
+func (o *Oracle) DistanceBatchInto(dst []float64, pairs [][2]video.BBox) []float64 {
 	// Plan under the lock (distinct uncached boxes across the batch),
 	// submit unlocked, commit under the lock — the three-phase protocol
 	// shared with every other execution path via extractPlan. Cache hits
@@ -177,10 +187,10 @@ func (o *Oracle) DistanceBatch(pairs [][2]video.BBox) []float64 {
 	o.mu.Unlock()
 	plan.execute(len(pairs))
 
-	out := make([]float64, len(pairs))
-	for i, p := range pairs {
+	for _, p := range pairs {
 		d := o.model.Distance(plan.feature(p[0].ID), plan.feature(p[1].ID))
-		out[i] = o.model.Normalize(d)
+		dst = append(dst, o.model.Normalize(d))
 	}
-	return out
+	plan.release()
+	return dst
 }

@@ -35,6 +35,7 @@ func (o *Oracle) SequenceDistance(a, b []video.BBox) float64 {
 
 	pa := o.pool(plan, a)
 	pb := o.pool(plan, b)
+	plan.release()
 	return o.model.Normalize(o.model.Distance(pa, pb))
 }
 

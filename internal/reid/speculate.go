@@ -9,58 +9,88 @@ import (
 	"github.com/tmerge/tmerge/internal/video"
 )
 
+// featureShards is the shard count of FeatureStore. Box IDs are assigned
+// densely by the tracker, so a simple modulus spreads adjacent windows'
+// boxes across shards; 32 shards keep cross-worker contention negligible
+// at every worker count the executor supports.
+const featureShards = 32
+
+// featureShard is one lock-striped slice of the store.
+type featureShard struct {
+	mu sync.RWMutex
+	m  map[video.BBoxID]vecmath.Vec
+}
+
 // FeatureStore is a concurrency-safe embedding cache shared by the
 // speculative sessions of one pipeline pass. Embeddings are pure
 // functions of their BBox observations (the model's weights are fixed at
 // construction), so concurrent writers racing on the same box store the
 // same vector and reads are value-deterministic regardless of
 // interleaving — the store trades *accounting* precision, which the
-// ordered replay recomputes canonically, never *values*.
+// ordered replay recomputes canonically, never *values*. The store is
+// sharded so concurrent windows racing on overlapping track content do
+// not serialise on one mutex.
 type FeatureStore struct {
-	mu sync.RWMutex
-	m  map[video.BBoxID]vecmath.Vec
+	shards [featureShards]featureShard
 }
 
 // NewFeatureStore returns an empty store.
 func NewFeatureStore() *FeatureStore {
-	return &FeatureStore{m: make(map[video.BBoxID]vecmath.Vec)}
+	s := &FeatureStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[video.BBoxID]vecmath.Vec)
+	}
+	return s
+}
+
+func (s *FeatureStore) shard(id video.BBoxID) *featureShard {
+	return &s.shards[uint64(id)%featureShards]
 }
 
 // Get returns the stored embedding of a box, if present.
 func (s *FeatureStore) Get(id video.BBoxID) (vecmath.Vec, bool) {
-	s.mu.RLock()
-	v, ok := s.m[id]
-	s.mu.RUnlock()
+	sh := s.shard(id)
+	sh.mu.RLock()
+	v, ok := sh.m[id]
+	sh.mu.RUnlock()
 	return v, ok
 }
 
 // Put stores the embedding of a box. Concurrent Puts for the same box
 // are benign: every caller computes the same vector.
 func (s *FeatureStore) Put(id video.BBoxID, v vecmath.Vec) {
-	s.mu.Lock()
-	s.m[id] = v
-	s.mu.Unlock()
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = v
+	sh.mu.Unlock()
 }
 
 // Len returns the number of stored embeddings.
 func (s *FeatureStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // SubmissionRecord is one planned oracle submission captured by a
-// speculative session: the distinct boxes the submission referenced, in
+// speculative session: the distinct boxes the submission referenced (by
+// identity — the embeddings live in the shared FeatureStore), in
 // plan-encounter order, and the number of distance computations it
 // charges. Which of the boxes become feature extractions is NOT recorded
 // — it depends on the cache state at execution time, which only the
 // canonical replay (Oracle.ReplayLog) knows.
 type SubmissionRecord struct {
-	// Boxes are the submission's distinct referenced boxes in
+	// Boxes are the submission's distinct referenced box IDs in
 	// plan-encounter order (first reference wins; later references to the
 	// same BBoxID within the submission are deduplicated, exactly like
-	// the real plan phase).
-	Boxes []video.BBox
+	// the real plan phase). The slice may alias the session's shared
+	// record arena; treat it as immutable.
+	Boxes []video.BBoxID
 	// NDistances is the number of BBox pair distances the submission
 	// charges to the device.
 	NDistances int
@@ -133,59 +163,105 @@ func (o *Oracle) ReplayLog(log []SubmissionRecord, store *FeatureStore) error {
 	if len(log) == 0 {
 		return nil
 	}
+	return o.ReplayBatch([][]SubmissionRecord{log}, store)[0]
+}
+
+// replayNoop is the nil-op extraction body of replayed submissions: the
+// embeddings were computed during speculation and only their cost is
+// re-charged here. A package-level func avoids a closure per record.
+func replayNoop(int) {}
+
+// ReplayBatch replays the submission logs of several windows, in slice
+// order, as one batched pass — the TMerge-B insight applied to
+// certification: instead of paying the full replay machinery per window,
+// the committer hands every certified-in-order window currently in
+// flight to one call that shares the fallible-device lookup and the
+// planning scratch across all their records. Record semantics are
+// bit-identical to calling ReplayLog per window in the same order: each
+// record re-plans against the canonical cache under the oracle lock,
+// submits to the real device unlocked (faults, retries, backoff, and
+// breaker transitions fire here, in canonical submission order), and
+// commits stats and cache entries on success.
+//
+// The returned slice has one entry per log: nil for a fully replayed
+// window, a *device.Unavailable for a window whose replay hit an
+// unavailable device (its remaining records are abandoned, committed
+// ones stay charged, and later windows' logs still replay — exactly like
+// consecutive sequential windows degrading independently), or a plain
+// error for a log referencing a box the store has never seen.
+func (o *Oracle) ReplayBatch(logs [][]SubmissionRecord, store *FeatureStore) []error {
+	errs := make([]error, len(logs))
+	total := 0
+	for _, log := range logs {
+		total += len(log)
+	}
+	if total == 0 {
+		return errs
+	}
 	if store == nil {
-		return fmt.Errorf("reid: ReplayLog with nil store")
+		for i := range errs {
+			errs[i] = fmt.Errorf("reid: ReplayLog with nil store")
+		}
+		return errs
 	}
 	f := device.AsFallible(o.dev)
-	for ri := range log {
-		rec := &log[ri]
+	// Planning scratch shared by every record of the batch.
+	var ids []video.BBoxID
+	var vecs []vecmath.Vec
+	for li, log := range logs {
+	replay:
+		for ri := range log {
+			rec := &log[ri]
 
-		// Plan against the canonical cache under the lock.
-		o.mu.Lock()
-		cacheEnabled := o.cacheEnabled
-		var hits int64
-		ids := make([]video.BBoxID, 0, len(rec.Boxes))
-		vecs := make([]vecmath.Vec, 0, len(rec.Boxes))
-		for _, b := range rec.Boxes {
+			// Plan against the canonical cache under the lock.
+			o.mu.Lock()
+			cacheEnabled := o.cacheEnabled
+			var hits int64
+			ids = ids[:0]
+			vecs = vecs[:0]
+			for _, id := range rec.Boxes {
+				if cacheEnabled {
+					if _, ok := o.cache[id]; ok {
+						hits++
+						continue
+					}
+				}
+				v, ok := store.Get(id)
+				if !ok {
+					o.mu.Unlock()
+					errs[li] = fmt.Errorf("reid: replay record %d references box %d absent from the feature store", ri, id)
+					break replay
+				}
+				ids = append(ids, id)
+				vecs = append(vecs, v)
+			}
+			o.mu.Unlock()
+
+			// Submit outside the lock: the run function is a no-op (the
+			// embeddings are precomputed), but the device still charges the
+			// full modeled extraction/distance cost and the fault stack
+			// still sees one submission per record.
+			run := replayNoop
+			if len(ids) == 0 {
+				run = nil
+			}
+			if err := f.TrySubmit(len(ids), rec.NDistances, run); err != nil {
+				errs[li] = &device.Unavailable{Err: err}
+				break replay
+			}
+
+			// Commit the canonical accounting.
+			o.mu.Lock()
+			o.stats.CacheHits += hits
+			o.stats.Extractions += int64(len(ids))
+			o.stats.Distances += int64(rec.NDistances)
 			if cacheEnabled {
-				if _, ok := o.cache[b.ID]; ok {
-					hits++
-					continue
+				for i, id := range ids {
+					o.cache[id] = vecs[i]
 				}
 			}
-			v, ok := store.Get(b.ID)
-			if !ok {
-				o.mu.Unlock()
-				return fmt.Errorf("reid: replay record %d references box %d absent from the feature store", ri, b.ID)
-			}
-			ids = append(ids, b.ID)
-			vecs = append(vecs, v)
+			o.mu.Unlock()
 		}
-		o.mu.Unlock()
-
-		// Submit outside the lock: the run function only installs the
-		// precomputed embeddings, but the device still charges the full
-		// modeled extraction/distance cost and the fault stack still sees
-		// one submission per record.
-		run := func(i int) {}
-		if len(ids) == 0 {
-			run = nil
-		}
-		if err := f.TrySubmit(len(ids), rec.NDistances, run); err != nil {
-			return &device.Unavailable{Err: err}
-		}
-
-		// Commit the canonical accounting.
-		o.mu.Lock()
-		o.stats.CacheHits += hits
-		o.stats.Extractions += int64(len(ids))
-		o.stats.Distances += int64(rec.NDistances)
-		if cacheEnabled {
-			for i, id := range ids {
-				o.cache[id] = vecs[i]
-			}
-		}
-		o.mu.Unlock()
 	}
-	return nil
+	return errs
 }

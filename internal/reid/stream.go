@@ -1,6 +1,8 @@
 package reid
 
 import (
+	"sync"
+
 	"github.com/tmerge/tmerge/internal/vecmath"
 	"github.com/tmerge/tmerge/internal/video"
 )
@@ -43,6 +45,7 @@ func (o *Oracle) TrackPairMeans(pairs []*video.Pair) []float64 {
 		}
 		out[k] = sum / float64(n)
 	}
+	plan.release()
 	return out
 }
 
@@ -87,6 +90,7 @@ func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 		}
 		out[k] = sum / float64(len(s.Indices))
 	}
+	plan.release()
 	return out
 }
 
@@ -99,6 +103,11 @@ func (o *Oracle) SampledMeans(specs []SampleSpec) []float64 {
 // embeddings. Stats are committed only by a successful execute, so a
 // failed (panicking) submission leaves them untouched. After execute,
 // feature lookups read only plan-local state and need no lock.
+//
+// Plans are pooled: the selection loops start one per bandit round, and
+// recycling the plan (with its maps and slices) through release keeps
+// the steady-state round allocation-free. A released plan must not be
+// touched again.
 type extractPlan struct {
 	o            *Oracle
 	cacheEnabled bool // snapshot of o.cacheEnabled at plan time
@@ -106,25 +115,50 @@ type extractPlan struct {
 	hits         int64 // cache hits observed while planning
 	local        map[video.BBoxID]vecmath.Vec
 	seen         map[video.BBoxID]bool
-	// all collects every distinct referenced box in encounter order —
+	// all collects every distinct referenced box ID in encounter order —
 	// cache hits included — when the oracle is a recording speculative
 	// session (o.store != nil); it becomes the SubmissionRecord the
 	// canonical replay re-plans against the real cache.
-	all []video.BBox
+	all []video.BBoxID
 	// trackFeat memoises per-track feature slices so the baseline's inner
 	// loops avoid per-box map lookups.
 	trackFeat map[*video.Track][]vecmath.Vec
+	// results is the reused extraction output scratch of execute.
+	results []vecmath.Vec
 }
+
+// planPool recycles extractPlans across submissions; see release.
+var planPool = sync.Pool{New: func() any {
+	return &extractPlan{
+		local:     make(map[video.BBoxID]vecmath.Vec),
+		seen:      make(map[video.BBoxID]bool),
+		trackFeat: make(map[*video.Track][]vecmath.Vec),
+	}
+}}
 
 // newExtractPlan starts a plan; the caller must hold o.mu.
 func newExtractPlan(o *Oracle) *extractPlan {
-	return &extractPlan{
-		o:            o,
-		cacheEnabled: o.cacheEnabled,
-		local:        make(map[video.BBoxID]vecmath.Vec),
-		seen:         make(map[video.BBoxID]bool),
-		trackFeat:    make(map[*video.Track][]vecmath.Vec),
-	}
+	p := planPool.Get().(*extractPlan)
+	p.o = o
+	p.cacheEnabled = o.cacheEnabled
+	return p
+}
+
+// release recycles the plan once every feature lookup is done. The
+// caller must not hold o.mu and must not use the plan afterwards; any
+// feature slices read out of it remain valid (they are owned by the
+// cache, the feature store, or the fresh extraction results, never by
+// the plan).
+func (p *extractPlan) release() {
+	p.o = nil
+	p.hits = 0
+	p.boxes = p.boxes[:0]
+	p.all = p.all[:0]
+	p.results = p.results[:0]
+	clear(p.local)
+	clear(p.seen)
+	clear(p.trackFeat)
+	planPool.Put(p)
 }
 
 // addBox plans one box; the caller must hold o.mu.
@@ -139,7 +173,7 @@ func (p *extractPlan) addBox(b video.BBox) {
 		// always sound (embeddings are deterministic); whether the box
 		// counts as a cache hit or an extraction is decided by the
 		// canonical replay, not by this speculative plan.
-		p.all = append(p.all, b)
+		p.all = append(p.all, b.ID)
 		if f, ok := p.o.store.Get(b.ID); ok {
 			p.local[b.ID] = f
 			return
@@ -172,7 +206,10 @@ func (p *extractPlan) addTrack(t *video.Track) {
 // the submission blocks on modeled device latency, and execute
 // re-acquires the mutex itself to commit stats and cache entries.
 func (p *extractPlan) execute(nDistances int) {
-	results := make([]vecmath.Vec, len(p.boxes))
+	if cap(p.results) < len(p.boxes) {
+		p.results = make([]vecmath.Vec, len(p.boxes))
+	}
+	results := p.results[:len(p.boxes)]
 	run := func(i int) { results[i] = p.o.model.Embed(p.boxes[i].Obs) }
 	if len(p.boxes) == 0 {
 		run = nil
@@ -184,12 +221,19 @@ func (p *extractPlan) execute(nDistances int) {
 		// Speculative session: publish fresh embeddings to the shared
 		// store and append the submission record; the real device,
 		// stats, and cache are untouched until the canonical replay.
+		// The record's box IDs go into the session's flat arena — one
+		// growing buffer instead of a small allocation per submission
+		// (records keep aliasing an outgrown arena's old backing, which
+		// stays correct because records are immutable once appended).
 		for i, b := range p.boxes {
 			p.local[b.ID] = results[i]
 			p.o.store.Put(b.ID, results[i])
 		}
-		p.o.rec = append(p.o.rec, SubmissionRecord{Boxes: p.all, NDistances: nDistances})
-		p.all = nil
+		start := len(p.o.arena)
+		p.o.arena = append(p.o.arena, p.all...)
+		boxes := p.o.arena[start:len(p.o.arena):len(p.o.arena)]
+		p.o.rec = append(p.o.rec, SubmissionRecord{Boxes: boxes, NDistances: nDistances})
+		p.all = p.all[:0]
 		return
 	}
 	p.o.stats.CacheHits += p.hits

@@ -1,0 +1,59 @@
+package vecmath
+
+import "testing"
+
+// The vector kernels run millions of times per window inside the bandit
+// loop; a single allocation per call turns into gigabytes of garbage per
+// pass, and the GC work serialises the parallel executor's workers.
+// These tests pin the kernels' steady-state allocation count at zero so
+// a regression fails the suite instead of quietly eroding the wall
+// speedup. testing.AllocsPerRun over-reports under the race detector,
+// so the pins skip there (the race job still compiles and runs the file
+// for its skip).
+
+func pinAllocs(t *testing.T, name string, max float64, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("testing.AllocsPerRun is unreliable under the race detector")
+	}
+	if got := testing.AllocsPerRun(100, f); got > max {
+		t.Errorf("%s: %v allocs/op, want <= %v", name, got, max)
+	}
+}
+
+func TestKernelAllocs(t *testing.T) {
+	v, w, dst := NewVec(32), NewVec(32), NewVec(32)
+	m := NewMat(64, 32)
+	out := NewVec(64)
+	pinAllocs(t, "Dist2", 0, func() { Dist2(v, w) })
+	pinAllocs(t, "Dot", 0, func() { Dot(v, w) })
+	pinAllocs(t, "Norm2", 0, func() { Norm2(v) })
+	pinAllocs(t, "Add", 0, func() { Add(dst, v, w) })
+	pinAllocs(t, "Sub", 0, func() { Sub(dst, v, w) })
+	pinAllocs(t, "Scale", 0, func() { Scale(dst, 2, v) })
+	pinAllocs(t, "AXPY", 0, func() { AXPY(dst, 2, v) })
+	pinAllocs(t, "MulVec", 0, func() { m.MulVec(out, v) })
+	pinAllocs(t, "Tanh", 0, func() { Tanh(dst) })
+}
+
+func TestVecPoolCycleAllocs(t *testing.T) {
+	vp := NewVecPool(32)
+	h := vp.Get()
+	vp.Put(h)
+	// A GC sweep mid-measurement may empty the pool and force one real
+	// allocation, so the pin tolerates a fractional average instead of
+	// demanding an exact zero.
+	pinAllocs(t, "VecPool Get/Put", 0.2, func() {
+		h := vp.Get()
+		vp.Put(h)
+	})
+}
+
+func BenchmarkVecPoolCycle(b *testing.B) {
+	vp := NewVecPool(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := vp.Get()
+		vp.Put(h)
+	}
+}

@@ -7,6 +7,7 @@ package vecmath
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Vec is a dense float64 vector.
@@ -103,6 +104,53 @@ func Normalize(v Vec) Vec {
 		v[i] *= inv
 	}
 	return v
+}
+
+// VecPool is a concurrency-safe free list of fixed-length vectors — the
+// reusable scratch buffers of the hot loops (the ReID MLP's hidden
+// activations, distance workspaces). Get hands out a vector of the
+// pool's length with unspecified contents; callers that fully overwrite
+// it (MulVec writes every element) need no clearing. Put recycles a
+// vector for a later Get; the caller must not retain it afterwards. A
+// vector that escapes into long-lived state (a cache entry, a feature
+// store) must simply never be Put back — the pool imposes no tracking.
+type VecPool struct {
+	n int
+	p sync.Pool
+}
+
+// NewVecPool returns a pool of length-n vectors.
+func NewVecPool(n int) *VecPool {
+	if n <= 0 {
+		panic(fmt.Sprintf("vecmath: invalid pool vector length %d", n))
+	}
+	vp := &VecPool{n: n}
+	vp.p.New = func() any {
+		v := NewVec(n)
+		// Pool a pointer to the slice header so Put/Get cycles do not
+		// themselves allocate (a bare slice would be boxed on every Put).
+		return &v
+	}
+	return vp
+}
+
+// Len returns the length of the pool's vectors.
+func (vp *VecPool) Len() int { return vp.n }
+
+// Get returns a pointer to a length-Len vector with unspecified
+// contents. Dereference for the working slice and hand the same pointer
+// back to Put — the pointer round-trip is what keeps a Get/Put cycle
+// allocation-free.
+func (vp *VecPool) Get() *Vec { return vp.p.Get().(*Vec) }
+
+// Put recycles a vector obtained from Get. Putting a foreign-length
+// vector panics: silently accepting it would hand a wrong-sized buffer
+// to a later Get.
+func (vp *VecPool) Put(v *Vec) {
+	if len(*v) != vp.n {
+		panic(fmt.Sprintf("vecmath: Put of length-%d vector into length-%d pool", len(*v), vp.n))
+	}
+	vp.p.Put(v)
 }
 
 // Mat is a dense row-major matrix.
