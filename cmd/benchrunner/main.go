@@ -7,6 +7,8 @@
 //	benchrunner -exp all
 //	benchrunner -exp fig5,table2 -videos 3 -seed 42
 //	benchrunner -exp all -json results.ndjson
+//	benchrunner -exp servebench -streams 4,16
+//	benchrunner -exp histbench -json hist.ndjson
 //	benchrunner -bench -bench-out BENCH_pr.json -compare BENCH_baseline.json -min-speedup 2
 //
 // Each experiment prints a plain-text table; EXPERIMENTS.md records the
@@ -14,6 +16,15 @@
 // executed experiment additionally appends its structured result to the
 // given file as line-delimited JSON (one bench.Record per line, the same
 // NDJSON convention as tmergevet -json).
+//
+// histbench streams a million-track synthetic workload through the
+// log-structured history spine (tiered view over a segmented on-disk
+// log) and enforces its bounded-memory gates: a deterministic hot-cell
+// ceiling and a measured heap-growth-per-track ceiling, each reported
+// as an explicit gate_status row (skipped, loudly, where unmeasurable).
+// -streams overrides the servebench fleet sizes; an override that drops
+// the pinned large arm emits an explicit skipped gate_status row so the
+// artifact records the reduced coverage.
 //
 // -bench runs the pinned parallel-executor benchmark instead of the
 // experiments: the same pass at Workers ∈ {1, 2, 4}, written as NDJSON
@@ -41,6 +52,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,7 +61,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations,querybench,servebench) or 'all'")
+		exp     = flag.String("exp", "all", "comma-separated experiments to run (fig3..fig13,table2,pearson,ablations,querybench,servebench,histbench) or 'all'")
 		seed    = flag.Uint64("seed", 42, "master seed for datasets and algorithms")
 		videos  = flag.Int("videos", 3, "videos per dataset (0 = full profile size)")
 		trials  = flag.Int("trials", 3, "independent trials to average stochastic algorithms over")
@@ -57,6 +69,8 @@ func main() {
 		jsonOut = flag.String("json", "", "write experiment results as line-delimited JSON to this file ('-' for stdout)")
 
 		transport = flag.String("transport", "inproc", "servebench frame transport: inproc (direct serve.Manager pushes) or http (loopback NDJSON ingress)")
+		streams   = flag.String("streams", "", "comma-separated servebench fleet sizes (empty keeps the pinned default; dropping the large arm emits an explicit gate_status skip)")
+		histDir   = flag.String("hist-dir", "", "history directory for the histbench experiment (empty uses a temp dir, removed afterwards)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (after a final GC) to this file")
@@ -121,6 +135,7 @@ func main() {
 			cfg := bench.DefaultServeBench()
 			cfg.Clock = time.Now
 			cfg.Transport = *transport
+			statuses := applyStreamsOverride(&cfg, *streams)
 			rows, err := bench.ServeBench(context.Background(), w, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner: servebench:", err)
@@ -132,7 +147,36 @@ func main() {
 				}
 				os.Exit(1)
 			}
+			if len(statuses) > 0 {
+				return map[string]any{"rows": rows, "gates": statuses}
+			}
 			return rows
+		},
+		"histbench": func() any {
+			cfg := bench.DefaultHistBench()
+			cfg.Clock = time.Now
+			cfg.Dir = *histDir
+			if cfg.Dir == "" {
+				dir, err := os.MkdirTemp("", "histbench-")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchrunner: histbench:", err)
+					os.Exit(2)
+				}
+				defer os.RemoveAll(dir)
+				cfg.Dir = dir
+			}
+			row, statuses, err := bench.HistBench(w, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: histbench:", err)
+				os.Exit(2)
+			}
+			if fails := bench.CheckHistBench([]bench.HistBenchRow{row}, statuses, cfg.CompactEvery); len(fails) > 0 {
+				for _, f := range fails {
+					fmt.Fprintln(os.Stderr, "benchrunner: histbench FAIL:", f)
+				}
+				os.Exit(1)
+			}
+			return map[string]any{"row": row, "gates": statuses}
 		},
 		"table2":    func() any { return s.Table2(w) },
 		"ablations": func() any { return s.Ablations(w) },
@@ -329,6 +373,56 @@ func runBenchGate(s *bench.Suite, videosSet bool, out, comparePath, trendOut str
 	}
 	fmt.Println("benchrunner: bench gate passed")
 	return 0
+}
+
+// applyStreamsOverride replaces the servebench fleet sizes with the
+// -streams override. When the override drops the pinned largest arm
+// (the fleet size the capacity numbers are quoted at), an explicit
+// skipped gate_status row records that the big arm did not run — the
+// same loud-skip convention as the wall-speedup gates, so a scaled-down
+// local run is never mistaken for full coverage in the artifact.
+func applyStreamsOverride(cfg *bench.ServeBenchConfig, streams string) []bench.GateStatus {
+	if streams == "" {
+		return nil
+	}
+	large := 0
+	for _, n := range cfg.StreamCounts {
+		if n > large {
+			large = n
+		}
+	}
+	var counts []int
+	for _, part := range strings.Split(streams, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: -streams value %q is not a positive integer\n", part)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -streams lists no fleet sizes")
+		os.Exit(2)
+	}
+	cfg.StreamCounts = counts
+	maxC := 0
+	for _, n := range counts {
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if maxC >= large {
+		return nil
+	}
+	st := bench.NewGateStatus("servebench_large_fleet", bench.GateSkipped,
+		fmt.Sprintf("-streams capped the fleet at %d stream(s); the pinned %d-stream arm did not run", maxC, large),
+		runtime.NumCPU())
+	fmt.Printf("benchrunner: gate %s SKIPPED: %s\n", st.Gate, st.Reason)
+	return []bench.GateStatus{st}
 }
 
 // writeTo opens path for writing ('-' means stdout) and hands it to fn.

@@ -5,7 +5,16 @@
 // Usage:
 //
 //	datagen -dataset pathtrack -seed 42 -videos 5 -out pathtrack.json.gz
+//	datagen -dataset longhorizon -frames 40000 -tracks 10000 -out long.json.gz
 //	datagen -streams 10 -seed 1234 -frames 320 -out fleet.json.gz
+//
+// In profile mode, -frames and -tracks rescale the scene to a target
+// horizon: -frames sets the video length and -tracks the expected
+// ground-truth track count (dataset.Profile.ScaleHorizon). The
+// longhorizon profile is built for this — short object lifetimes and
+// steady arrivals, so track count scales linearly with length while
+// the live population stays flat — which is how history-subsystem
+// workloads (up to 10⁶ tracks) are generated deterministically.
 //
 // With -streams N the profile flags are ignored: the output is the
 // multi-stream serving fleet — one video per camera stream, stream i
@@ -26,12 +35,13 @@ import (
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "mot17", "dataset profile: mot17, kitti, pathtrack, highway")
+		dsName   = flag.String("dataset", "mot17", "dataset profile: mot17, kitti, pathtrack, highway, longhorizon")
 		seed     = flag.Uint64("seed", 42, "generation seed")
 		nVideos  = flag.Int("videos", 0, "number of videos (0 = profile default)")
 		out      = flag.String("out", "", "output path (default <dataset>.json.gz)")
 		nStreams = flag.Int("streams", 0, "generate a multi-stream serving fleet of N camera streams instead of a dataset profile")
-		nFrames  = flag.Int("frames", 0, "frames per stream in -streams mode (0 = loadgen template default)")
+		nFrames  = flag.Int("frames", 0, "frames per video (profile mode: rescales the scene length; -streams mode: frames per stream; 0 = default)")
+		nTracks  = flag.Int("tracks", 0, "expected ground-truth tracks per video in profile mode (rescales the arrival rate; 0 = profile default)")
 	)
 	flag.Parse()
 
@@ -47,6 +57,12 @@ func main() {
 	if *nVideos > 0 {
 		profile.NumVideos = *nVideos
 	}
+	if *nFrames > 0 || *nTracks > 0 {
+		if err := profile.ScaleHorizon(*nFrames, *nTracks); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(2)
+		}
+	}
 	path := *out
 	if path == "" {
 		path = *dsName + ".json.gz"
@@ -61,13 +77,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
-	boxes := 0
+	boxes, tracks := 0, 0
 	for _, v := range ds.Videos {
 		for _, dets := range v.Detections {
 			boxes += len(dets)
 		}
+		tracks += v.GT.Len()
 	}
-	fmt.Printf("wrote %s: %d videos, %d detections\n", path, len(ds.Videos), boxes)
+	fmt.Printf("wrote %s: %d videos, %d GT tracks, %d detections\n", path, len(ds.Videos), tracks, boxes)
 }
 
 // runStreams materialises the loadgen fleet and saves it as a dataset

@@ -28,9 +28,16 @@
 //     bit-identical and retries/reattaches/faults were actually
 //     observed.
 //
+// With -history-dir every stream journals its committed windows to a
+// segmented on-disk log under <dir>/<stream-id> (serve.HistoryRoot):
+// drains seal the active segment as part of the final checkpoint, a
+// restarted daemon resumes each stream against its own log, and
+// time-travel cuts are served through Manager.AsOf.
+//
 // Usage:
 //
 //	tmerged -streams 4 -frames 300
+//	tmerged -streams 4 -frames 300 -history-dir /var/lib/tmerged/hist -history-compact-every 4
 //	tmerged -streams 6 -frames 240 -outage 3:6 -transient 0.05 \
 //	        -crash 2:150 -expect-restarts 1 -status-ms 250
 //	tmerged -http 127.0.0.1:7171 -checkpoint-dir /var/lib/tmerged
@@ -82,6 +89,11 @@ func main() {
 		statusMS       = flag.Int("status-ms", 500, "status table interval in milliseconds (0 disables)")
 		expectRestarts = flag.Int("expect-restarts", 0, "fail unless the fleet performed at least N supervisor restarts (soak assertion)")
 
+		histDir        = flag.String("history-dir", "", "root directory for per-stream log-structured histories (empty disables; stream S journals under history-dir/S)")
+		histHorizon    = flag.Int("history-horizon", 0, "tiered-view hot horizon in frames (0 selects 4×window-len; must be ≥ 2×window-len)")
+		histSegWindows = flag.Int("history-segment-windows", 0, "windows per sealed history segment (0 selects the histlog default)")
+		histCompact    = flag.Int("history-compact-every", 0, "fold sealed history segments into a base snapshot every N raw segments (0 never compacts)")
+
 		httpAddr = flag.String("http", "", "serve the network ingress API on this address (e.g. 127.0.0.1:7171) instead of the in-process loadgen fleet; SIGTERM drains to checkpoint")
 		ckptDir  = flag.String("checkpoint-dir", "", "durable checkpoint directory for -http mode (empty keeps resume state in memory)")
 		drainMS  = flag.Int("drain-timeout-ms", 30000, "bound on the SIGTERM drain in -http mode")
@@ -96,6 +108,8 @@ func main() {
 		windowLen: *windowLen, budget: *budget, shed: *shed, ckptEvery: *ckptEvery,
 		outage: *outage, transient: *transient, crash: *crash,
 		statusMS: *statusMS, expectRestarts: *expectRestarts,
+		histDir: *histDir, histHorizon: *histHorizon,
+		histSegWindows: *histSegWindows, histCompact: *histCompact,
 		httpAddr: *httpAddr, ckptDir: *ckptDir, drainMS: *drainMS,
 		pushURL: *pushURL, batchFrames: *batch,
 	}
@@ -121,6 +135,9 @@ type cfg struct {
 	transient                    float64
 	crash                        string
 	statusMS, expectRestarts     int
+
+	histDir                                  string
+	histHorizon, histSegWindows, histCompact int
 
 	httpAddr, ckptDir    string
 	drainMS, batchFrames int
@@ -162,14 +179,7 @@ func run(c cfg) int {
 	fmt.Printf("tmerged: serving %d streams × %d frames (seed %d, %d workers, window %d)\n",
 		c.streams, fleet[0].Video.NumFrames, c.seed, c.workers, c.windowLen)
 
-	m := serve.NewManager(serve.Config{
-		Workers:         c.workers,
-		WindowBudget:    c.budget,
-		QueueAdmission:  c.budget > 0,
-		DefaultQueueCap: c.queueCap,
-		TurnFrames:      c.turn,
-		Shed:            c.shed,
-	})
+	m := serve.NewManager(serveConfig(c))
 	defer m.Shutdown()
 
 	for i, s := range fleet {

@@ -23,7 +23,7 @@ import (
 // serveConfig maps the daemon flags onto the shared pool configuration —
 // identical for the in-process and network modes.
 func serveConfig(c cfg) serve.Config {
-	return serve.Config{
+	sc := serve.Config{
 		Workers:         c.workers,
 		WindowBudget:    c.budget,
 		QueueAdmission:  c.budget > 0,
@@ -31,6 +31,15 @@ func serveConfig(c cfg) serve.Config {
 		TurnFrames:      c.turn,
 		Shed:            c.shed,
 	}
+	if c.histDir != "" {
+		sc.History = &serve.HistoryRoot{
+			Dir:               c.histDir,
+			HotHorizon:        c.histHorizon,
+			WindowsPerSegment: c.histSegWindows,
+			CompactEvery:      c.histCompact,
+		}
+	}
+	return sc
 }
 
 // specFunc builds network registrations: the wire request's seed, window

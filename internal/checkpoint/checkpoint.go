@@ -46,7 +46,13 @@ const Format = "tmerge/checkpoint"
 // WindowRecord, and the live-view plus subscription snapshots
 // (SessionState.View, SessionState.Subscriptions) that let a restored
 // session resume incremental query processing without recomputation.
-const Version = 2
+//
+// Version 3 added the log-structured history reference: sessions with an
+// on-disk history log carry SessionState.History (a manifest position)
+// instead of embedding the full merge-event log and view state, the
+// merger snapshot gained MergerState.EventBase (the log is trimmed once
+// segments are sealed), and restore replays the view from segments.
+const Version = 3
 
 // envelope is the on-disk wrapper. Payload keeps the exact bytes the
 // checksum was computed over, so verification is byte-precise regardless
@@ -62,19 +68,27 @@ type envelope struct {
 // envelope. The result is self-contained: Open needs nothing but the
 // bytes.
 func Seal(payload any) ([]byte, error) {
+	return SealAs(Format, Version, payload)
+}
+
+// SealAs is Seal for other on-disk artefacts that reuse the envelope
+// idiom (the history-log manifest, for one) under their own format
+// discriminator and version. The result is self-contained: OpenAs needs
+// nothing but the bytes.
+func SealAs(format string, version int, payload any) ([]byte, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: seal: %w", err)
+		return nil, fmt.Errorf("checkpoint: seal %s: %w", format, err)
 	}
 	sum := sha256.Sum256(raw)
 	out, err := json.Marshal(envelope{
-		Format:   Format,
-		Version:  Version,
+		Format:   format,
+		Version:  version,
 		Checksum: hex.EncodeToString(sum[:]),
 		Payload:  raw,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: seal: %w", err)
+		return nil, fmt.Errorf("checkpoint: seal %s: %w", format, err)
 	}
 	return out, nil
 }
@@ -84,15 +98,21 @@ func Seal(payload any) ([]byte, error) {
 // error with out untouched by meaningful data; callers must not use out
 // unless Open returns nil.
 func Open(data []byte, out any) error {
+	return OpenAs(data, Format, Version, out)
+}
+
+// OpenAs is Open for envelopes sealed by SealAs under a different format
+// discriminator and version. The all-or-nothing guarantee is identical.
+func OpenAs(data []byte, format string, version int, out any) error {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return fmt.Errorf("checkpoint: open: malformed envelope (truncated or not a checkpoint): %w", err)
 	}
-	if env.Format != Format {
-		return fmt.Errorf("checkpoint: open: format %q, want %q", env.Format, Format)
+	if env.Format != format {
+		return fmt.Errorf("checkpoint: open: format %q, want %q", env.Format, format)
 	}
-	if env.Version != Version {
-		return fmt.Errorf("checkpoint: open: unsupported version %d (this build reads version %d)", env.Version, Version)
+	if env.Version != version {
+		return fmt.Errorf("checkpoint: open: unsupported version %d (this build reads version %d)", env.Version, version)
 	}
 	sum := sha256.Sum256(env.Payload)
 	if got := hex.EncodeToString(sum[:]); got != env.Checksum {
@@ -102,6 +122,25 @@ func Open(data []byte, out any) error {
 		return fmt.Errorf("checkpoint: open: payload does not decode: %w", err)
 	}
 	return nil
+}
+
+// HistoryRef is a checkpoint's durable position in a session's
+// log-structured history (internal/histlog): everything the restore
+// path needs to cut the on-disk log back to exactly the state this
+// checkpoint covers and replay the view from segments instead of an
+// embedded snapshot. It deliberately holds no directory path — the
+// history location is pipeline configuration, like the device chain,
+// and a checkpoint must restore on a machine with a different root.
+type HistoryRef struct {
+	// Windows is the number of committed windows the log covers (the
+	// next window entry appended will be window index Windows).
+	Windows int `json:"windows"`
+	// Seq is the view/merger event cursor after the last covered window.
+	Seq int `json:"seq"`
+	// HotHorizon echoes the session's tiering horizon in frames, so a
+	// restore under a different horizon fails loudly instead of
+	// rebuilding a differently tiered view.
+	HotHorizon int `json:"hot_horizon"`
 }
 
 // WindowRecord mirrors ingest.WindowResult in a package that the ingest
@@ -192,6 +231,14 @@ type SessionState struct {
 	// restored states sorted by name).
 	View          *trackdb.ViewState  `json:"view,omitempty"`
 	Subscriptions []SubscriptionState `json:"subscriptions,omitempty"`
+
+	// History, when present, marks a session with an on-disk
+	// log-structured history: the checkpoint references the sealed
+	// segment manifest position instead of embedding the view (View is
+	// omitted and MergerState carries only the untrimmed event suffix);
+	// restore truncates the log to this position and replays the view
+	// from segments.
+	History *HistoryRef `json:"history,omitempty"`
 
 	// Device chain state. ClockNS is the shared virtual clock; the
 	// resilient and fault-injection snapshots are present only when the

@@ -18,8 +18,24 @@ type Merger struct {
 	rank   map[video.TrackID]int
 	// events is the ordered union log: one MergeEvent per effective union,
 	// in the order the unions happened. Append-only; no-op merges (pairs
-	// already in one group) are not logged.
-	events []MergeEvent
+	// already in one group) are not logged. TrimEvents can drop a durably
+	// persisted prefix, after which events holds only the suffix starting
+	// at sequence number eventBase.
+	events    []MergeEvent
+	eventBase int
+
+	// apply is the reusable scratch of Apply, so the steady-state rewrite
+	// path does not rebuild its grouping maps per call.
+	apply applyScratch
+}
+
+// applyScratch is Merger.Apply's reusable union scratch: the
+// canonical-ID grouping map, the group order, and the frame-sort buffer
+// that replaces the old per-group seen map.
+type applyScratch struct {
+	grouped map[video.TrackID][]*video.Track
+	order   []video.TrackID
+	boxes   []video.BBox
 }
 
 // NewMerger returns an empty merger.
@@ -103,7 +119,7 @@ func (m *Merger) Merge(key video.PairKey) {
 		m.rank[ra] = m.rank[rb] + 1
 	}
 	m.events = append(m.events, MergeEvent{
-		Seq:   len(m.events),
+		Seq:   m.eventBase + len(m.events),
 		Pair:  key,
 		FromA: fa,
 		FromB: fb,
@@ -164,54 +180,99 @@ func (m *Merger) Groups() [][]video.TrackID {
 // frame. When two fragments claim the same frame (tracks that overlap in
 // time), the box of the lower-ID fragment wins — a deterministic tiebreak
 // for the rare double-detection case.
+//
+// The grouping scratch is owned by the merger and reused across calls,
+// so only the returned tracks and boxes are freshly allocated; like the
+// other mutating methods, Apply must not run concurrently with itself.
 func (m *Merger) Apply(ts *video.TrackSet) *video.TrackSet {
-	grouped := make(map[video.TrackID][]*video.Track)
-	var order []video.TrackID
+	sc := &m.apply
+	if sc.grouped == nil {
+		sc.grouped = make(map[video.TrackID][]*video.Track)
+	}
+	sc.order = sc.order[:0]
 	for _, t := range ts.Sorted() {
 		c := m.Canonical(t.ID)
-		if _, seen := grouped[c]; !seen {
-			order = append(order, c)
+		if _, seen := sc.grouped[c]; !seen {
+			sc.order = append(sc.order, c)
 		}
-		grouped[c] = append(grouped[c], t)
+		sc.grouped[c] = append(sc.grouped[c], t)
 	}
-	var out []*video.Track
-	for _, c := range order {
-		members := grouped[c]
+	out := make([]*video.Track, 0, len(sc.order))
+	for _, c := range sc.order {
+		members := sc.grouped[c]
 		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
-		seen := make(map[video.FrameIndex]bool)
-		var boxes []video.BBox
+		// Collect the group's boxes member-major (members now ascending by
+		// ID) and stable-sort by frame. Stability makes the first box of
+		// every frame run the lowest-member's box — the batch dedup rule —
+		// without a per-group seen map.
+		sc.boxes = sc.boxes[:0]
 		for _, t := range members {
-			for _, b := range t.Boxes {
-				if seen[b.Frame] {
-					continue
-				}
-				seen[b.Frame] = true
-				boxes = append(boxes, b)
+			sc.boxes = append(sc.boxes, t.Boxes...)
+		}
+		sort.SliceStable(sc.boxes, func(i, j int) bool { return sc.boxes[i].Frame < sc.boxes[j].Frame })
+		uniq := 0
+		for i := range sc.boxes {
+			if i == 0 || sc.boxes[i].Frame != sc.boxes[i-1].Frame {
+				uniq++
 			}
 		}
-		sort.Slice(boxes, func(i, j int) bool { return boxes[i].Frame < boxes[j].Frame })
+		boxes := make([]video.BBox, 0, uniq)
+		for i := range sc.boxes {
+			if i == 0 || sc.boxes[i].Frame != sc.boxes[i-1].Frame {
+				boxes = append(boxes, sc.boxes[i])
+			}
+		}
 		out = append(out, &video.Track{ID: c, Boxes: boxes})
 	}
+	// Empty the grouping map with its buckets kept warm for the next call.
+	clear(sc.grouped)
 	return video.NewTrackSet(out)
 }
 
-// Events returns the full ordered union log. The returned slice is the
-// log itself (append-only); callers must not modify it.
+// Events returns the retained ordered union log: the full log unless
+// TrimEvents dropped a persisted prefix, in which case the suffix starts
+// at EventBase. The returned slice is the log itself (append-only);
+// callers must not modify it.
 func (m *Merger) Events() []MergeEvent { return m.events }
 
 // EventCount returns the number of events logged so far — the sequence
-// number the next effective union will get.
-func (m *Merger) EventCount() int { return len(m.events) }
+// number the next effective union will get. Trimming does not change it.
+func (m *Merger) EventCount() int { return m.eventBase + len(m.events) }
+
+// EventBase returns the sequence number of the oldest retained event:
+// 0 until TrimEvents drops a persisted prefix.
+func (m *Merger) EventBase() int { return m.eventBase }
 
 // EventsSince returns the log suffix starting at sequence number n, for
 // consumers that fold events incrementally (n is their own event cursor).
-// It panics when n is outside [0, EventCount()]. The returned slice
-// aliases the append-only log; callers must not modify it.
+// It panics when n is outside [EventBase(), EventCount()] — a cursor
+// below EventBase asks for events already trimmed away. The returned
+// slice aliases the append-only log; callers must not modify it.
 func (m *Merger) EventsSince(n int) []MergeEvent {
-	if n < 0 || n > len(m.events) {
-		panic(fmt.Sprintf("core: event cursor %d outside [0, %d]", n, len(m.events)))
+	if n < m.eventBase || n > m.EventCount() {
+		panic(fmt.Sprintf("core: event cursor %d outside [%d, %d]", n, m.eventBase, m.EventCount()))
 	}
-	return m.events[n:]
+	return m.events[n-m.eventBase:]
+}
+
+// TrimEvents drops every retained event with sequence number below upTo
+// — the segment-writer hook: once a history segment holding the prefix
+// is sealed on disk, the in-memory log no longer needs it, which is what
+// bounds the merger's steady-state footprint on unbounded streams. The
+// identity map is untouched; only Events/EventsSince lose access to the
+// dropped prefix. upTo beyond EventCount trims the whole retained log;
+// upTo at or below EventBase is a no-op. The retained suffix is copied,
+// so previously returned slices keep their contents but the trimmed
+// prefix becomes collectable once callers drop their references.
+func (m *Merger) TrimEvents(upTo int) {
+	if upTo > m.EventCount() {
+		upTo = m.EventCount()
+	}
+	if upTo <= m.eventBase {
+		return
+	}
+	m.events = append([]MergeEvent(nil), m.events[upTo-m.eventBase:]...)
+	m.eventBase = upTo
 }
 
 // ReplayEvents reconstructs a Merger from a complete event log (sequence
@@ -253,20 +314,26 @@ type MergerEntry struct {
 // Canonical/Apply result bit-identically regardless of tree shape.
 type MergerState struct {
 	Entries []MergerEntry `json:"entries,omitempty"`
-	// Events is the ordered union log, carried so a restored merger
-	// continues the log at the right sequence number and event-log
-	// consumers (the live view) can resume their cursors.
+	// Events is the retained ordered union log (the suffix starting at
+	// EventBase), carried so a restored merger continues the log at the
+	// right sequence number and event-log consumers (the live view) can
+	// resume their cursors.
 	Events []MergeEvent `json:"events,omitempty"`
+	// EventBase is the sequence number of the first retained event: 0 for
+	// an untrimmed log; positive when TrimEvents dropped a prefix already
+	// sealed into history segments (the checkpoint then references the
+	// segment manifest for the dropped events).
+	EventBase int `json:"event_base,omitempty"`
 }
 
-// State snapshots the merger's identity map and event log.
+// State snapshots the merger's identity map and retained event log.
 func (m *Merger) State() MergerState {
 	ids := make([]video.TrackID, 0, len(m.parent))
 	for id := range m.parent {
 		ids = append(ids, id)
 	}
 	video.SortTrackIDs(ids)
-	st := MergerState{Events: append([]MergeEvent(nil), m.events...)}
+	st := MergerState{Events: append([]MergeEvent(nil), m.events...), EventBase: m.eventBase}
 	for _, id := range ids {
 		st.Entries = append(st.Entries, MergerEntry{ID: id, Parent: m.parent[id], Rank: m.rank[id]})
 	}
@@ -278,15 +345,19 @@ func (m *Merger) State() MergerState {
 // itself recorded) is rejected.
 func RestoreMerger(st MergerState) (*Merger, error) {
 	m := NewMerger()
+	if st.EventBase < 0 {
+		return nil, fmt.Errorf("core: merger snapshot has negative event base %d", st.EventBase)
+	}
 	for i, ev := range st.Events {
 		if err := ev.Validate(); err != nil {
 			return nil, err
 		}
-		if ev.Seq != i {
-			return nil, fmt.Errorf("core: merger snapshot event log not contiguous: position %d has seq %d", i, ev.Seq)
+		if ev.Seq != st.EventBase+i {
+			return nil, fmt.Errorf("core: merger snapshot event log not contiguous: position %d has seq %d, want %d", i, ev.Seq, st.EventBase+i)
 		}
 	}
 	m.events = append([]MergeEvent(nil), st.Events...)
+	m.eventBase = st.EventBase
 	for _, e := range st.Entries {
 		m.parent[e.ID] = e.Parent
 		if e.Rank != 0 {

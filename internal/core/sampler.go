@@ -18,22 +18,46 @@ import (
 // cross product of BBox pairs, only displaced positions are recorded in a
 // map. It backs the paper's "randomly select a BBox pair ... without
 // replacement" step (Algorithm 2, line 7).
+// samplerInline is the number of displaced slots an indexSampler records
+// inline before spilling to a map. Displacements accumulate at most one
+// per draw (and shrink when the drawn slot was itself displaced), and the
+// bandits draw only a handful of pairs per arm before the stopping rule
+// fires, so almost every sampler lives its whole life inside the array.
+const samplerInline = 8
+
 type indexSampler struct {
 	n         int
 	remaining int
-	moved     map[int]int
-	rng       *xrand.RNG
+	// Inline displacement storage: slots[:inline] maps key→val without a
+	// map allocation. Keys are unique; lookups are linear over ≤
+	// samplerInline entries, cheaper than a map at that size.
+	keys   [samplerInline]int
+	vals   [samplerInline]int
+	inline int
+	// moved spills displacements past the inline capacity. Allocated only
+	// on the rare sampler that is drawn from more than samplerInline times
+	// while holding that many live displacements.
+	moved map[int]int
+	rng   *xrand.RNG
 }
 
-// newIndexSampler returns a sampler over [0, n). The displacement map is
-// allocated lazily on the first draw: TMerge initialises one sampler per
+// newIndexSampler returns a sampler over [0, n). Displacement storage is
+// inline (and the spill map lazy): TMerge initialises one sampler per
 // track pair but touches only the pairs Thompson sampling steers it to,
-// so most samplers never need the map at all.
+// so most samplers never allocate at all.
 func newIndexSampler(n int, rng *xrand.RNG) *indexSampler {
+	s := &indexSampler{}
+	s.init(n, rng)
+	return s
+}
+
+// init (re)initialises the sampler in place over [0, n), so callers that
+// embed samplers by value set them up without a per-sampler allocation.
+func (s *indexSampler) init(n int, rng *xrand.RNG) {
 	if n < 0 {
 		panic(fmt.Sprintf("core: negative sampler domain %d", n))
 	}
-	return &indexSampler{n: n, remaining: n, rng: rng}
+	*s = indexSampler{n: n, remaining: n, rng: rng}
 }
 
 // Remaining returns how many indices have not been drawn yet.
@@ -51,19 +75,62 @@ func (s *indexSampler) Next() int {
 	k := s.rng.Intn(s.remaining)
 	v := s.valueAt(k)
 	last := s.remaining - 1
-	// Move the value at the end of the virtual array into slot k.
-	if s.moved == nil {
-		s.moved = make(map[int]int)
+	if k != last {
+		// Move the value at the end of the virtual array into slot k.
+		s.setMoved(k, s.valueAt(last))
 	}
-	s.moved[k] = s.valueAt(last)
-	delete(s.moved, last)
+	s.clearMoved(last)
 	s.remaining--
 	return v
 }
 
 func (s *indexSampler) valueAt(i int) int {
+	for j := 0; j < s.inline; j++ {
+		if s.keys[j] == i {
+			return s.vals[j]
+		}
+	}
 	if v, ok := s.moved[i]; ok {
 		return v
 	}
 	return i
+}
+
+// setMoved records that virtual slot k now holds v, preferring the
+// inline array and spilling to the map only when it is full.
+func (s *indexSampler) setMoved(k, v int) {
+	for j := 0; j < s.inline; j++ {
+		if s.keys[j] == k {
+			s.vals[j] = v
+			return
+		}
+	}
+	if _, ok := s.moved[k]; ok {
+		s.moved[k] = v
+		return
+	}
+	if s.inline < samplerInline {
+		s.keys[s.inline], s.vals[s.inline] = k, v
+		s.inline++
+		return
+	}
+	if s.moved == nil {
+		s.moved = make(map[int]int)
+	}
+	s.moved[k] = v
+}
+
+// clearMoved forgets any displacement recorded for slot i (which just
+// fell off the end of the virtual array).
+func (s *indexSampler) clearMoved(i int) {
+	for j := 0; j < s.inline; j++ {
+		if s.keys[j] == i {
+			s.inline--
+			s.keys[j], s.vals[j] = s.keys[s.inline], s.vals[s.inline]
+			return
+		}
+	}
+	if s.moved != nil {
+		delete(s.moved, i)
+	}
 }

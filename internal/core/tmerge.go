@@ -182,8 +182,10 @@ func (a *TMerge) Diagnostics() TMergeDiagnostics { return a.diag }
 
 // pairState is the per-arm bandit state.
 type pairState struct {
-	beta    stats.Beta
-	sampler *indexSampler
+	beta stats.Beta
+	// sampler is embedded by value: the arm slice is one contiguous
+	// allocation, so per-pair sampler setup allocates nothing.
+	sampler indexSampler
 	count   int     // n_{i,j}: times this pair has been sampled
 	sum     float64 // Σ d̃ over its samples
 	sumSq   float64 // Σ d̃² (for the variance-aware ULB radius)
@@ -265,8 +267,8 @@ func (a *TMerge) Select(ps *video.PairSet, oracle *reid.Oracle, K float64) []vid
 			beta:        beta,
 			priorMean:   beta.Mean(),
 			priorWeight: beta.S + beta.F,
-			sampler:     newIndexSampler(p.NumBBoxPairs(), xrand.DeriveN(a.cfg.Seed, "tmerge:boxes:"+p.Key.String(), i)),
 		}
+		arms[i].sampler.init(p.NumBBoxPairs(), xrand.DeriveN(a.cfg.Seed, "tmerge:boxes:"+p.Key.String(), i))
 	}
 
 	tau := 0

@@ -197,14 +197,84 @@ func PathTrackLike(seed uint64) Profile {
 	}
 }
 
-// Profiles returns the three standard profiles keyed by name.
+// Profiles returns the standard profiles keyed by name.
 func Profiles(seed uint64) map[string]Profile {
 	return map[string]Profile{
-		"mot17":     MOT17Like(seed),
-		"kitti":     KITTILike(seed),
-		"pathtrack": PathTrackLike(seed),
-		"highway":   HighwayLike(seed),
+		"mot17":       MOT17Like(seed),
+		"kitti":       KITTILike(seed),
+		"pathtrack":   PathTrackLike(seed),
+		"highway":     HighwayLike(seed),
+		"longhorizon": LongHorizonLike(seed),
 	}
+}
+
+// LongHorizonLike returns the long-horizon profile feeding the history
+// subsystem's workloads: a single endless street-camera scene with
+// short object lifetimes and steady arrivals, so ground-truth track
+// count grows linearly with video length while the instantaneous
+// population — and with it the hot tier of a history session — stays
+// flat. Small windows keep many windows in flight per segment. Scale
+// it to a target size with ScaleHorizon.
+func LongHorizonLike(seed uint64) Profile {
+	return Profile{
+		Name:      "longhorizon",
+		NumVideos: 1,
+		WindowLen: 200,
+		Template: synth.Config{
+			Seed:                seed ^ 0xB16B00B5,
+			NumFrames:           4000,
+			Width:               1920,
+			Height:              1080,
+			ArrivalRate:         0.25,
+			MaxObjects:          24,
+			MinSpan:             20,
+			MaxSpan:             120,
+			SpeedMin:            1.0,
+			SpeedMax:            4.0,
+			SizeMin:             80,
+			SizeMax:             160,
+			PosJitter:           0.6,
+			NumClasses:          3,
+			AppearanceDim:       AppearanceDim,
+			AppearanceNoise:     0.05,
+			AppearanceDrift:     0.003,
+			OutlierProb:         0.10,
+			OutlierNoise:        0.12,
+			PosAppearanceWeight: 0.40,
+			OcclusionCoverage:   0.50,
+			MissProb:            0.02,
+		},
+	}
+}
+
+// ScaleHorizon resizes the profile's scene to a target horizon: frames
+// sets the video length and tracks the expected ground-truth track
+// count (the arrival rate is rescaled to tracks/frames, and the
+// concurrency cap raised as needed so the arrival process is never
+// throttled — a throttled process would silently undershoot the
+// target). Zero leaves the respective dimension at the profile's
+// default. This is how histbench-scale corpora (10⁶ tracks) are
+// generated deterministically: the seed fixes every arrival, span, and
+// trajectory regardless of scale.
+func (p *Profile) ScaleHorizon(frames, tracks int) error {
+	if frames < 0 || tracks < 0 {
+		return fmt.Errorf("dataset: horizon scaling wants non-negative frames and tracks, got %d and %d", frames, tracks)
+	}
+	if frames > 0 {
+		p.Template.NumFrames = frames
+	}
+	if tracks > 0 {
+		f := p.Template.NumFrames
+		rate := float64(tracks) / float64(f)
+		p.Template.ArrivalRate = rate
+		// Steady-state population ≈ rate × mean lifetime; 1.5× headroom
+		// keeps the cap from clipping arrival bursts.
+		meanSpan := float64(p.Template.MinSpan+p.Template.MaxSpan) / 2
+		if need := int(rate*meanSpan*3/2) + 1; need > p.Template.MaxObjects {
+			p.Template.MaxObjects = need
+		}
+	}
+	return p.Template.Validate()
 }
 
 // HighwayLike returns a vehicle-surveillance profile (the paper's intro

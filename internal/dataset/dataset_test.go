@@ -168,3 +168,43 @@ func TestHighwayProfile(t *testing.T) {
 		t.Errorf("curated highway scene has %d polyonymous pairs, want >= 3", got)
 	}
 }
+
+// TestLongHorizonScaling pins the long-horizon profile: ScaleHorizon
+// hits the requested track count (the arrival process, unthrottled, is
+// concentrated around rate×frames), the result is deterministic in the
+// seed, and infeasible scalings are rejected.
+func TestLongHorizonScaling(t *testing.T) {
+	p := smallProfile("longhorizon", t)
+	const frames, tracks = 1500, 600
+	if err := p.ScaleHorizon(frames, tracks); err != nil {
+		t.Fatal(err)
+	}
+	if p.Template.NumFrames != frames {
+		t.Fatalf("frames = %d, want %d", p.Template.NumFrames, frames)
+	}
+	ds, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ds.Videos[0].GT.Len()
+	if got < tracks*7/10 || got > tracks*13/10 {
+		t.Errorf("scaled to %d tracks, generated %d (arrival process throttled?)", tracks, got)
+	}
+
+	p2 := smallProfile("longhorizon", t)
+	if err := p2.ScaleHorizon(frames, tracks); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := p2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Videos[0].GT.Len() != got {
+		t.Errorf("same seed generated %d then %d tracks", got, ds2.Videos[0].GT.Len())
+	}
+
+	bad := smallProfile("longhorizon", t)
+	if err := bad.ScaleHorizon(-1, 0); err == nil {
+		t.Error("negative frames accepted")
+	}
+}

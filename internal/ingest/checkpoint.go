@@ -24,7 +24,25 @@ import (
 //
 // Call it between pushes only: the snapshot is taken at a frame
 // boundary, which is the unit of replay.
+//
+// History sessions first seal the active history segment — durability
+// of the journal is ordered before the checkpoint that references it —
+// then trim the in-memory merger log to the sealed prefix and record a
+// HistoryRef (manifest position) instead of embedding the view state.
+// A session whose history log has already failed refuses to
+// checkpoint: the reference could point at state the log does not
+// actually hold.
 func (in *Ingestor) Checkpoint() ([]byte, error) {
+	if in.hist != nil {
+		if in.hist.err != nil {
+			return nil, fmt.Errorf("ingest: checkpoint refused, history log failed: %w", in.hist.err)
+		}
+		if err := in.hist.log.Seal(); err != nil {
+			return nil, err
+		}
+		in.merger.TrimEvents(in.hist.log.SealedSeq())
+		in.ckptCompactions = in.hist.compactions
+	}
 	st := checkpoint.SessionState{
 		WindowLen:  in.cfg.WindowLen,
 		K:          in.cfg.K,
@@ -51,13 +69,24 @@ func (in *Ingestor) Checkpoint() ([]byte, error) {
 		st.Results = append(st.Results, toRecord(r))
 	}
 
-	// Streaming-query state: the live view and every operator, so the
-	// restored session resumes incremental processing without recomputing
-	// anything. Registered subscriptions first (registration order), then
-	// any still-unclaimed restored states, sorted by name.
+	// Streaming-query state: the live view (embedded for plain sessions,
+	// referenced by manifest position for history sessions) and every
+	// operator, so the restored session resumes incremental processing
+	// without recomputing anything. Registered subscriptions first
+	// (registration order), then any still-unclaimed restored states,
+	// sorted by name.
 	if in.view != nil {
 		vs := in.view.State()
 		st.View = &vs
+	}
+	if in.hist != nil {
+		st.History = &checkpoint.HistoryRef{
+			Windows:    in.hist.log.Windows(),
+			Seq:        in.hist.log.Seq(),
+			HotHorizon: in.hist.horizon,
+		}
+	}
+	if in.view != nil || in.hist != nil {
 		for _, s := range in.subs {
 			st.Subscriptions = append(st.Subscriptions, checkpoint.SubscriptionState{Name: s.name, Op: s.op.State()})
 		}
@@ -159,6 +188,18 @@ func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte)
 		return nil, fmt.Errorf("ingest: restore: quarantine cap %d must be positive", st.Quarantine.Cap)
 	}
 
+	// History-mode / plain-mode agreement: a checkpoint taken with an
+	// on-disk history must be restored with one (same horizon — checked
+	// in restoreHistory), and vice versa; a checkpoint carrying both an
+	// embedded view and a history reference is internally inconsistent.
+	if (st.History != nil) != (cfg.History != nil) {
+		return nil, fmt.Errorf("ingest: restore: checkpoint history reference present=%v, config history enabled=%v",
+			st.History != nil, cfg.History != nil)
+	}
+	if st.History != nil && st.View != nil {
+		return nil, fmt.Errorf("ingest: restore: checkpoint carries both an embedded view and a history reference")
+	}
+
 	// Streaming-query state. The view, when present, must have consumed
 	// the merger's entire event log — checkpoints are taken between
 	// pushes, after every committed window's events were applied.
@@ -168,12 +209,23 @@ func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte)
 		if verr != nil {
 			return nil, fmt.Errorf("ingest: restore: %w", verr)
 		}
-		if got, want := v.Seq(), len(st.Merger.Events); got != want {
-			return nil, fmt.Errorf("ingest: restore: view consumed %d merge events, merger log has %d", got, want)
+		if got, want := v.Seq(), st.Merger.EventBase+len(st.Merger.Events); got != want {
+			return nil, fmt.Errorf("ingest: restore: view consumed %d merge events, merger log ends at %d", got, want)
 		}
 		view = v
-	} else if len(st.Subscriptions) > 0 {
+	} else if len(st.Subscriptions) > 0 && st.History == nil {
 		return nil, fmt.Errorf("ingest: restore: checkpoint has %d subscriptions but no view state", len(st.Subscriptions))
+	}
+
+	// History sessions replay the view from sealed segments instead; the
+	// log is cut back to exactly the checkpoint's reference first.
+	var hist *history
+	if st.History != nil {
+		h, herr := restoreHistory(cfg, &st)
+		if herr != nil {
+			return nil, herr
+		}
+		hist = h
 	}
 	var pending map[string]query.OperatorState
 	if len(st.Subscriptions) > 0 {
@@ -259,16 +311,23 @@ func Restore(engine *track.Engine, oracle *reid.Oracle, cfg Config, data []byte)
 		quar:       quarantineFromState(st.Quarantine),
 		quarMark:   st.QuarantineMark,
 		view:       view,
+		hist:       hist,
 		pendingOps: pending,
 	}
 	for _, r := range st.Results {
 		in.results = append(in.results, fromRecord(r))
 	}
-	if view != nil {
+	if view != nil || hist != nil {
 		// Rebuild the feed cursors: every box at or before the last
 		// committed window's end is already inside the restored view.
 		in.fed = make(map[video.TrackID]int)
 		in.markFed(in.lastClosedEnd())
+	}
+	if hist != nil {
+		// Re-tier the replayed view at the restored horizon: the segment
+		// replay produced a fully hot view, and the session resumes with
+		// the same hot/cold partition the checkpointed session held.
+		hist.tier.EvictBefore(in.lastClosedEnd() + 1 - video.FrameIndex(hist.horizon))
 	}
 	return in, nil
 }

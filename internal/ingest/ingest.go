@@ -50,6 +50,11 @@ type Config struct {
 	// positive. A sink error does not stop the stream; it is retained
 	// and reported by CheckpointErr.
 	CheckpointSink func([]byte) error
+	// History, when non-nil, enables the log-structured on-disk history:
+	// per-window journaling to segmented log files, the tiered
+	// bounded-memory view, manifest-referencing checkpoints, and AsOf
+	// time-travel queries. See HistoryConfig.
+	History *HistoryConfig
 	// Workers bounds the worker pool used when one push (or Close)
 	// closes several windows at once — a stream gap jumping multiple
 	// window boundaries, or a long tail flushed by Close. 0 selects
@@ -85,6 +90,11 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("ingest: Workers must be >= 0, got %d", cfg.Workers)
+	}
+	if cfg.History != nil {
+		if err := cfg.History.validate(cfg.WindowLen); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -149,7 +159,12 @@ type Ingestor struct {
 	// view is the live materialised merged-track view, created lazily by
 	// the first Subscribe (or by Restore) and advanced at every window
 	// commit: track extensions first, then the window's merge events.
+	// Nil in history mode, where hist.tier plays its role.
 	view *trackdb.LiveView
+	// hist is the log-structured history machinery (on-disk journal +
+	// tiered view), present iff cfg.History is set. Created eagerly at
+	// New/Restore: the journal must cover every window from 0.
+	hist *history
 	// fed counts, per raw stream track, how many of its boxes have been
 	// folded into the view — the incremental feed cursor.
 	fed  map[video.TrackID]int
@@ -159,7 +174,11 @@ type Ingestor struct {
 	pendingOps map[string]query.OperatorState
 
 	windowsSinceCkpt int
-	ckptErr          error
+	// ckptCompactions is hist's compaction count at the last sealed
+	// checkpoint; a newer compaction forces the next auto-checkpoint
+	// regardless of the window cadence (see maybeAutoCheckpoint).
+	ckptCompactions int
+	ckptErr         error
 }
 
 // subscription is one registered incremental query operator.
@@ -174,13 +193,22 @@ func New(engine *track.Engine, oracle *reid.Oracle, cfg Config) (*Ingestor, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ingestor{
+	in := &Ingestor{
 		cfg:    cfg,
 		stream: engine.NewStream(),
 		oracle: oracle,
 		merger: core.NewMerger(),
 		quar:   newQuarantine(cfg.QuarantineCap),
-	}, nil
+	}
+	if cfg.History != nil {
+		h, err := newHistory(cfg)
+		if err != nil {
+			return nil, err
+		}
+		in.hist = h
+		in.fed = make(map[video.TrackID]int)
+	}
+	return in, nil
 }
 
 // Push consumes the next frame of detections and returns the results of
@@ -243,13 +271,18 @@ func (in *Ingestor) PushAt(f video.FrameIndex, dets []video.BBox) []WindowResult
 
 // maybeAutoCheckpoint seals and emits a checkpoint when enough windows
 // have closed since the last one. It runs after the window loop, so a
-// checkpoint always captures a consistent between-frames state.
+// checkpoint always captures a consistent between-frames state. A
+// history compaction forces the checkpoint regardless of the window
+// cadence: compaction folds the log positions earlier checkpoints
+// reference into the base snapshot, so the retained checkpoint must be
+// re-sealed in the same push before anything can crash between them.
 func (in *Ingestor) maybeAutoCheckpoint(closed int) {
 	if in.cfg.AutoCheckpointEvery <= 0 || closed == 0 {
 		return
 	}
 	in.windowsSinceCkpt += closed
-	if in.windowsSinceCkpt < in.cfg.AutoCheckpointEvery {
+	compacted := in.hist != nil && in.hist.compactions > in.ckptCompactions
+	if in.windowsSinceCkpt < in.cfg.AutoCheckpointEvery && !compacted {
 		return
 	}
 	in.windowsSinceCkpt = 0
@@ -363,7 +396,30 @@ func (in *Ingestor) processWindows(ws []video.Window) []WindowResult {
 			}
 		}
 		res.Events = in.merger.EventsSince(seq)
-		if in.view != nil {
+		if len(res.Events) == 0 {
+			// Normalise event-free windows to a nil slice: EventsSince
+			// aliases the retained log, whose nil-ness depends on whether
+			// TrimEvents has dropped a sealed prefix — window results must
+			// not expose that difference.
+			res.Events = nil
+		}
+		switch {
+		case in.hist != nil:
+			h := in.hist
+			h.beginWindow()
+			in.feedBoxes(wi.w.End)
+			if err := h.tier.ApplyEvents(res.Events); err != nil {
+				// Unlike the plain view below, the tiered view can fail on
+				// I/O (cold-store paging during rehydration); that degrades
+				// the session instead of crashing it.
+				h.fail(err)
+			}
+			changed, removed := h.tier.Flush()
+			for _, s := range in.subs {
+				res.Queries = append(res.Queries, QueryDeltas{Name: s.name, Deltas: s.op.Apply(h.tier, changed, removed)})
+			}
+			h.commitWindow(in.merger, wi.w, res.Events)
+		case in.view != nil:
 			in.feedBoxes(wi.w.End)
 			if err := in.view.ApplyEvents(res.Events); err != nil {
 				// Every merged track starts in this window's first half, so
@@ -444,7 +500,8 @@ func (in *Ingestor) Subscribe(name string, op query.Incremental) ([]query.Delta,
 		in.subs = append(in.subs, subscription{name: name, op: op})
 		return nil, nil
 	}
-	deltas := op.Apply(in.view, in.view.IDs(), nil)
+	v := in.queryView()
+	deltas := op.Apply(v, v.IDs(), nil)
 	in.subs = append(in.subs, subscription{name: name, op: op})
 	return deltas, nil
 }
@@ -471,11 +528,25 @@ func (in *Ingestor) Operator(name string) query.Incremental {
 	return nil
 }
 
+// queryView returns the track view query operators run against: the
+// tiered view in history mode, the plain live view otherwise (nil when
+// neither exists yet).
+func (in *Ingestor) queryView() query.TrackView {
+	if in.hist != nil {
+		return in.hist.tier
+	}
+	if in.view == nil {
+		return nil
+	}
+	return in.view
+}
+
 // ensureView creates the live view on first use and backfills it to the
 // session's current committed state: every stream box up to the last
-// closed window's end, then the full merge-event log.
+// closed window's end, then the full merge-event log. History sessions
+// maintain their (tiered) view from window 0, so this is a no-op there.
 func (in *Ingestor) ensureView() {
-	if in.view != nil {
+	if in.view != nil || in.hist != nil {
 		return
 	}
 	in.view = trackdb.NewLiveView()
@@ -497,7 +568,11 @@ func (in *Ingestor) feedBoxes(end video.FrameIndex) {
 	for _, t := range sortTracks(in.stream.Snapshot()) {
 		n := in.fed[t.ID]
 		for n < len(t.Boxes) && t.Boxes[n].Frame <= end {
-			in.view.Extend(t.ID, t.Boxes[n])
+			if in.hist != nil {
+				in.hist.extend(t.ID, t.Boxes[n])
+			} else {
+				in.view.Extend(t.ID, t.Boxes[n])
+			}
 			n++
 		}
 		if n != in.fed[t.ID] {

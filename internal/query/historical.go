@@ -1,0 +1,18 @@
+package query
+
+import "github.com/tmerge/tmerge/internal/video"
+
+// HistoricalAnswer evaluates an incremental operator against a
+// reconstructed historical view — the view a time-travel AsOf replay
+// returns — and reports its result rows at that cut. op must be freshly
+// constructed (empty result set): one Apply feeding every live
+// canonical ID as changed bootstraps it to exactly the rows it would
+// hold after consuming the stream window by window up to the cut,
+// because an operator's results are a function of the view state alone
+// (the batch-equivalence contract on Incremental). The bootstrap
+// deltas are discarded; only the materialised rows constitute the
+// historical answer.
+func HistoricalAnswer(v TrackView, op Incremental) [][]video.TrackID {
+	op.Apply(v, v.IDs(), nil)
+	return op.Results()
+}

@@ -1,0 +1,79 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/core"
+	"github.com/tmerge/tmerge/internal/geom"
+	"github.com/tmerge/tmerge/internal/trackdb"
+	"github.com/tmerge/tmerge/internal/video"
+	"github.com/tmerge/tmerge/internal/xrand"
+)
+
+// TestHistoricalAnswerMatchesBatch drives a randomized merged view and
+// checks, at several cuts, that bootstrapping a fresh operator over the
+// view (HistoricalAnswer — the AsOf consumption pattern) reproduces the
+// batch answer over the equivalently clipped, merged track set for
+// every operator shape.
+func TestHistoricalAnswerMatchesBatch(t *testing.T) {
+	rng := xrand.New(77)
+	const n, maxFrame = 12, 400
+	tracks := make([]*video.Track, n)
+	for i := range tracks {
+		start := video.FrameIndex(rng.Intn(maxFrame / 2))
+		end := start + video.FrameIndex(20+rng.Intn(maxFrame/2))
+		tracks[i] = span(video.TrackID(i), video.ObjectID(rng.Intn(3)), start, end)
+	}
+	region := geom.Rect{X: 0, Y: 0, W: 500, H: 500}
+	freshOps := func() []Incremental {
+		return []Incremental{
+			NewIncCount(CountQuery{MinFrames: 60}),
+			NewIncRegion(RegionQuery{Region: region, MinFrames: 40}),
+			NewIncCoOccur(CoOccurQuery{GroupSize: 2, MinFrames: 30}),
+			NewIncPrecedes(PrecedesQuery{MinGap: 20, MinOverlap: 10}),
+		}
+	}
+	countQ := CountQuery{MinFrames: 60}
+	regionQ := RegionQuery{Region: region, MinFrames: 40}
+	coQ := CoOccurQuery{GroupSize: 2, MinFrames: 30}
+	preQ := PrecedesQuery{MinGap: 20, MinOverlap: 10}
+	batch := []func(ts *video.TrackSet) [][]video.TrackID{
+		func(ts *video.TrackSet) [][]video.TrackID { return idRowsOf(countQ.Answer(ts)) },
+		func(ts *video.TrackSet) [][]video.TrackID { return idRowsOf(regionQ.Answer(ts)) },
+		func(ts *video.TrackSet) [][]video.TrackID { return groupRowsOf(coQ.Answer(ts)) },
+		func(ts *video.TrackSet) [][]video.TrackID { return pairRowsOf(preQ.Answer(ts)) },
+	}
+
+	v := trackdb.NewLiveView()
+	m := core.NewMerger()
+	fed := make([]int, n)
+	cursor := 0
+	for _, end := range []video.FrameIndex{100, 200, 300, maxFrame} {
+		for i, tr := range tracks {
+			for fed[i] < len(tr.Boxes) && tr.Boxes[fed[i]].Frame <= end {
+				v.Extend(tr.ID, tr.Boxes[fed[i]])
+				fed[i]++
+			}
+		}
+		for k := 0; k < 2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b && fed[a] > 0 && fed[b] > 0 {
+				m.Merge(video.MakePairKey(video.TrackID(a), video.TrackID(b)))
+			}
+		}
+		if err := v.ApplyEvents(m.EventsSince(cursor)); err != nil {
+			t.Fatal(err)
+		}
+		cursor = m.EventCount()
+		v.Flush()
+
+		merged := m.Apply(video.NewTrackSet(clipTracks(tracks, end)))
+		for i, op := range freshOps() {
+			got := HistoricalAnswer(v, op)
+			want := batch[i](merged)
+			if !rowsEqual(got, want) {
+				t.Fatalf("cut %d op %s: historical %v, batch %v", end, op.Kind(), got, want)
+			}
+		}
+	}
+}

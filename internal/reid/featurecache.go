@@ -1,0 +1,129 @@
+package reid
+
+import (
+	"math/bits"
+	"slices"
+
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// featureCache is the oracle's embedding cache: an open-addressed,
+// linear-probed table keyed by BBoxID over parallel key/value slices.
+// A nil vector marks a free slot (the oracle never caches nil — every
+// stored embedding is a model output of OutDim floats).
+//
+// The built-in map was the "replay-commit map growth" allocator on the
+// streaming profile: BBox IDs advance forever, so the cache grows for
+// the whole session and every bucket split allocates in the middle of
+// a window commit. This table's steady-state put is allocation-free;
+// it allocates only on the O(log n) doublings, and reset keeps the
+// backing arrays so a recycled oracle re-fills without reallocating.
+type featureCache struct {
+	keys  []video.BBoxID
+	vals  []vecmath.Vec
+	count int
+	// shift turns the Fibonacci hash into a slot index: 64 - log2(len).
+	// Box IDs are assigned densely by the tracker, so multiplying by the
+	// golden-ratio constant spreads consecutive IDs across the table.
+	shift uint
+}
+
+// featureCacheMinSize is the table size of the first insert. Must be a
+// power of two.
+const featureCacheMinSize = 64
+
+func (c *featureCache) slot(id video.BBoxID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> c.shift)
+}
+
+// len returns the number of cached embeddings.
+func (c *featureCache) len() int { return c.count }
+
+// get returns the cached embedding of id, if present.
+func (c *featureCache) get(id video.BBoxID) (vecmath.Vec, bool) {
+	if c.count == 0 {
+		return nil, false
+	}
+	mask := len(c.keys) - 1
+	for i := c.slot(id); c.vals[i] != nil; i = (i + 1) & mask {
+		if c.keys[i] == id {
+			return c.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// put stores v (which must be non-nil) under id, replacing any previous
+// entry.
+func (c *featureCache) put(id video.BBoxID, v vecmath.Vec) {
+	if v == nil {
+		panic("reid: featureCache.put with nil vector")
+	}
+	// Grow at 3/4 occupancy, before probing: linear probing degrades
+	// sharply past that, and growing first keeps the insert loop simple.
+	if 4*(c.count+1) > 3*len(c.keys) {
+		c.grow(2 * len(c.keys))
+	}
+	mask := len(c.keys) - 1
+	i := c.slot(id)
+	for c.vals[i] != nil {
+		if c.keys[i] == id {
+			c.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+	c.keys[i] = id
+	c.vals[i] = v
+	c.count++
+}
+
+// grow rehashes into a table of the given size (rounded up to the
+// minimum and to a power of two by construction: sizes only ever double
+// from featureCacheMinSize).
+func (c *featureCache) grow(size int) {
+	if size < featureCacheMinSize {
+		size = featureCacheMinSize
+	}
+	oldKeys, oldVals := c.keys, c.vals
+	c.keys = make([]video.BBoxID, size)
+	c.vals = make([]vecmath.Vec, size)
+	c.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	c.count = 0
+	for i, v := range oldVals {
+		if v != nil {
+			c.put(oldKeys[i], v)
+		}
+	}
+}
+
+// reserve pre-sizes the table for n entries without exceeding the load
+// factor, so bulk restores insert without intermediate doublings.
+func (c *featureCache) reserve(n int) {
+	size := featureCacheMinSize
+	for 4*n > 3*size {
+		size *= 2
+	}
+	if size > len(c.keys) {
+		c.grow(size)
+	}
+}
+
+// reset empties the table, keeping the backing arrays.
+func (c *featureCache) reset() {
+	clear(c.vals)
+	c.count = 0
+}
+
+// sortedIDs appends every cached ID to dst in ascending order — the
+// deterministic iteration State snapshots require.
+func (c *featureCache) sortedIDs(dst []video.BBoxID) []video.BBoxID {
+	for i, v := range c.vals {
+		if v != nil {
+			dst = append(dst, c.keys[i])
+		}
+	}
+	slices.Sort(dst)
+	return dst
+}

@@ -1,0 +1,110 @@
+package reid
+
+import (
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/vecmath"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// TestFeatureCacheMatchesMap drives the open-addressed table and a
+// reference map through the same put/overwrite sequence — with an ID
+// distribution dense enough to force probe collisions and several
+// doublings — and requires identical contents and a sorted snapshot.
+func TestFeatureCacheMatchesMap(t *testing.T) {
+	var c featureCache
+	ref := map[video.BBoxID]vecmath.Vec{}
+	x := uint64(1)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		id := video.BBoxID(x % 4096) // collisions and overwrites
+		v := vecmath.Vec{float64(i)}
+		c.put(id, v)
+		ref[id] = v
+	}
+	if c.len() != len(ref) {
+		t.Fatalf("len %d, reference map has %d", c.len(), len(ref))
+	}
+	for id, want := range ref {
+		got, ok := c.get(id)
+		if !ok || &got[0] != &want[0] {
+			t.Fatalf("get(%d) = %v, %v; want the stored vector", id, got, ok)
+		}
+	}
+	for id := video.BBoxID(4096); id < 4196; id++ {
+		if _, ok := c.get(id); ok {
+			t.Fatalf("get(%d) hit on a never-stored ID", id)
+		}
+	}
+	ids := c.sortedIDs(nil)
+	if len(ids) != len(ref) {
+		t.Fatalf("sortedIDs returned %d IDs, want %d", len(ids), len(ref))
+	}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			t.Fatalf("sortedIDs not strictly ascending at %d: %d, %d", i, ids[i-1], id)
+		}
+		if _, ok := ref[id]; !ok {
+			t.Fatalf("sortedIDs returned unknown ID %d", id)
+		}
+	}
+
+	// reset empties the table but keeps its backing arrays for refill.
+	before := len(c.keys)
+	c.reset()
+	if c.len() != 0 || len(c.keys) != before {
+		t.Fatalf("reset: len %d, capacity %d (was %d)", c.len(), len(c.keys), before)
+	}
+	if _, ok := c.get(ids[0]); ok {
+		t.Fatal("get hit after reset")
+	}
+	c.put(7, vecmath.Vec{1})
+	if got, ok := c.get(7); !ok || got[0] != 1 {
+		t.Fatal("put after reset lost the entry")
+	}
+}
+
+// TestFeatureCacheReserve: a reserved table absorbs the promised number
+// of inserts without growing.
+func TestFeatureCacheReserve(t *testing.T) {
+	var c featureCache
+	c.reserve(1000)
+	size := len(c.keys)
+	if size == 0 || size&(size-1) != 0 {
+		t.Fatalf("reserved size %d is not a power of two", size)
+	}
+	v := vecmath.Vec{1}
+	for i := 0; i < 1000; i++ {
+		c.put(video.BBoxID(i), v)
+	}
+	if len(c.keys) != size {
+		t.Fatalf("table grew from %d to %d despite reserve(1000)", size, len(c.keys))
+	}
+}
+
+// TestFeatureCacheSteadyStateAllocs pins the replay-commit hot path:
+// lookups and overwrites of a warmed cache allocate nothing, and a full
+// stream of fresh inserts costs only the O(log n) doublings.
+func TestFeatureCacheSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("testing.AllocsPerRun is unreliable under the race detector")
+	}
+	var c featureCache
+	v := vecmath.Vec{1, 2, 3}
+	for i := 0; i < 1000; i++ {
+		c.put(video.BBoxID(i), v)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			if _, ok := c.get(video.BBoxID(i)); !ok {
+				t.Fatal("warm entry missing")
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			c.put(video.BBoxID(i), v)
+		}
+	})
+	if got != 0 {
+		t.Errorf("warm get/put: %v allocs per run, want 0", got)
+	}
+}

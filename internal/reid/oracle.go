@@ -2,7 +2,6 @@ package reid
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/tmerge/tmerge/internal/device"
@@ -42,7 +41,7 @@ type Oracle struct {
 	// execution path (DistanceBatch, TrackPairMeans, SampledMeans,
 	// SequenceDistance).
 	mu    sync.Mutex
-	cache map[video.BBoxID]vecmath.Vec
+	cache featureCache
 	// Caching can be disabled for the ablation benchmarks.
 	cacheEnabled bool
 	stats        Stats
@@ -62,7 +61,6 @@ func NewOracle(model *Model, dev device.Device) *Oracle {
 	return &Oracle{
 		model:        model,
 		dev:          dev,
-		cache:        make(map[video.BBoxID]vecmath.Vec),
 		cacheEnabled: true,
 	}
 }
@@ -94,11 +92,12 @@ func (o *Oracle) ResetStats() {
 	o.stats = Stats{}
 }
 
-// ResetCache clears the feature cache.
+// ResetCache clears the feature cache (its backing arrays are retained
+// for reuse).
 func (o *Oracle) ResetCache() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.cache = make(map[video.BBoxID]vecmath.Vec)
+	o.cache.reset()
 }
 
 // CachedFeature is one serialised feature-cache entry.
@@ -123,13 +122,10 @@ func (o *Oracle) State() OracleState {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st := OracleState{Stats: o.stats, CacheEnabled: o.cacheEnabled}
-	ids := make([]video.BBoxID, 0, len(o.cache))
-	for id := range o.cache {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := o.cache.sortedIDs(make([]video.BBoxID, 0, o.cache.len()))
 	for _, id := range ids {
-		st.Cache = append(st.Cache, CachedFeature{ID: id, Vec: append([]float64(nil), o.cache[id]...)})
+		v, _ := o.cache.get(id)
+		st.Cache = append(st.Cache, CachedFeature{ID: id, Vec: append([]float64(nil), v...)})
 	}
 	return st
 }
@@ -147,9 +143,10 @@ func (o *Oracle) RestoreState(st OracleState) error {
 	defer o.mu.Unlock()
 	o.stats = st.Stats
 	o.cacheEnabled = st.CacheEnabled
-	o.cache = make(map[video.BBoxID]vecmath.Vec, len(st.Cache))
+	o.cache.reset()
+	o.cache.reserve(len(st.Cache))
 	for _, cf := range st.Cache {
-		o.cache[cf.ID] = vecmath.Vec(append([]float64(nil), cf.Vec...))
+		o.cache.put(cf.ID, vecmath.Vec(append([]float64(nil), cf.Vec...)))
 	}
 	return nil
 }

@@ -221,7 +221,7 @@ func (o *Oracle) ReplayBatch(logs [][]SubmissionRecord, store *FeatureStore) []e
 			vecs = vecs[:0]
 			for _, id := range rec.Boxes {
 				if cacheEnabled {
-					if _, ok := o.cache[id]; ok {
+					if _, ok := o.cache.get(id); ok {
 						hits++
 						continue
 					}
@@ -257,7 +257,7 @@ func (o *Oracle) ReplayBatch(logs [][]SubmissionRecord, store *FeatureStore) []e
 			o.stats.Distances += int64(rec.NDistances)
 			if cacheEnabled {
 				for i, id := range ids {
-					o.cache[id] = vecs[i]
+					o.cache.put(id, vecs[i])
 				}
 			}
 			o.mu.Unlock()

@@ -182,7 +182,7 @@ func (p *extractPlan) addBox(b video.BBox) {
 		return
 	}
 	if p.cacheEnabled {
-		if f, ok := p.o.cache[b.ID]; ok {
+		if f, ok := p.o.cache.get(b.ID); ok {
 			p.hits++
 			p.local[b.ID] = f
 			return
@@ -242,7 +242,7 @@ func (p *extractPlan) execute(nDistances int) {
 	for i, b := range p.boxes {
 		p.local[b.ID] = results[i]
 		if p.cacheEnabled {
-			p.o.cache[b.ID] = results[i]
+			p.o.cache.put(b.ID, results[i])
 		}
 	}
 }

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/serve/loadgen"
+	"github.com/tmerge/tmerge/internal/video"
+)
+
+// histRoot is the history configuration every test fleet shares: a tight
+// hot horizon (2×WindowLen) so cold summaries actually accumulate, small
+// segments, and aggressive compaction so the retention machinery runs.
+func histRoot(dir string) *HistoryRoot {
+	return &HistoryRoot{Dir: dir, HotHorizon: 80, WindowsPerSegment: 2, CompactEvery: 2}
+}
+
+// TestHistoryFleetDrainResumeAsOf pins the serving layer's history
+// integration end to end: a fleet with a manager-level HistoryRoot
+// journals each stream under its own directory, the drain checkpoint
+// seals the active segment, a successor manager resumes every stream
+// against its on-disk log, results stay bit-identical to uninterrupted
+// plain sequential runs, and Manager.AsOf serves time-travel cuts equal
+// to a single-stream history session's.
+func TestHistoryFleetDrainResumeAsOf(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const frames = 240
+	const windowLen = 40
+	streams, err := loadgen.Generate(loadgen.Config{Seed: 53, Streams: 2, Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+
+	m := NewManager(Config{Workers: 2, TurnFrames: 8, DefaultQueueCap: frames, History: histRoot(root)})
+	for _, s := range streams {
+		spec := StreamSpec{ID: s.ID, Ingest: testIngestCfg(s.Seed, windowLen, 2), Pipeline: testPipeline(s.Seed, nil)}
+		if err := m.Register(spec); err != nil {
+			t.Fatalf("register %s: %v", s.ID, err)
+		}
+		// The journal opens eagerly at registration, one directory per
+		// stream under the root.
+		if _, err := os.Stat(filepath.Join(root, s.ID)); err != nil {
+			t.Fatalf("stream %s history dir: %v", s.ID, err)
+		}
+	}
+
+	const cut = frames / 2
+	for _, s := range streams {
+		for f := 0; f < cut; f++ {
+			if err := m.Push(s.ID, ingestFrame(f), s.Video.Detections[f]); err != nil {
+				t.Fatalf("push %s frame %d: %v", s.ID, f, err)
+			}
+		}
+	}
+	ckpts, err := m.Drain(context.Background())
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+	if len(ckpts) != len(streams) {
+		t.Fatalf("drain returned %d checkpoints, want %d", len(ckpts), len(streams))
+	}
+	for _, s := range streams {
+		// The drain checkpoint sealed the active segment: the manifest on
+		// disk references everything the resume bytes do.
+		if _, err := os.Stat(filepath.Join(root, s.ID, "MANIFEST.json")); err != nil {
+			t.Fatalf("stream %s manifest after drain: %v", s.ID, err)
+		}
+	}
+
+	// Successor manager over the same root: each stream restores from its
+	// checkpoint reference plus its own on-disk log.
+	m2 := NewManager(Config{Workers: 2, TurnFrames: 8, DefaultQueueCap: frames, History: histRoot(root)})
+	for _, s := range streams {
+		spec := StreamSpec{
+			ID: s.ID, Ingest: testIngestCfg(s.Seed, windowLen, 2),
+			Pipeline: testPipeline(s.Seed, nil), Resume: ckpts[s.ID],
+		}
+		if err := m2.Register(spec); err != nil {
+			t.Fatalf("re-register %s: %v", s.ID, err)
+		}
+	}
+	for _, st := range m2.Snapshot() {
+		if st.Frames != cut {
+			t.Fatalf("%s resumed at frame %d, want %d", st.ID, st.Frames, cut)
+		}
+		if st.HistoryErr != "" {
+			t.Fatalf("%s resumed with history error %q", st.ID, st.HistoryErr)
+		}
+	}
+	for _, s := range streams {
+		for f := cut; f < frames; f++ {
+			if err := m2.Push(s.ID, ingestFrame(f), s.Video.Detections[f]); err != nil {
+				t.Fatalf("push %s frame %d after resume: %v", s.ID, f, err)
+			}
+		}
+	}
+	for _, s := range streams {
+		res, err := m2.Finish(s.ID)
+		if err != nil {
+			t.Fatalf("finish %s: %v", s.ID, err)
+		}
+		// Bit-identical to the uninterrupted plain sequential run: the
+		// history journal and the tiered view change nothing about the
+		// stream's results.
+		engine, oracle := testPipeline(s.Seed, nil)()
+		refCfg := testIngestCfg(s.Seed, windowLen, 0)
+		ref, err := ingest.New(engine, oracle, refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < frames; f++ {
+			ref.PushAt(ingestFrame(f), s.Video.Detections[f])
+		}
+		ref.Close()
+		if got, want := res.Fingerprint(), ref.Result().Fingerprint(); got != want {
+			t.Errorf("%s: history fleet fingerprint %s != plain sequential %s", s.ID, got, want)
+		}
+	}
+
+	// The tight horizon must have pushed tracks cold on every stream.
+	for _, st := range m2.Snapshot() {
+		if st.HistoryCold == 0 {
+			t.Errorf("%s: no cold tracks despite horizon %d over %d frames", st.ID, 80, frames)
+		}
+		if st.HistoryErr != "" {
+			t.Errorf("%s: history error %q", st.ID, st.HistoryErr)
+		}
+	}
+
+	// Time travel through the manager equals a single-stream history
+	// session's AsOf at the same cuts — the serving layer adds routing
+	// and exclusion, not semantics. (Stopped streams still serve.)
+	for _, s := range streams {
+		engine, oracle := testPipeline(s.Seed, nil)()
+		refCfg := testIngestCfg(s.Seed, windowLen, 0)
+		refCfg.History = histRoot(t.TempDir()).config(s.ID)
+		ref, err := ingest.New(engine, oracle, refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < frames; f++ {
+			ref.PushAt(ingestFrame(f), s.Video.Detections[f])
+		}
+		ref.Close()
+		for _, f := range []video.FrameIndex{frames - 1, frames - windowLen - 1} {
+			refView, refCut, refErr := ref.AsOf(f)
+			if refErr != nil {
+				// The aggressive compaction policy can put an interior cut
+				// behind the retention boundary; the managed stream must
+				// refuse it the same way.
+				if _, _, err := m2.AsOf(s.ID, f); err == nil {
+					t.Errorf("%s: AsOf(%d) succeeded, single-stream session refused: %v", s.ID, f, refErr)
+				}
+				continue
+			}
+			gotView, gotCut, err := m2.AsOf(s.ID, f)
+			if err != nil {
+				t.Fatalf("%s: manager AsOf(%d): %v", s.ID, f, err)
+			}
+			if gotCut != refCut {
+				t.Fatalf("%s: AsOf(%d) cut %d, reference %d", s.ID, f, gotCut, refCut)
+			}
+			if !reflect.DeepEqual(gotView.State(), refView.State()) {
+				t.Errorf("%s: AsOf(%d) view diverged from single-stream session", s.ID, f)
+			}
+		}
+	}
+	m2.Shutdown()
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestHistoryRegisterRejectsUnsafeIDs pins the directory-derivation
+// guard: under a manager-level HistoryRoot a stream ID is a directory
+// name, so IDs that would escape or alias the root are refused at
+// registration — unless the spec brings its own history configuration.
+func TestHistoryRegisterRejectsUnsafeIDs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(Config{Workers: 1, History: histRoot(t.TempDir())})
+	defer func() {
+		m.Shutdown()
+		checkNoGoroutineLeak(t, before)
+	}()
+	for _, id := range []string{"a/b", `a\b`, ".", ".."} {
+		spec := StreamSpec{ID: id, Ingest: testIngestCfg(1, 40, 0), Pipeline: testPipeline(1, nil)}
+		if err := m.Register(spec); err == nil {
+			t.Errorf("Register(%q) accepted an unsafe history directory name", id)
+		}
+	}
+	// A spec with its own history config bypasses the derivation and the
+	// guard with it.
+	spec := StreamSpec{ID: "a/b", Ingest: testIngestCfg(1, 40, 0), Pipeline: testPipeline(1, nil)}
+	spec.Ingest.History = &ingest.HistoryConfig{Dir: t.TempDir()}
+	if err := m.Register(spec); err != nil {
+		t.Errorf("Register with explicit history config: %v", err)
+	}
+}
+
+// TestAsOfWithoutHistory pins the error surface: AsOf against a
+// history-less stream reports the ingest error, and against an unknown
+// stream reports ErrUnknownStream.
+func TestAsOfWithoutHistory(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(Config{Workers: 1})
+	defer func() {
+		m.Shutdown()
+		checkNoGoroutineLeak(t, before)
+	}()
+	spec := StreamSpec{ID: "plain", Ingest: testIngestCfg(1, 40, 0), Pipeline: testPipeline(1, nil)}
+	if err := m.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AsOf("plain", 10); err == nil {
+		t.Error("AsOf on a history-less stream succeeded")
+	}
+	if _, _, err := m.AsOf("ghost", 10); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("AsOf on unknown stream: got %v, want ErrUnknownStream", err)
+	}
+}

@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/tmerge/tmerge/internal/core"
 	"github.com/tmerge/tmerge/internal/device"
 	"github.com/tmerge/tmerge/internal/fault"
 	"github.com/tmerge/tmerge/internal/ingest"
+	"github.com/tmerge/tmerge/internal/trackdb"
 	"github.com/tmerge/tmerge/internal/video"
 )
 
@@ -80,6 +82,9 @@ func (m *Manager) Register(spec StreamSpec) error {
 	if spec.Pipeline == nil {
 		return fmt.Errorf("serve: stream %q: nil pipeline factory", spec.ID)
 	}
+	if m.cfg.History != nil && spec.Ingest.History == nil && !safeHistoryID(spec.ID) {
+		return fmt.Errorf("serve: stream %q: id is not a safe history directory name", spec.ID)
+	}
 	s := &stream{
 		id:       spec.ID,
 		spec:     spec,
@@ -128,12 +133,25 @@ func (m *Manager) Register(spec StreamSpec) error {
 	return m.startStream(s)
 }
 
+// safeHistoryID reports whether a stream ID can serve as its history
+// directory name: no path separators, and not a dot entry that would
+// escape or alias the root.
+func safeHistoryID(id string) bool {
+	return !strings.ContainsAny(id, `/\`) && id != "." && id != ".."
+}
+
 // sinkedConfig returns the spec's ingestion config with the manager's
-// checkpoint sink installed: the sink retains the latest sealed
+// checkpoint sink installed — the sink retains the latest sealed
 // checkpoint and truncates the replay buffer (the sealed state includes
-// every replayed frame), then chains to the spec's own sink, if any.
+// every replayed frame), then chains to the spec's own sink, if any —
+// and, under a manager-level HistoryRoot, the stream's derived
+// per-stream history configuration (specs carrying their own
+// Ingest.History keep it).
 func (m *Manager) sinkedConfig(s *stream) ingest.Config {
 	cfg := s.spec.Ingest
+	if m.cfg.History != nil && cfg.History == nil {
+		cfg.History = m.cfg.History.config(s.id)
+	}
 	userSink := cfg.CheckpointSink
 	if cfg.AutoCheckpointEvery > 0 {
 		cfg.CheckpointSink = func(data []byte) error {
@@ -178,6 +196,7 @@ func (m *Manager) startStream(s *stream) error {
 	}
 	s.ing = ing
 	s.state = Healthy
+	s.noteHistoryLocked(ing)
 	if len(s.spec.Resume) > 0 {
 		s.ckpt = s.spec.Resume
 		s.frames = ing.FramesSeen()
@@ -349,6 +368,7 @@ func (m *Manager) closeStream(s *stream, ing *ingest.Ingestor) (err error) {
 	results := ing.Close()
 	m.observe(s, results, start)
 	m.mu.Lock()
+	s.noteHistoryLocked(ing)
 	for _, r := range results {
 		s.windows++
 		if r.Degraded {
@@ -418,6 +438,9 @@ func (m *Manager) Snapshot() []StreamStatus {
 			Windows:         s.windows,
 			DegradedWindows: s.degraded,
 			Restarts:        s.restarts,
+			HistoryHot:      s.histHot,
+			HistoryCold:     s.histCold,
+			HistoryErr:      s.histErr,
 		}
 		if s.lastErr != nil {
 			st.Err = s.lastErr.Error()
@@ -439,6 +462,56 @@ func (m *Manager) Snapshot() []StreamStatus {
 		out = append(out, st)
 	}
 	return out
+}
+
+// AsOf serves a time-travel query against one stream's on-disk history:
+// the merged-track view as of the cut "all windows committed by frame",
+// reconstructed from the stream's segmented log (see ingest.AsOf for the
+// cut semantics and the retention boundary of compacted logs). The
+// reconstruction needs exclusive access to the stream's session, so AsOf
+// waits for any in-flight turn to finish and blocks the next one while
+// it reads — it is a control-plane query, not a hot-path one. Streams
+// without history, quarantined beyond recovery, or never admitted fail
+// with the corresponding error; a Stopped (finished) stream still
+// serves its full history.
+func (m *Manager) AsOf(id string, frame video.FrameIndex) (*trackdb.LiveView, video.FrameIndex, error) {
+	m.mu.Lock()
+	s, ok := m.streams[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, 0, fmt.Errorf("serve: stream %q: %w", id, ErrUnknownStream)
+	}
+	for {
+		switch {
+		case m.closed:
+			m.mu.Unlock()
+			return nil, 0, ErrStopped
+		case s.state == Pending:
+			m.mu.Unlock()
+			return nil, 0, fmt.Errorf("serve: stream %q: %w", id, ErrNotAdmitted)
+		}
+		if s.state == Quarantined && s.lastErr != nil && !s.inRecoverLocked(m) {
+			err := s.lastErr
+			m.mu.Unlock()
+			return nil, 0, fmt.Errorf("serve: stream %q unrecoverable: %w", id, err)
+		}
+		if (s.state == Healthy || s.state == Degraded || s.state == Stopped) && !s.active && s.ing != nil {
+			break
+		}
+		m.cond.Wait()
+	}
+	s.active = true
+	ing := s.ing
+	m.mu.Unlock()
+
+	v, cut, err := ing.AsOf(frame)
+
+	m.mu.Lock()
+	s.active = false
+	m.scheduleLocked(s) // a worker may have skipped the stream while we held it
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return v, cut, err
 }
 
 // Drain performs a graceful drain-to-checkpoint shutdown: intake is

@@ -30,6 +30,7 @@ package serve
 
 import (
 	"errors"
+	"path/filepath"
 	"time"
 
 	"github.com/tmerge/tmerge/internal/ingest"
@@ -139,6 +140,39 @@ type StreamSpec struct {
 	Resume []byte
 }
 
+// HistoryRoot enables per-stream log-structured histories: every
+// admitted stream whose spec does not already carry its own
+// ingest.HistoryConfig journals its committed windows to a segmented
+// on-disk log under Dir/<stream-id>, tiers its in-memory view at the
+// hot horizon, and serves time-travel cuts through Manager.AsOf. The
+// manager's drain checkpoint seals each stream's active segment (the
+// seal is part of ingest.Checkpoint), so the returned resume bytes and
+// the on-disk logs always agree; a successor manager configured with
+// the same root restores each stream from its own directory.
+type HistoryRoot struct {
+	// Dir is the root directory; each stream's log lives in Dir/<id>.
+	// Stream IDs therefore double as directory names — Register rejects
+	// IDs containing path separators or equal to "." / "..".
+	Dir string
+	// HotHorizon, WindowsPerSegment, and CompactEvery configure every
+	// derived per-stream history; see ingest.HistoryConfig for the
+	// semantics and zero-value defaults.
+	HotHorizon        int
+	WindowsPerSegment int
+	CompactEvery      int
+}
+
+// config returns the per-stream ingest history configuration rooted at
+// the stream's own directory.
+func (h *HistoryRoot) config(id string) *ingest.HistoryConfig {
+	return &ingest.HistoryConfig{
+		Dir:               filepath.Join(h.Dir, id),
+		HotHorizon:        h.HotHorizon,
+		WindowsPerSegment: h.WindowsPerSegment,
+		CompactEvery:      h.CompactEvery,
+	}
+}
+
 // Config parameterises a Manager.
 type Config struct {
 	// Workers is the shared worker pool size; 0 defaults to 4. Streams
@@ -174,6 +208,10 @@ type Config struct {
 	// concurrently and must be safe for concurrent use. Windows re-closed
 	// while replaying after a crash are not re-observed.
 	OnWindow func(stream string, res ingest.WindowResult, latency time.Duration)
+	// History, when non-nil, gives every admitted stream a log-structured
+	// on-disk history under History.Dir/<stream-id> (specs carrying their
+	// own Ingest.History keep it untouched). See HistoryRoot.
+	History *HistoryRoot
 }
 
 // withDefaults fills zero-valued fields.
@@ -214,6 +252,15 @@ type StreamStatus struct {
 	// "open", "half-open"), or "" when the stream has no resilient
 	// device or no live session.
 	Breaker string
+	// HistoryHot and HistoryCold are the stream's tiered-view track
+	// counts (resident vs summarised), refreshed at the end of every
+	// turn that commits a window; both zero for streams without history.
+	HistoryHot  int
+	HistoryCold int
+	// HistoryErr is the stream's first history-log failure, "" when none
+	// (or no history). A failed log keeps the stream flowing but refuses
+	// further checkpoints, so a drain cannot cover it.
+	HistoryErr string
 	// Err is the most recent crash or recovery failure, "" when none.
 	Err string
 }

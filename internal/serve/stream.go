@@ -73,6 +73,27 @@ type stream struct {
 	frames   int // frames the stream cursor has passed
 	windows  int // committed windows
 	degraded int // committed windows selected in degraded mode
+
+	// Manager-guarded copies of the session's history accounting,
+	// refreshed by whoever holds the active flag after committing
+	// windows (the tiered view itself is not safe to read concurrently
+	// with a turn, so Snapshot reports these copies instead).
+	histHot  int
+	histCold int
+	histErr  string
+}
+
+// noteHistoryLocked refreshes the stream's history counters from its
+// session. The caller must hold Manager.mu and the stream's active flag
+// (the accessors read tiered-view state only the active holder may
+// touch).
+func (s *stream) noteHistoryLocked(ing *ingest.Ingestor) {
+	hot, cold, _, _ := ing.HistoryStats()
+	s.histHot, s.histCold = hot, cold
+	s.histErr = ""
+	if err := ing.HistoryErr(); err != nil {
+		s.histErr = err.Error()
+	}
 }
 
 // worker is one shared-pool goroutine: pop the next ready stream, feed
@@ -173,6 +194,9 @@ func (m *Manager) runTurn(s *stream, batch []pushItem) (rem []pushItem, err erro
 		m.observe(s, results, start)
 		m.mu.Lock()
 		s.frames = s.ing.FramesSeen()
+		if len(results) > 0 {
+			s.noteHistoryLocked(s.ing)
+		}
 		for _, r := range results {
 			s.windows++
 			if r.Degraded {
@@ -261,6 +285,7 @@ func (m *Manager) supervisor() {
 		s.ing = ing
 		s.lastErr = nil
 		s.frames = ing.FramesSeen()
+		s.noteHistoryLocked(ing)
 		s.windows = 0
 		s.degraded = 0
 		s.state = Healthy

@@ -75,6 +75,17 @@ func NewLiveView() *LiveView {
 // holds is a harmless no-op, and a frame contested between member
 // fragments keeps the lower-ID member's box (the batch Apply rule).
 func (v *LiveView) Extend(id video.TrackID, b video.BBox) {
+	center := b.Rect.Center()
+	v.ExtendCell(id, b.Frame, b.Class, center.X, center.Y)
+}
+
+// ExtendCell is Extend for callers that already hold the box reduced to
+// the fields the view keeps — frame, class, and center. The history
+// log's replay path (internal/histlog) feeds the view through it, which
+// is why a journaled extension record is exactly these fields: identical
+// input here means identical view state, the replay-equivalence
+// invariant the history subsystem is built on.
+func (v *LiveView) ExtendCell(id video.TrackID, frame video.FrameIndex, class video.ClassID, cx, cy float64) {
 	c, ok := v.canon[id]
 	if !ok {
 		c = id
@@ -83,8 +94,8 @@ func (v *LiveView) Extend(id video.TrackID, b video.BBox) {
 	t := v.tracks[c]
 	if t == nil {
 		t = &liveTrack{
-			start:   b.Frame,
-			end:     b.Frame,
+			start:   frame,
+			end:     frame,
 			members: []video.TrackID{c},
 			cells:   make(map[video.FrameIndex]viewCell),
 			classes: make(map[video.ClassID]int),
@@ -92,9 +103,8 @@ func (v *LiveView) Extend(id video.TrackID, b video.BBox) {
 		v.tracks[c] = t
 		v.idsOK = false
 	}
-	center := b.Rect.Center()
-	cell := viewCell{member: id, class: b.Class, cx: center.X, cy: center.Y}
-	if ex, held := t.cells[b.Frame]; held {
+	cell := viewCell{member: id, class: class, cx: cx, cy: cy}
+	if ex, held := t.cells[frame]; held {
 		if cell.member >= ex.member {
 			return // the held box wins the frame; nothing changed
 		}
@@ -103,14 +113,14 @@ func (v *LiveView) Extend(id video.TrackID, b video.BBox) {
 			delete(t.classes, ex.class)
 		}
 	} else {
-		if b.Frame < t.start {
-			t.start = b.Frame
+		if frame < t.start {
+			t.start = frame
 		}
-		if b.Frame > t.end {
-			t.end = b.Frame
+		if frame > t.end {
+			t.end = frame
 		}
 	}
-	t.cells[b.Frame] = cell
+	t.cells[frame] = cell
 	t.classes[cell.class]++
 	v.dirty[c] = true
 }

@@ -303,6 +303,11 @@ type (
 	// Inspector filters selected candidates before merging (the paper's
 	// human-inspection step as a callback).
 	Inspector = ingest.Inspector
+	// HistoryConfig enables the session's log-structured on-disk history
+	// (IngestConfig.History): segmented journal, tiered bounded-memory
+	// view, log-referencing checkpoints, and time-travel Ingestor.AsOf
+	// (DESIGN.md §16).
+	HistoryConfig = ingest.HistoryConfig
 )
 
 // NewIngestor returns a streaming ingestion session.
@@ -619,6 +624,14 @@ func NewIncCoOccur(q CoOccurQuery) IncrementalOperator { return query.NewIncCoOc
 // NewIncPrecedes returns an incremental operator maintaining q's answer.
 func NewIncPrecedes(q PrecedesQuery) IncrementalOperator { return query.NewIncPrecedes(q) }
 
+// HistoricalAnswer evaluates a freshly constructed incremental operator
+// against a time-travel view (Ingestor.AsOf / StreamManager.AsOf) and
+// returns the query's result rows at that cut — equal to the batch
+// answer over the merged tracks at the moment the cut's window closed.
+func HistoricalAnswer(v TrackView, op IncrementalOperator) [][]TrackID {
+	return query.HistoricalAnswer(v, op)
+}
+
 // WriteMergeEventLog writes a merge-event journal as line-delimited
 // JSON, one event per line.
 func WriteMergeEventLog(w io.Writer, events []MergeEvent) error {
@@ -657,6 +670,11 @@ type (
 	// ServeStreamStatus is one stream's health snapshot, the unit of
 	// StreamManager.Snapshot.
 	ServeStreamStatus = serve.StreamStatus
+	// StreamHistoryRoot gives a StreamManager a per-stream history
+	// directory tree (StreamManagerConfig.History): each registered
+	// stream journals under <Dir>/<stream id> and serves time travel via
+	// StreamManager.AsOf (DESIGN.md §16).
+	StreamHistoryRoot = serve.HistoryRoot
 )
 
 // Stream supervision states, in escalation order.
